@@ -1,0 +1,73 @@
+"""Baseline table: the paper's §2 model categories on one dataset.
+
+Not a numbered table in the paper, but §2 motivates the focus on
+trilinear models by contrasting the three categories; this bench makes
+that comparison concrete: translation-based (TransE), bilinear
+full-matrix (RESCAL), neural (ER-MLP), and the trilinear family's best
+(ComplEx).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ERMLP, RESCAL, TransE
+from repro.core.models import make_complex
+from repro.experiments import format_table, run_experiment_row, seeded_rng
+from benchmarks.conftest import is_fast, publish_table
+
+
+def run_baselines(dataset, settings):
+    rows = []
+    complex_model = make_complex(
+        dataset.num_entities, dataset.num_relations, settings.total_dim,
+        seeded_rng(settings, 300), regularization=settings.regularization,
+    )
+    rows.append(run_experiment_row(complex_model, dataset, settings,
+                                   label="ComplEx (trilinear)"))
+
+    transe = TransE(dataset.num_entities, dataset.num_relations,
+                    settings.total_dim, seeded_rng(settings, 301))
+    rows.append(run_experiment_row(transe, dataset, settings,
+                                   label="TransE (translation)"))
+
+    rescal = RESCAL(dataset.num_entities, dataset.num_relations,
+                    settings.total_dim // 2, seeded_rng(settings, 302),
+                    regularization=settings.regularization)
+    rows.append(run_experiment_row(rescal, dataset, settings,
+                                   label="RESCAL (bilinear)"))
+
+    # ER-MLP's 1-vs-all scoring is O(entities) forward passes per query;
+    # train it with a shorter schedule to keep the bench tractable.
+    mlp_settings = type(settings)(
+        dataset_config=settings.dataset_config,
+        total_dim=settings.total_dim,
+        epochs=min(settings.epochs, 60),
+        batch_size=settings.batch_size,
+        learning_rate=0.01,
+        regularization=0.0,
+        validate_every=10_000,
+        patience=10_000,
+        seed=settings.seed,
+    )
+    er_mlp = ERMLP(dataset.num_entities, dataset.num_relations,
+                   settings.total_dim // 2, seeded_rng(settings, 303))
+    rows.append(run_experiment_row(er_mlp, dataset, mlp_settings,
+                                   label="ER-MLP (neural)"))
+    return rows
+
+
+def test_baseline_categories(benchmark, dataset, settings):
+    rows = benchmark.pedantic(
+        run_baselines, args=(dataset, settings), rounds=1, iterations=1
+    )
+    table = format_table(
+        f"Baseline categories (paper section 2) on {dataset.name}", rows
+    )
+    publish_table("baselines", table)
+
+    if is_fast():
+        return  # smoke mode: tables only, shape assertions need full training
+
+    by_label = {row.label.split(" ")[0]: row.test_metrics.mrr for row in rows}
+    # §2's motivation: the trilinear family leads on this kind of data.
+    assert by_label["ComplEx"] >= by_label["TransE"]
+    assert by_label["ComplEx"] >= by_label["ER-MLP"]

@@ -1,0 +1,63 @@
+"""Per-relation mechanism table: *why* Table 2 comes out the way it does.
+
+Trains DistMult and ComplEx at the bench scale and prints their test
+metrics split by relation.  The expected mechanism:
+
+* On the symmetric relations (similar_to, verb_group, also_see) both
+  models do well — symmetry costs DistMult nothing there.
+* On the inverse-paired/asymmetric relations DistMult's Hits@1 craters
+  (its score cannot order the two directions) while ComplEx holds —
+  which is exactly where the aggregate MRR gap of Table 2 comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.models import make_complex, make_distmult
+from repro.eval.per_relation import evaluate_per_relation, format_per_relation_table
+from repro.experiments import run_experiment_row, seeded_rng
+from repro.kg.synthetic import symmetric_relation_names
+from benchmarks.conftest import is_fast, publish_table
+
+
+def run_per_relation(dataset, settings):
+    tables = {}
+    gaps = {}
+    for offset, (name, factory) in enumerate(
+        [("DistMult", make_distmult), ("ComplEx", make_complex)]
+    ):
+        model = factory(
+            dataset.num_entities, dataset.num_relations, settings.total_dim,
+            seeded_rng(settings, 600 + offset), regularization=settings.regularization,
+        )
+        run_experiment_row(model, dataset, settings, label=name)
+        results = evaluate_per_relation(model, dataset, split="test", min_triples=3)
+        tables[name] = format_per_relation_table(results)
+        symmetric = set(symmetric_relation_names())
+        sym = [r.metrics.hits[1] for r in results if r.relation_name in symmetric]
+        asym = [r.metrics.hits[1] for r in results if r.relation_name not in symmetric]
+        gaps[name] = (float(np.mean(sym)), float(np.mean(asym)))
+    return tables, gaps
+
+
+def test_per_relation_mechanism(benchmark, dataset, settings):
+    tables, gaps = benchmark.pedantic(
+        run_per_relation, args=(dataset, settings), rounds=1, iterations=1
+    )
+    blocks = []
+    for name, table in tables.items():
+        sym, asym = gaps[name]
+        blocks.append(f"{name} per-relation test metrics\n{table}\n"
+                      f"mean Hits@1: symmetric={sym:.3f} asymmetric={asym:.3f}\n")
+    publish_table("per_relation_mechanism", "\n".join(blocks))
+
+    if is_fast():
+        return  # smoke mode: tables only, shape assertions need full training
+
+    distmult_sym, distmult_asym = gaps["DistMult"]
+    complex_sym, complex_asym = gaps["ComplEx"]
+    # DistMult pays for symmetry on the asymmetric relations...
+    assert distmult_sym > distmult_asym
+    # ...and ComplEx recovers most of that loss.
+    assert complex_asym > distmult_asym

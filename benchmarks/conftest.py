@@ -1,0 +1,60 @@
+"""Shared fixtures for the paper-table benchmarks.
+
+Every benchmark trains on the same synthetic WN18-like dataset (fixed
+seed), prints its table in the paper's layout, and writes it to
+``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.  Set the environment variable ``REPRO_BENCH_FAST=1`` to run the
+benches at toy scale (useful for CI smoke runs).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSettings, build_dataset
+from repro.kg.synthetic import SyntheticKGConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def is_fast() -> bool:
+    """Whether the benches run in smoke mode (assertions are skipped)."""
+    return bool(os.environ.get("REPRO_BENCH_FAST"))
+
+
+def make_settings(**overrides) -> ExperimentSettings:
+    """Benchmark-scale settings, or toy scale under REPRO_BENCH_FAST=1."""
+    if os.environ.get("REPRO_BENCH_FAST"):
+        fast = dict(
+            dataset_config=SyntheticKGConfig(
+                num_entities=150, num_clusters=10, num_domains=4, seed=7
+            ),
+            total_dim=16,
+            epochs=40,
+            batch_size=512,
+        )
+        fast.update(overrides)
+        return ExperimentSettings(**fast)
+    defaults = dict(epochs=300)
+    defaults.update(overrides)
+    return ExperimentSettings(**defaults)
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return make_settings()
+
+
+@pytest.fixture(scope="session")
+def dataset(settings):
+    return build_dataset(settings)
+
+
+def publish_table(name: str, table: str) -> None:
+    """Print a results table and persist it under benchmarks/results/."""
+    print("\n" + table + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")

@@ -1,0 +1,64 @@
+"""Quickstart: train ComplEx on a synthetic WN18-like graph and evaluate.
+
+Runs in well under a minute on a laptop:
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    LinkPredictionEvaluator,
+    SyntheticKGConfig,
+    Trainer,
+    TrainingConfig,
+    generate_synthetic_kg,
+    make_complex,
+)
+from repro.kg import compute_stats, inverse_leakage
+
+
+def main() -> None:
+    # 1. A dataset.  The generator mimics WN18's relation-pattern structure
+    #    (inverse pairs, symmetric relations, a taxonomy) at laptop scale.
+    dataset = generate_synthetic_kg(
+        SyntheticKGConfig(num_entities=300, num_clusters=15, num_domains=5, seed=1)
+    )
+    print(compute_stats(dataset).format_table())
+    print(f"\ninverse leakage (test->train): {inverse_leakage(dataset, 'test'):.2f}"
+          "  (WN18 is ~0.94)\n")
+
+    # 2. A model.  ComplEx = the two-embedding interaction with the Table 1
+    #    weight vector (1, 0, 0, 1, 0, -1, 1, 0); total_dim is split across
+    #    the two vectors for parameter parity with one-embedding models.
+    model = make_complex(
+        dataset.num_entities,
+        dataset.num_relations,
+        total_dim=32,
+        rng=np.random.default_rng(0),
+        regularization=3e-3,
+    )
+    print(f"model: {model}\n")
+
+    # 3. Training: logistic loss, 1 negative sample, Adam, early stopping on
+    #    filtered validation MRR — the paper's §5.3 recipe.
+    config = TrainingConfig(
+        epochs=200, batch_size=512, learning_rate=0.02,
+        validate_every=50, patience=100, seed=0, verbose=True,
+    )
+    result = Trainer(dataset, config).train(model)
+    print(f"\ntrained for {result.epochs_run} epochs"
+          f" (early stop: {result.stopped_early})")
+
+    # 4. Filtered link-prediction evaluation (§5.2).
+    evaluation = LinkPredictionEvaluator(dataset).evaluate(model, split="test")
+    metrics = evaluation.overall
+    print(f"\ntest MRR    {metrics.mrr:.3f}")
+    for k in sorted(metrics.hits):
+        print(f"test Hits@{k:<2} {metrics.hits[k]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Recommender system on a knowledge graph — the paper's §1 motivation.
+
+The introduction motivates knowledge graphs for recommendation: triples
+such as ``(UserA, Item1, review)`` and ``(UserB, Item2, like)`` unify
+interaction data with item knowledge, and link prediction *is* the
+recommendation task ("which (user, ?, like) triples are missing?").
+
+This example builds a synthetic user-item knowledge graph (users with
+genre tastes, items with genres, plus item-item content relations),
+trains the CPh model, and produces top-k recommendations for a few
+users, checking them against the users' held-out likes.
+
+    python examples/recommender_system.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    KGDataset,
+    LinkPredictionEvaluator,
+    Trainer,
+    TrainingConfig,
+    make_cph,
+)
+
+NUM_USERS = 120
+NUM_ITEMS = 150
+NUM_GENRES = 6
+LIKES_PER_USER = 8
+SEED = 7
+
+
+def build_interaction_graph(rng: np.random.Generator) -> tuple[KGDataset, dict]:
+    """A user/item/genre KG with train/test-split 'like' edges."""
+    users = [f"user_{u}" for u in range(NUM_USERS)]
+    items = [f"item_{i}" for i in range(NUM_ITEMS)]
+    genres = [f"genre_{g}" for g in range(NUM_GENRES)]
+
+    item_genre = rng.integers(0, NUM_GENRES, NUM_ITEMS)
+    # Each user prefers two genres; likes are drawn mostly from them.
+    user_genres = np.stack([
+        rng.choice(NUM_GENRES, size=2, replace=False) for _ in range(NUM_USERS)
+    ])
+
+    train, test = [], []
+    held_out = {}
+    for u, user in enumerate(users):
+        preferred = np.flatnonzero(np.isin(item_genre, user_genres[u]))
+        likes = rng.choice(preferred, size=min(LIKES_PER_USER, len(preferred)),
+                           replace=False)
+        for i in likes[:-2]:
+            train.append((user, items[i], "like"))
+        for i in likes[-2:]:  # hold out two likes per user for evaluation
+            test.append((user, items[i], "like"))
+        held_out[user] = [items[i] for i in likes[-2:]]
+
+    for i, item in enumerate(items):
+        train.append((item, genres[item_genre[i]], "has_genre"))
+        train.append((genres[item_genre[i]], item, "genre_of"))
+    # item-item similarity edges within a genre (content knowledge)
+    for g in range(NUM_GENRES):
+        members = np.flatnonzero(item_genre == g)
+        for i in members:
+            j = int(rng.choice(members))
+            if i != j:
+                train.append((items[i], items[j], "related_to"))
+                train.append((items[j], items[i], "related_to"))
+
+    dataset = KGDataset.from_labeled_triples(train, valid=test[: len(test) // 5],
+                                             test=test[len(test) // 5:],
+                                             name="synthetic-recsys")
+    return dataset, held_out
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    dataset, held_out = build_interaction_graph(rng)
+    print(dataset)
+
+    model = make_cph(
+        dataset.num_entities, dataset.num_relations,
+        total_dim=32, rng=np.random.default_rng(0), regularization=1e-3,
+    )
+    config = TrainingConfig(epochs=150, batch_size=512, learning_rate=0.02,
+                            validate_every=50, patience=100, seed=0)
+    Trainer(dataset, config).train(model)
+
+    evaluation = LinkPredictionEvaluator(dataset).evaluate(model, "test")
+    print(f"\nheld-out like prediction: MRR={evaluation.overall.mrr:.3f} "
+          f"Hits@10={evaluation.overall.hits[10]:.3f}\n")
+
+    # Recommend: rank every entity as the tail of (user, ?, like), filter
+    # items already liked in training, keep the top item entities.
+    from repro.kg import FilterIndex
+
+    like = dataset.relations.index("like")
+    train_index = FilterIndex(dataset.train)
+    item_ids = {dataset.entities.index(f"item_{i}") for i in range(NUM_ITEMS)}
+
+    print("top-5 recommendations (* = held-out true like):")
+    for user in ["user_0", "user_1", "user_2"]:
+        uid = dataset.entities.index(user)
+        scores = model.score_all_tails(np.array([uid]), np.array([like]))[0]
+        already_liked = set(train_index.true_tails(uid, like).tolist())
+        ranked = np.argsort(-scores)
+        recommendations = []
+        for entity in ranked:
+            if int(entity) in item_ids and int(entity) not in already_liked:
+                name = dataset.entities.name(int(entity))
+                marker = "*" if name in held_out[user] else " "
+                recommendations.append(f"{name}{marker}")
+            if len(recommendations) == 5:
+                break
+        print(f"  {user}: " + ", ".join(recommendations))
+
+
+if __name__ == "__main__":
+    main()

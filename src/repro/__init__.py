@@ -1,0 +1,82 @@
+"""repro — multi-embedding interaction for knowledge graph embedding.
+
+A from-scratch reproduction of *"Analyzing Knowledge Graph Embedding
+Methods from a Multi-Embedding Interaction Perspective"* (Tran & Takasu,
+EDBT/DSI4 2019): the Eq. 8 interaction mechanism, the Table 1 model
+derivations (DistMult, ComplEx, CP, CPh), learned interaction weights,
+the quaternion four-embedding model, and the full training/evaluation
+stack they need — in pure numpy.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import generate_synthetic_kg, SyntheticKGConfig
+>>> from repro import make_complex, Trainer, TrainingConfig, LinkPredictionEvaluator
+>>> dataset = generate_synthetic_kg(SyntheticKGConfig(num_entities=200, seed=1))
+>>> model = make_complex(dataset.num_entities, dataset.num_relations,
+...                      total_dim=32, rng=np.random.default_rng(1))
+>>> result = Trainer(dataset, TrainingConfig(epochs=5, batch_size=256)).train(model)
+>>> metrics = LinkPredictionEvaluator(dataset).evaluate(model, "test")
+"""
+
+from repro.core import (
+    KGEModel,
+    LearnedWeightModel,
+    MultiEmbeddingModel,
+    WeightVector,
+    analyze_weight_vector,
+    get_preset,
+    make_complex,
+    make_cp,
+    make_cph,
+    make_distmult,
+    make_learned_weight_model,
+    make_model,
+    make_quaternion,
+    parity_dim,
+)
+from repro.errors import ReproError
+from repro.eval import EvaluationResult, LinkPredictionEvaluator, RankingMetrics
+from repro.kg import (
+    KGDataset,
+    SyntheticKGConfig,
+    TripleSet,
+    Vocabulary,
+    augment_with_inverses,
+    generate_synthetic_kg,
+)
+from repro.training import Trainer, TrainingConfig, TrainingResult, train_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvaluationResult",
+    "KGDataset",
+    "KGEModel",
+    "LearnedWeightModel",
+    "LinkPredictionEvaluator",
+    "MultiEmbeddingModel",
+    "RankingMetrics",
+    "ReproError",
+    "SyntheticKGConfig",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "TripleSet",
+    "Vocabulary",
+    "WeightVector",
+    "__version__",
+    "analyze_weight_vector",
+    "augment_with_inverses",
+    "generate_synthetic_kg",
+    "get_preset",
+    "make_complex",
+    "make_cp",
+    "make_cph",
+    "make_distmult",
+    "make_learned_weight_model",
+    "make_model",
+    "make_quaternion",
+    "parity_dim",
+    "train_model",
+]

@@ -1,0 +1,37 @@
+"""Analysis toolkit: embedding export, similarity, projection, ω-space census."""
+
+from repro.analysis.classification import FeatureClassifier, train_feature_classifier
+from repro.analysis.embeddings import (
+    cosine_similarity_matrix,
+    embedding_norms_by_slot,
+    entity_feature_matrix,
+    l2_normalize_rows,
+    nearest_neighbors,
+    relation_feature_matrix,
+)
+from repro.analysis.projection import PCAResult, pca_project
+from repro.analysis.weight_space import (
+    are_equivalent,
+    classify_weight_vectors,
+    count_by_quality,
+    enumerate_sign_weight_vectors,
+    symmetry_orbit,
+)
+
+__all__ = [
+    "FeatureClassifier",
+    "PCAResult",
+    "are_equivalent",
+    "classify_weight_vectors",
+    "cosine_similarity_matrix",
+    "count_by_quality",
+    "embedding_norms_by_slot",
+    "entity_feature_matrix",
+    "enumerate_sign_weight_vectors",
+    "l2_normalize_rows",
+    "nearest_neighbors",
+    "pca_project",
+    "relation_feature_matrix",
+    "symmetry_orbit",
+    "train_feature_classifier",
+]

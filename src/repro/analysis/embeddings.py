@@ -1,0 +1,73 @@
+"""Working with learned embeddings as plain real feature vectors (§3.2).
+
+A practical payoff of the multi-embedding view: a ComplEx embedding is
+just two real vectors, a quaternion embedding four — so for
+visualisation, clustering or use as pretrained features, the component
+vectors can simply be concatenated into one long real vector.  This
+module implements that export plus the standard similarity queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interaction import MultiEmbeddingModel
+from repro.errors import EvaluationError
+
+
+def entity_feature_matrix(model: MultiEmbeddingModel, normalize: bool = False) -> np.ndarray:
+    """``(num_entities, n_e * D)`` concatenated real entity features."""
+    features = model.entity_features()
+    return l2_normalize_rows(features) if normalize else features
+
+
+def relation_feature_matrix(model: MultiEmbeddingModel, normalize: bool = False) -> np.ndarray:
+    """``(num_relations, n_r * D)`` concatenated real relation features."""
+    features = model.relation_features()
+    return l2_normalize_rows(features) if normalize else features
+
+
+def l2_normalize_rows(matrix: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Scale each row to unit L2 norm (zero rows left unchanged)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    return matrix / np.maximum(norms, eps)
+
+
+def cosine_similarity_matrix(features: np.ndarray) -> np.ndarray:
+    """Dense pairwise cosine similarity of the rows of *features*."""
+    normalized = l2_normalize_rows(features)
+    return normalized @ normalized.T
+
+
+def nearest_neighbors(
+    features: np.ndarray, query: int, k: int = 10
+) -> list[tuple[int, float]]:
+    """The *k* most cosine-similar rows to row *query* (excluding itself).
+
+    Returns ``(index, similarity)`` pairs, best first.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if not 0 <= query < len(features):
+        raise EvaluationError(f"query index {query} out of range")
+    if k < 1:
+        raise EvaluationError("k must be >= 1")
+    normalized = l2_normalize_rows(features)
+    sims = normalized @ normalized[query]
+    sims[query] = -np.inf
+    k = min(k, len(features) - 1)
+    top = np.argpartition(-sims, k - 1)[:k]
+    top = top[np.argsort(-sims[top])]
+    return [(int(i), float(sims[i])) for i in top]
+
+
+def embedding_norms_by_slot(model: MultiEmbeddingModel) -> np.ndarray:
+    """Mean L2 norm of each entity embedding slot, shape ``(n_e,)``.
+
+    Diagnostic for the §6.1.2 *stability* property in trained models: in a
+    stable model all slots should carry comparable norm mass, while a CP
+    model trained without augmentation typically lets one role atrophy
+    per entity.
+    """
+    norms = np.linalg.norm(model.entity_embeddings, axis=-1)
+    return norms.mean(axis=0)

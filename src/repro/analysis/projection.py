@@ -1,0 +1,65 @@
+"""Low-dimensional projection of embeddings for visualisation (§1).
+
+The paper motivates embeddings as inputs "in visualization or browsing
+for data analysis".  :func:`pca_project` implements principal component
+analysis via SVD in pure numpy so embedding matrices can be dropped into
+any 2-D plotting tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class PCAResult:
+    """Output of :func:`pca_project`.
+
+    Attributes
+    ----------
+    projected:
+        ``(n, k)`` coordinates in the principal subspace.
+    components:
+        ``(k, d)`` orthonormal principal directions.
+    explained_variance_ratio:
+        Fraction of total variance captured by each component.
+    mean:
+        The feature mean removed before projection.
+    """
+
+    projected: np.ndarray
+    components: np.ndarray
+    explained_variance_ratio: np.ndarray
+    mean: np.ndarray
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Project new rows into the same principal subspace."""
+        features = np.asarray(features, dtype=np.float64)
+        return (features - self.mean) @ self.components.T
+
+
+def pca_project(features: np.ndarray, k: int = 2) -> PCAResult:
+    """Project the rows of *features* onto their top-*k* principal axes."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise EvaluationError("features must be a 2-D matrix")
+    n, d = features.shape
+    if not 1 <= k <= min(n, d):
+        raise EvaluationError(f"k must be in [1, {min(n, d)}], got {k}")
+    mean = features.mean(axis=0)
+    centered = features - mean
+    _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+    variances = singular_values**2
+    total = variances.sum()
+    ratio = variances[:k] / total if total > 0 else np.zeros(k)
+    components = vt[:k]
+    return PCAResult(
+        projected=centered @ components.T,
+        components=components,
+        explained_variance_ratio=ratio,
+        mean=mean,
+    )

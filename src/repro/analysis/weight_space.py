@@ -1,0 +1,85 @@
+"""Enumerating and classifying the space of interaction weight vectors.
+
+§6.1.2 of the paper argues that goodness of an ω is structural
+(completeness, stability, distinguishability), not accidental.  This
+module enumerates sign-valued weight vectors, classifies each one by
+those properties, and groups vectors into equivalence orbits under the
+symmetries the paper invokes (entity-slot permutations, relation-slot
+permutations, and head/tail exchange) — the symmetries that make
+"ComplEx equiv. 1–3" and "CPh equiv." behave identically to their
+primary forms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import permutations, product
+
+import numpy as np
+
+from repro.core.properties import analyze_weight_vector
+from repro.core.weights import WeightVector
+from repro.errors import ConfigError
+
+
+def enumerate_sign_weight_vectors(
+    values: tuple[float, ...] = (-1.0, 0.0, 1.0),
+    shape: tuple[int, int, int] = (2, 2, 2),
+) -> Iterator[WeightVector]:
+    """Yield every ω whose entries are drawn from *values* (skipping all-zero)."""
+    size = int(np.prod(shape))
+    if size > 16:
+        raise ConfigError("enumeration beyond 16 lattice positions is intractable")
+    for combo in product(values, repeat=size):
+        if all(v == 0.0 for v in combo):
+            continue
+        yield WeightVector.from_flat(f"w{combo}", combo, shape)
+
+
+def classify_weight_vectors(
+    vectors: Iterator[WeightVector] | list[WeightVector],
+) -> dict[str, list[WeightVector]]:
+    """Bucket weight vectors by predicted quality ('good'/'symmetric'/'poor')."""
+    buckets: dict[str, list[WeightVector]] = {"good": [], "symmetric": [], "poor": []}
+    for vector in vectors:
+        buckets[analyze_weight_vector(vector).predicted_quality()].append(vector)
+    return buckets
+
+
+def symmetry_orbit(weights: WeightVector) -> set[tuple[float, ...]]:
+    """All flattened forms of ω reachable by the paper's symmetries.
+
+    The symmetries are: permuting entity slots (applied simultaneously to
+    the head and tail axes — the table is shared), permuting relation
+    slots, and exchanging the head and tail axes.  Two weight vectors in
+    the same orbit define the same model family up to a relabelling of
+    learned parameters, which is how Table 1's "equiv." variants arise.
+    """
+    tensor = weights.tensor
+    n_entity = tensor.shape[0]
+    if tensor.shape[1] != n_entity:
+        raise ConfigError("symmetry orbit requires matching head/tail slot counts")
+    n_relation = tensor.shape[2]
+    orbit: set[tuple[float, ...]] = set()
+    for entity_perm in permutations(range(n_entity)):
+        for relation_perm in permutations(range(n_relation)):
+            permuted = tensor[np.ix_(entity_perm, entity_perm, relation_perm)]
+            for candidate in (permuted, np.swapaxes(permuted, 0, 1)):
+                orbit.add(tuple(float(x) for x in candidate.ravel()))
+    return orbit
+
+
+def are_equivalent(first: WeightVector, second: WeightVector) -> bool:
+    """Whether two weight vectors lie in the same symmetry orbit."""
+    if first.tensor.shape != second.tensor.shape:
+        return False
+    return second.flatten() in symmetry_orbit(first)
+
+
+def count_by_quality(
+    values: tuple[float, ...] = (-1.0, 0.0, 1.0),
+    shape: tuple[int, int, int] = (2, 2, 2),
+) -> dict[str, int]:
+    """Census of the sign-valued ω space by predicted quality."""
+    buckets = classify_weight_vectors(enumerate_sign_weight_vectors(values, shape))
+    return {quality: len(vectors) for quality, vectors in buckets.items()}

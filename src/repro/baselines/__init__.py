@@ -1,0 +1,12 @@
+"""Baseline models from the paper's §2 categorisation.
+
+* :class:`TransE` — translation-based (§2.2.1).
+* :class:`ERMLP` — neural-network-based (§2.2.2), trained via autodiff.
+* :class:`RESCAL` — the bilinear predecessor the trilinear family refines.
+"""
+
+from repro.baselines.er_mlp import ERMLP
+from repro.baselines.rescal import RESCAL
+from repro.baselines.transe import TransE
+
+__all__ = ["ERMLP", "RESCAL", "TransE"]

@@ -1,0 +1,108 @@
+"""RESCAL — the bilinear predecessor of the trilinear family (paper §2.2.2).
+
+RESCAL (Nickel et al. 2011) scores ``S(h, t, r) = h^T W_r t`` with a full
+``D × D`` matrix per relation.  DistMult is RESCAL restricted to diagonal
+``W_r``; the paper cites it as the linear model that NTN generalises.
+It is included as a capacity/efficiency reference point: quadratic
+parameter count per relation versus the trilinear family's linear one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import KGEModel
+from repro.nn.constraints import UnitNormConstraint
+from repro.nn.initializers import get_initializer
+from repro.nn.losses import LogisticLoss
+from repro.nn.optimizers import Optimizer, aggregate_rows
+from repro.nn.regularizers import L2Regularizer
+
+
+class RESCAL(KGEModel):
+    """RESCAL with logistic loss and sparse row updates."""
+
+    name = "RESCAL"
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int,
+        rng: np.random.Generator,
+        regularization: float = 0.0,
+        initializer: str = "xavier_uniform",
+        unit_norm_entities: bool = True,
+    ) -> None:
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+        self.dim = int(dim)
+        init = get_initializer(initializer)
+        self.entity_embeddings = init((self.num_entities, self.dim), rng)
+        self.relation_matrices = init((self.num_relations, self.dim, self.dim), rng)
+        self.loss = LogisticLoss()
+        per_triple = 2 * self.dim + self.dim * self.dim
+        self.regularizer = L2Regularizer(regularization, scale=per_triple)
+        self.constraint = UnitNormConstraint() if unit_norm_entities else None
+
+    # ---------------------------------------------------------------- scoring
+    def score_triples(self, heads, tails, relations) -> np.ndarray:
+        h = self.entity_embeddings[np.asarray(heads, dtype=np.int64)]
+        t = self.entity_embeddings[np.asarray(tails, dtype=np.int64)]
+        w = self.relation_matrices[np.asarray(relations, dtype=np.int64)]
+        return np.einsum("bi,bij,bj->b", h, w, t, optimize=True)
+
+    def score_all_tails(self, heads, relations) -> np.ndarray:
+        h = self.entity_embeddings[np.asarray(heads, dtype=np.int64)]
+        w = self.relation_matrices[np.asarray(relations, dtype=np.int64)]
+        projected = np.einsum("bi,bij->bj", h, w, optimize=True)
+        return projected @ self.entity_embeddings.T
+
+    def score_all_heads(self, tails, relations) -> np.ndarray:
+        t = self.entity_embeddings[np.asarray(tails, dtype=np.int64)]
+        w = self.relation_matrices[np.asarray(relations, dtype=np.int64)]
+        projected = np.einsum("bij,bj->bi", w, t, optimize=True)
+        return projected @ self.entity_embeddings.T
+
+    # --------------------------------------------------------------- training
+    def train_step(
+        self, positives: np.ndarray, negatives: np.ndarray, optimizer: Optimizer
+    ) -> float:
+        positives = np.asarray(positives, dtype=np.int64)
+        negatives = np.asarray(negatives, dtype=np.int64)
+        triples = np.concatenate([positives, negatives], axis=0)
+        labels = np.concatenate([np.ones(len(positives)), -np.ones(len(negatives))])
+        heads, tails, relations = triples[:, 0], triples[:, 1], triples[:, 2]
+        h = self.entity_embeddings[heads]
+        t = self.entity_embeddings[tails]
+        w = self.relation_matrices[relations]
+        scores = np.einsum("bi,bij,bj->b", h, w, t, optimize=True)
+        loss_value = self.loss.value(scores, labels)
+        g = self.loss.grad_score(scores, labels)
+
+        grad_h = g[:, None] * np.einsum("bij,bj->bi", w, t, optimize=True)
+        grad_t = g[:, None] * np.einsum("bi,bij->bj", h, w, optimize=True)
+        grad_w = g[:, None, None] * np.einsum("bi,bj->bij", h, t, optimize=True)
+        if self.regularizer.strength > 0.0:
+            inv_batch = 1.0 / len(triples)
+            loss_value += inv_batch * (
+                self.regularizer.value(h)
+                + self.regularizer.value(t)
+                + self.regularizer.value(w)
+            )
+            grad_h = grad_h + inv_batch * self.regularizer.grad(h)
+            grad_t = grad_t + inv_batch * self.regularizer.grad(t)
+            grad_w = grad_w + inv_batch * self.regularizer.grad(w)
+
+        rows, grads = aggregate_rows(
+            np.concatenate([heads, tails]), np.concatenate([grad_h, grad_t], axis=0)
+        )
+        optimizer.step_sparse("entities", self.entity_embeddings, rows, grads)
+        if self.constraint is not None:
+            self.constraint.apply(self.entity_embeddings, rows)
+        rel_rows, rel_grads = aggregate_rows(relations, grad_w)
+        optimizer.step_sparse("relations", self.relation_matrices, rel_rows, rel_grads)
+        return float(loss_value)
+
+    def parameter_count(self) -> int:
+        return int(self.entity_embeddings.size + self.relation_matrices.size)

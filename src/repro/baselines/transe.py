@@ -1,0 +1,154 @@
+"""TransE — the translation-based baseline (paper §2.2.1, Eq. 1).
+
+Scores a triple by the negative L1/L2 distance between the translated
+head and the tail: ``S(h, t, r) = -||h + r - t||_p``.  Trained with the
+margin ranking loss, per Bordes et al. (2013), with per-iteration entity
+normalisation.  Included because the paper's categorisation contrasts
+translation-based models (weak on some relation patterns — e.g. they
+cannot represent symmetric relations with nonzero r) with the trilinear
+family it analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import KGEModel
+from repro.errors import ConfigError
+from repro.nn.constraints import UnitNormConstraint
+from repro.nn.initializers import get_initializer
+from repro.nn.losses import MarginRankingLoss
+from repro.nn.optimizers import Optimizer, aggregate_rows
+
+
+class TransE(KGEModel):
+    """TransE with L1 or L2 distance and margin ranking loss.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimension for entities and relations.
+    norm:
+        1 for L1 distance, 2 for L2.
+    margin:
+        Ranking margin γ.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int,
+        rng: np.random.Generator,
+        norm: int = 1,
+        margin: float = 1.0,
+        initializer: str = "xavier_uniform",
+    ) -> None:
+        if norm not in (1, 2):
+            raise ConfigError("norm must be 1 or 2")
+        self.name = f"TransE (L{norm})"
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+        self.dim = int(dim)
+        self.norm = int(norm)
+        init = get_initializer(initializer)
+        self.entity_embeddings = init((self.num_entities, self.dim), rng)
+        self.relation_embeddings = init((self.num_relations, self.dim), rng)
+        self.loss = MarginRankingLoss(margin)
+        self.constraint = UnitNormConstraint()
+        self.constraint.apply(self.entity_embeddings)
+
+    # ---------------------------------------------------------------- scoring
+    def _residual(self, heads, tails, relations) -> np.ndarray:
+        return (
+            self.entity_embeddings[np.asarray(heads, dtype=np.int64)]
+            + self.relation_embeddings[np.asarray(relations, dtype=np.int64)]
+            - self.entity_embeddings[np.asarray(tails, dtype=np.int64)]
+        )
+
+    def score_triples(self, heads, tails, relations) -> np.ndarray:
+        """Eq. 1 scores (negative distances; higher = more plausible)."""
+        residual = self._residual(heads, tails, relations)
+        if self.norm == 1:
+            return -np.sum(np.abs(residual), axis=-1)
+        return -np.linalg.norm(residual, axis=-1)
+
+    def _score_against_all(self, anchor: np.ndarray, sign: float) -> np.ndarray:
+        """Distance of ``anchor ± e`` to every entity ``e``, chunked."""
+        scores = np.empty((len(anchor), self.num_entities), dtype=np.float64)
+        chunk = max(1, 2**22 // max(1, self.num_entities * self.dim))
+        for start in range(0, len(anchor), chunk):
+            block = anchor[start : start + chunk, None, :] + sign * self.entity_embeddings[None]
+            if self.norm == 1:
+                scores[start : start + chunk] = -np.sum(np.abs(block), axis=-1)
+            else:
+                scores[start : start + chunk] = -np.linalg.norm(block, axis=-1)
+        return scores
+
+    def score_all_tails(self, heads, relations) -> np.ndarray:
+        anchor = (
+            self.entity_embeddings[np.asarray(heads, dtype=np.int64)]
+            + self.relation_embeddings[np.asarray(relations, dtype=np.int64)]
+        )
+        return self._score_against_all(anchor, sign=-1.0)
+
+    def score_all_heads(self, tails, relations) -> np.ndarray:
+        anchor = (
+            self.relation_embeddings[np.asarray(relations, dtype=np.int64)]
+            - self.entity_embeddings[np.asarray(tails, dtype=np.int64)]
+        )
+        return self._score_against_all(anchor, sign=1.0)
+
+    # --------------------------------------------------------------- training
+    def train_step(
+        self, positives: np.ndarray, negatives: np.ndarray, optimizer: Optimizer
+    ) -> float:
+        """Margin ranking step over (positive, corrupted) pairs.
+
+        Negatives are expected in the trainer's layout: round ``i`` of
+        negatives corrupts positive ``i % b``.
+        """
+        positives = np.asarray(positives, dtype=np.int64)
+        negatives = np.asarray(negatives, dtype=np.int64)
+        if len(negatives) % len(positives) != 0:
+            raise ConfigError("negatives must be a whole number of rounds over positives")
+        rounds = len(negatives) // len(positives)
+        paired_pos = np.tile(positives, (rounds, 1))
+
+        pos_res = self._residual(paired_pos[:, 0], paired_pos[:, 1], paired_pos[:, 2])
+        neg_res = self._residual(negatives[:, 0], negatives[:, 1], negatives[:, 2])
+        if self.norm == 1:
+            pos_scores = -np.sum(np.abs(pos_res), axis=-1)
+            neg_scores = -np.sum(np.abs(neg_res), axis=-1)
+        else:
+            pos_scores = -np.linalg.norm(pos_res, axis=-1)
+            neg_scores = -np.linalg.norm(neg_res, axis=-1)
+        loss_value = self.loss.value(pos_scores, neg_scores)
+        grad_pos, grad_neg = self.loss.grad_pair(pos_scores, neg_scores)
+
+        def residual_grad(residual: np.ndarray) -> np.ndarray:
+            if self.norm == 1:
+                return -np.sign(residual)
+            norms = np.linalg.norm(residual, axis=-1, keepdims=True)
+            return -residual / np.maximum(norms, 1e-12)
+
+        d_pos = grad_pos[:, None] * residual_grad(pos_res)
+        d_neg = grad_neg[:, None] * residual_grad(neg_res)
+
+        entity_indices = np.concatenate(
+            [paired_pos[:, 0], negatives[:, 0], paired_pos[:, 1], negatives[:, 1]]
+        )
+        entity_grads = np.concatenate([d_pos, d_neg, -d_pos, -d_neg], axis=0)
+        rows, grads = aggregate_rows(entity_indices, entity_grads)
+        optimizer.step_sparse("entities", self.entity_embeddings, rows, grads)
+        self.constraint.apply(self.entity_embeddings, rows)
+
+        rel_rows, rel_grads = aggregate_rows(
+            np.concatenate([paired_pos[:, 2], negatives[:, 2]]),
+            np.concatenate([d_pos, d_neg], axis=0),
+        )
+        optimizer.step_sparse("relations", self.relation_embeddings, rel_rows, rel_grads)
+        return float(loss_value)
+
+    def parameter_count(self) -> int:
+        return int(self.entity_embeddings.size + self.relation_embeddings.size)

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro-kge``.
+
+Commands
+--------
+* ``generate`` — write a synthetic WN18-like dataset directory.
+* ``inspect``  — dataset statistics and relation-pattern report.
+* ``train``    — train a model (preset name) and report link-prediction metrics.
+* ``table``    — regenerate paper Table 2, 3 or 4 end-to-end.
+* ``weights``  — list ω presets with their §6.1.2 property analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.models import MODEL_FACTORIES
+from repro.core.properties import analyze_weight_vector
+from repro.core.weights import PRESETS
+from repro.errors import ReproError
+from repro.eval.evaluator import LinkPredictionEvaluator
+from repro.kg.graph import KGDataset
+from repro.kg.io import load_dataset_directory, save_dataset_directory
+from repro.kg.patterns import analyze_relations, inverse_leakage
+from repro.kg.stats import compute_stats
+from repro.kg.synthetic import SyntheticKGConfig, generate_synthetic_kg
+from repro.training.trainer import Trainer, TrainingConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro-kge`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kge",
+        description="Multi-embedding interaction models for knowledge graph embedding.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic WN18-like dataset")
+    gen.add_argument("output", help="directory to write train/valid/test files into")
+    gen.add_argument("--entities", type=int, default=1500)
+    gen.add_argument("--clusters", type=int, default=60)
+    gen.add_argument("--seed", type=int, default=0)
+
+    insp = sub.add_parser("inspect", help="print dataset statistics and patterns")
+    insp.add_argument("dataset", help="dataset directory (train/valid/test files)")
+
+    train = sub.add_parser("train", help="train a model and report metrics")
+    train.add_argument("model", choices=sorted(MODEL_FACTORIES), help="model preset")
+    train.add_argument("--dataset", help="dataset directory; synthetic if omitted")
+    train.add_argument("--entities", type=int, default=800, help="synthetic dataset size")
+    train.add_argument("--total-dim", type=int, default=64)
+    train.add_argument("--epochs", type=int, default=200)
+    train.add_argument("--batch-size", type=int, default=1024)
+    train.add_argument("--learning-rate", type=float, default=0.02)
+    train.add_argument("--regularization", type=float, default=3e-3)
+    train.add_argument("--negatives", type=int, default=1)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--quiet", action="store_true")
+    train.add_argument("--save", help="directory to write the trained model checkpoint")
+    train.add_argument("--per-relation", action="store_true",
+                       help="also print per-relation test metrics")
+
+    sub.add_parser("weights", help="list weight-vector presets and their properties")
+
+    table = sub.add_parser("table", help="regenerate a paper table (2, 3 or 4)")
+    table.add_argument("number", type=int, choices=(2, 3, 4))
+    table.add_argument("--entities", type=int, default=800)
+    table.add_argument("--total-dim", type=int, default=64)
+    table.add_argument("--epochs", type=int, default=300)
+    table.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_or_generate(args: argparse.Namespace) -> KGDataset:
+    if args.dataset:
+        return load_dataset_directory(args.dataset)
+    config = SyntheticKGConfig(
+        num_entities=args.entities,
+        num_clusters=max(1, args.entities // 20),
+        num_domains=max(1, args.entities // 100),
+        seed=args.seed,
+    )
+    return generate_synthetic_kg(config)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = SyntheticKGConfig(
+        num_entities=args.entities, num_clusters=args.clusters, seed=args.seed
+    )
+    dataset = generate_synthetic_kg(config)
+    save_dataset_directory(dataset, args.output)
+    print(compute_stats(dataset).format_table())
+    print(f"\nwritten to {args.output}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    dataset = load_dataset_directory(args.dataset)
+    print(compute_stats(dataset).format_table())
+    print(f"\ninverse leakage (test vs train): {inverse_leakage(dataset, 'test'):.3f}\n")
+    print(f"{'relation':<28} {'count':>7} {'symmetry':>9} {'inverse of':<28} {'score':>6}")
+    for report in analyze_relations(dataset.train):
+        partner = (
+            dataset.relations.name(report.inverse_partner)
+            if report.inverse_partner is not None
+            else "-"
+        )
+        print(
+            f"{dataset.relations.name(report.relation):<28} {report.count:>7} "
+            f"{report.symmetry:>9.3f} {partner:<28} {report.inverse_score:>6.3f}"
+        )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = _load_or_generate(args)
+    rng = np.random.default_rng(args.seed)
+    factory = MODEL_FACTORIES[args.model]
+    model = factory(
+        dataset.num_entities,
+        dataset.num_relations,
+        total_dim=args.total_dim,
+        rng=rng,
+        regularization=args.regularization,
+    )
+    config = TrainingConfig(
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        learning_rate=args.learning_rate,
+        num_negatives=args.negatives,
+        seed=args.seed,
+        verbose=not args.quiet,
+    )
+    result = Trainer(dataset, config).train(model)
+    evaluation = LinkPredictionEvaluator(dataset).evaluate(model, split="test")
+    metrics = evaluation.overall
+    print(f"\n{model.name} on {dataset.name} (epochs run: {result.epochs_run})")
+    print(f"MRR     {metrics.mrr:.3f}")
+    print(f"MR      {metrics.mr:.1f}")
+    for k in sorted(metrics.hits):
+        print(f"Hits@{k:<2} {metrics.hits[k]:.3f}")
+    if args.per_relation:
+        from repro.eval.per_relation import evaluate_per_relation, format_per_relation_table
+
+        results = evaluate_per_relation(model, dataset, split="test")
+        if results:
+            print("\n" + format_per_relation_table(results))
+    if args.save:
+        from repro.core.serialization import save_model
+
+        save_model(model, args.save)
+        print(f"\ncheckpoint written to {args.save}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentSettings, build_dataset, format_table
+    from repro.paper_tables import run_table2, run_table3, run_table4
+
+    settings = ExperimentSettings(
+        dataset_config=SyntheticKGConfig(
+            num_entities=args.entities,
+            num_clusters=max(1, args.entities // 20),
+            num_domains=max(1, args.entities // 100),
+            seed=7,
+        ),
+        total_dim=args.total_dim,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    dataset = build_dataset(settings)
+    if args.number == 2:
+        rows = run_table2(dataset, settings)
+        print(format_table(f"Table 2: derived weight vectors on {dataset.name}", rows))
+    elif args.number == 3:
+        rows, learned = run_table3(dataset, settings)
+        print(format_table(f"Table 3: auto-learned weight vectors on {dataset.name}", rows))
+        print("\nlearned omega snapshots:")
+        for label, omega in learned.items():
+            values = ", ".join(f"{v:+.2f}" for v in omega.flatten())
+            print(f"  {label:<42} ({values})")
+    else:
+        quaternion_row, complex_row = run_table4(dataset, settings)
+        print(format_table(
+            f"Table 4: quaternion four-embedding on {dataset.name}",
+            [quaternion_row, complex_row],
+        ))
+    return 0
+
+
+def _cmd_weights(args: argparse.Namespace) -> int:
+    print(f"{'preset':<18} {'weights':<30} {'complete':>8} {'stable':>7} "
+          f"{'disting.':>8} {'prediction':>11}")
+    for key, preset in sorted(PRESETS.items()):
+        props = analyze_weight_vector(preset)
+        flat = preset.flatten()
+        shown = ",".join(f"{v:g}" for v in flat) if len(flat) <= 8 else f"<{len(flat)} terms>"
+        print(
+            f"{key:<18} {shown:<30} {str(props.complete):>8} {str(props.stable):>7} "
+            f"{str(props.distinguishable):>8} {props.predicted_quality():>11}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "inspect": _cmd_inspect,
+    "table": _cmd_table,
+    "train": _cmd_train,
+    "weights": _cmd_weights,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""The paper's contribution: the multi-embedding interaction mechanism.
+
+* :mod:`repro.core.weights` — the ω presets of Table 1 (and Tables 2/3).
+* :mod:`repro.core.interaction` — the Eq. 8 scorer with analytic gradients.
+* :mod:`repro.core.learned` — ω learned end-to-end (§3.3).
+* :mod:`repro.core.models` — factory for DistMult/ComplEx/CP/CPh/Quaternion.
+* :mod:`repro.core.properties` — completeness/stability/distinguishability.
+* :mod:`repro.core.direct` — algebra-native cross-check scorers.
+* :mod:`repro.core.algebra` — complex and quaternion arithmetic.
+"""
+
+from repro.core.base import KGEModel
+from repro.core.interaction import MultiEmbeddingModel
+from repro.core.learned import (
+    LearnedWeightModel,
+    SigmoidTransform,
+    SoftmaxTransform,
+    TanhTransform,
+    WeightTransform,
+    make_transform,
+)
+from repro.core.models import (
+    MODEL_FACTORIES,
+    make_complex,
+    make_cp,
+    make_cph,
+    make_distmult,
+    make_learned_weight_model,
+    make_model,
+    make_quaternion,
+    parity_dim,
+)
+from repro.core.serialization import load_model, save_model
+from repro.core.properties import (
+    WeightVectorProperties,
+    analyze_weight_vector,
+    dead_slots,
+    is_complete,
+    is_distinguishable,
+    is_stable,
+)
+from repro.core.weights import (
+    BAD_EXAMPLE_1,
+    BAD_EXAMPLE_2,
+    COMPLEX,
+    COMPLEX_EQUIV_1,
+    COMPLEX_EQUIV_2,
+    COMPLEX_EQUIV_3,
+    CP,
+    CPH,
+    CPH_EQUIV,
+    DISTMULT,
+    DISTMULT_N1,
+    GOOD_EXAMPLE_1,
+    GOOD_EXAMPLE_2,
+    PRESETS,
+    QUATERNION,
+    UNIFORM,
+    WeightVector,
+    complex_equivalents,
+    cph_equivalents,
+    get_preset,
+)
+
+__all__ = [
+    "BAD_EXAMPLE_1",
+    "BAD_EXAMPLE_2",
+    "COMPLEX",
+    "COMPLEX_EQUIV_1",
+    "COMPLEX_EQUIV_2",
+    "COMPLEX_EQUIV_3",
+    "CP",
+    "CPH",
+    "CPH_EQUIV",
+    "DISTMULT",
+    "DISTMULT_N1",
+    "GOOD_EXAMPLE_1",
+    "GOOD_EXAMPLE_2",
+    "KGEModel",
+    "LearnedWeightModel",
+    "MODEL_FACTORIES",
+    "MultiEmbeddingModel",
+    "PRESETS",
+    "QUATERNION",
+    "SigmoidTransform",
+    "SoftmaxTransform",
+    "TanhTransform",
+    "UNIFORM",
+    "WeightTransform",
+    "WeightVector",
+    "WeightVectorProperties",
+    "analyze_weight_vector",
+    "complex_equivalents",
+    "cph_equivalents",
+    "dead_slots",
+    "get_preset",
+    "is_complete",
+    "is_distinguishable",
+    "is_stable",
+    "load_model",
+    "make_complex",
+    "make_cp",
+    "make_cph",
+    "make_distmult",
+    "make_learned_weight_model",
+    "make_model",
+    "make_quaternion",
+    "make_transform",
+    "parity_dim",
+    "save_model",
+]

@@ -1,0 +1,41 @@
+"""Algebra substrates: complex and quaternion arithmetic for KGE scores."""
+
+from repro.core.algebra.complex_ops import (
+    complex_score,
+    complex_score_expanded,
+    complex_trilinear,
+    pack_complex,
+    real_trilinear,
+    unpack_complex,
+)
+from repro.core.algebra.quaternion import (
+    COMPONENTS,
+    conjugate,
+    hamilton_product,
+    norm,
+    normalize,
+    quaternion_score,
+    quaternion_score_expanded,
+    quaternion_trilinear,
+    quaternion_weight_tensor,
+    real_part,
+)
+
+__all__ = [
+    "COMPONENTS",
+    "complex_score",
+    "complex_score_expanded",
+    "complex_trilinear",
+    "conjugate",
+    "hamilton_product",
+    "norm",
+    "normalize",
+    "pack_complex",
+    "quaternion_score",
+    "quaternion_score_expanded",
+    "quaternion_trilinear",
+    "quaternion_weight_tensor",
+    "real_part",
+    "real_trilinear",
+    "unpack_complex",
+]

@@ -1,0 +1,137 @@
+"""Quaternion algebra for the four-embedding interaction model.
+
+A quaternion ``q = a + b·i + c·j + d·k`` is represented as an array whose
+*first* axis has length 4 holding ``(a, b, c, d)``; batched quaternion
+vectors therefore have shape ``(4, ..., D)``.  The Hamilton product is
+noncommutative, and the paper (Eq. 13) picks the score
+
+    S(h, t, r) = Re(⟨h, t̄, r⟩)   with   ⟨h, t̄, r⟩ = Σ_d (h_d · t̄_d) · r_d
+
+whose 16-term real expansion (paper Eq. 14) is verified against this
+module by the test-suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+#: Number of components of a quaternion.
+COMPONENTS = 4
+
+
+def _check_quaternion(q: np.ndarray, name: str) -> np.ndarray:
+    q = np.asarray(q, dtype=np.float64)
+    if q.ndim < 1 or q.shape[0] != COMPONENTS:
+        raise ModelError(f"{name} must have a leading axis of length 4, got shape {q.shape}")
+    return q
+
+
+def hamilton_product(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Component-wise Hamilton product of two quaternion arrays.
+
+    Both inputs have shape ``(4, ...)``; the product is applied
+    element-wise over the trailing axes (i.e. each scalar position holds
+    an independent quaternion).
+    """
+    p = _check_quaternion(p, "p")
+    q = _check_quaternion(q, "q")
+    a1, b1, c1, d1 = p
+    a2, b2, c2, d2 = q
+    return np.stack(
+        [
+            a1 * a2 - b1 * b2 - c1 * c2 - d1 * d2,
+            a1 * b2 + b1 * a2 + c1 * d2 - d1 * c2,
+            a1 * c2 - b1 * d2 + c1 * a2 + d1 * b2,
+            a1 * d2 + b1 * c2 - c1 * b2 + d1 * a2,
+        ]
+    )
+
+
+def conjugate(q: np.ndarray) -> np.ndarray:
+    """Quaternion conjugate ``q̄ = a - b·i - c·j - d·k``."""
+    q = _check_quaternion(q, "q")
+    out = -q
+    out[0] = q[0]
+    return out
+
+
+def real_part(q: np.ndarray) -> np.ndarray:
+    """The scalar (real) component ``a`` of each quaternion."""
+    return _check_quaternion(q, "q")[0]
+
+
+def norm(q: np.ndarray) -> np.ndarray:
+    """Quaternion norm ``sqrt(a² + b² + c² + d²)`` per scalar position."""
+    q = _check_quaternion(q, "q")
+    return np.sqrt(np.sum(np.square(q), axis=0))
+
+
+def normalize(q: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Scale each quaternion to unit norm (zero quaternions left in place)."""
+    q = _check_quaternion(q, "q")
+    n = norm(q)
+    safe = np.where(n > eps, n, 1.0)
+    return q / safe
+
+
+def quaternion_trilinear(h: np.ndarray, t: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """``Σ_d (h_d · t̄_d) · r_d`` — a quaternion per batch element.
+
+    Inputs have shape ``(4, ..., D)``; the last axis is reduced after the
+    two Hamilton products, in the order ``(h · t̄) · r`` (the order the
+    paper's Eq. 14 expansion corresponds to; quaternion multiplication is
+    noncommutative so the order matters).
+    """
+    h = _check_quaternion(h, "h")
+    t = _check_quaternion(t, "t")
+    r = _check_quaternion(r, "r")
+    if not (h.shape == t.shape == r.shape):
+        raise ModelError("h, t, r must share a shape")
+    return np.sum(hamilton_product(hamilton_product(h, conjugate(t)), r), axis=-1)
+
+
+def quaternion_score(h: np.ndarray, t: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """Paper Eq. 13: ``Re(⟨h, t̄, r⟩)`` for quaternion embeddings."""
+    return real_part(quaternion_trilinear(h, t, r))
+
+
+def quaternion_score_expanded(h: np.ndarray, t: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """Paper Eq. 14: the 16-term real expansion of the quaternion score.
+
+    Components are mapped to multi-embedding slots ``h^(1..4)`` etc.; the
+    signs below are the signed weight vector of the quaternion-based
+    four-embedding interaction model.
+    """
+    h = _check_quaternion(h, "h")
+    t = _check_quaternion(t, "t")
+    r = _check_quaternion(r, "r")
+
+    def tri(i: int, j: int, k: int) -> np.ndarray:
+        return np.sum(h[i] * t[j] * r[k], axis=-1)
+
+    return (
+        tri(0, 0, 0) + tri(1, 1, 0) + tri(2, 2, 0) + tri(3, 3, 0)
+        + tri(0, 1, 1) - tri(1, 0, 1) + tri(2, 3, 1) - tri(3, 2, 1)
+        + tri(0, 2, 2) - tri(1, 3, 2) - tri(2, 0, 2) + tri(3, 1, 2)
+        + tri(0, 3, 3) + tri(1, 2, 3) - tri(2, 1, 3) - tri(3, 0, 3)
+    )
+
+
+def quaternion_weight_tensor() -> np.ndarray:
+    """The ``(4, 4, 4)`` interaction weight tensor realising Eq. 14.
+
+    ``tensor[i, j, k]`` weighs ``⟨h^(i+1), t^(j+1), r^(k+1)⟩``; exactly 16
+    of the 64 entries are nonzero, with values ±1.
+    """
+    omega = np.zeros((COMPONENTS, COMPONENTS, COMPONENTS), dtype=np.float64)
+    terms = [
+        (0, 0, 0, 1), (1, 1, 0, 1), (2, 2, 0, 1), (3, 3, 0, 1),
+        (0, 1, 1, 1), (1, 0, 1, -1), (2, 3, 1, 1), (3, 2, 1, -1),
+        (0, 2, 2, 1), (1, 3, 2, -1), (2, 0, 2, -1), (3, 1, 2, 1),
+        (0, 3, 3, 1), (1, 2, 3, 1), (2, 1, 3, -1), (3, 0, 3, -1),
+    ]
+    for i, j, k, sign in terms:
+        omega[i, j, k] = sign
+    return omega

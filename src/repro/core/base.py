@@ -1,0 +1,62 @@
+"""Abstract interface shared by all knowledge graph embedding models.
+
+The trainer and evaluator only ever talk to this interface, so the
+trilinear family (:mod:`repro.core.interaction`), the learned-ω variant
+and every baseline (:mod:`repro.baselines`) are interchangeable in
+experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.nn.optimizers import Optimizer
+
+
+class KGEModel(abc.ABC):
+    """A scorer over ``(h, t, r)`` triples that can train itself on a batch.
+
+    A higher score means the triple is more likely to be valid (paper
+    §2.1, component 3).
+    """
+
+    #: Display name used in logs and benchmark tables.
+    name: str = "model"
+    #: Id-space sizes; set by concrete constructors.
+    num_entities: int
+    num_relations: int
+
+    @abc.abstractmethod
+    def score_triples(
+        self, heads: np.ndarray, tails: np.ndarray, relations: np.ndarray
+    ) -> np.ndarray:
+        """Matching scores for a batch of triples; shape ``(b,)``."""
+
+    @abc.abstractmethod
+    def score_all_tails(self, heads: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """Scores of every entity as tail: shape ``(b, num_entities)``."""
+
+    @abc.abstractmethod
+    def score_all_heads(self, tails: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """Scores of every entity as head: shape ``(b, num_entities)``."""
+
+    @abc.abstractmethod
+    def train_step(
+        self, positives: np.ndarray, negatives: np.ndarray, optimizer: Optimizer
+    ) -> float:
+        """One SGD step on positive ``(b, 3)`` and negative ``(m, 3)`` triples.
+
+        Returns the batch training loss (before the step).
+        """
+
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars (for parameter-parity checks)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, entities={self.num_entities}, "
+            f"relations={self.num_relations}, parameters={self.parameter_count():,})"
+        )

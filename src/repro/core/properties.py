@@ -1,0 +1,120 @@
+"""Structural properties of interaction weight vectors (paper §6.1.2).
+
+The paper observes that *good* weight vectors share three properties:
+
+* **Completeness** — every embedding vector in a triple participates in
+  the weighted sum (no dead slots).
+* **Stability** — the embedding vectors of the same entity or relation
+  contribute equal total weight, so no slot dominates.
+* **Distinguishability** — the score function is not symmetric under
+  exchanging head and tail, otherwise the model collapses to
+  DistMult-like behaviour on asymmetric data.
+
+These checks correctly separate the paper's presets: ComplEx/CPh/the good
+examples satisfy all three; CP and bad example 1 break completeness or
+stability; DistMult, bad example 2 and the uniform vector break
+distinguishability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.weights import WeightVector
+
+
+@dataclass(frozen=True)
+class WeightVectorProperties:
+    """Diagnostic report for one weight vector."""
+
+    name: str
+    complete: bool
+    stable: bool
+    distinguishable: bool
+    dead_slots: tuple[str, ...]
+    slot_masses: dict[str, tuple[float, ...]]
+
+    @property
+    def satisfies_all(self) -> bool:
+        """Whether all three §6.1.2 properties hold."""
+        return self.complete and self.stable and self.distinguishable
+
+    def predicted_quality(self) -> str:
+        """Heuristic prediction of empirical behaviour (paper §6.1.2).
+
+        * all three properties       -> "good" (ComplEx/CPh-level)
+        * not distinguishable        -> "symmetric" (DistMult-level)
+        * incomplete or unstable     -> "poor" (CP-level overfitting risk)
+        """
+        if self.satisfies_all:
+            return "good"
+        if not self.distinguishable and self.complete and self.stable:
+            return "symmetric"
+        return "poor"
+
+
+def _axis_masses(tensor: np.ndarray) -> dict[str, tuple[float, ...]]:
+    """Total |ω| mass attributed to each slot along each axis."""
+    abs_tensor = np.abs(tensor)
+    return {
+        "head": tuple(float(x) for x in abs_tensor.sum(axis=(1, 2))),
+        "tail": tuple(float(x) for x in abs_tensor.sum(axis=(0, 2))),
+        "relation": tuple(float(x) for x in abs_tensor.sum(axis=(0, 1))),
+    }
+
+
+def is_complete(weights: WeightVector) -> bool:
+    """Every head, tail and relation slot appears in a nonzero term."""
+    masses = _axis_masses(weights.tensor)
+    return all(all(m > 0.0 for m in slot_masses) for slot_masses in masses.values())
+
+
+def dead_slots(weights: WeightVector) -> tuple[str, ...]:
+    """Labels like ``'head[2]'`` for slots with zero total weight."""
+    masses = _axis_masses(weights.tensor)
+    dead = []
+    for axis, slot_masses in masses.items():
+        for slot, mass in enumerate(slot_masses, start=1):
+            if mass == 0.0:
+                dead.append(f"{axis}[{slot}]")
+    return tuple(dead)
+
+
+def is_stable(weights: WeightVector, rtol: float = 1e-9) -> bool:
+    """Slots of the same axis carry equal total |ω| mass."""
+    masses = _axis_masses(weights.tensor)
+    for slot_masses in masses.values():
+        arr = np.asarray(slot_masses)
+        if arr.max() == 0.0:
+            return False
+        if not np.allclose(arr, arr[0], rtol=rtol, atol=0.0):
+            return False
+    return True
+
+
+def is_distinguishable(weights: WeightVector) -> bool:
+    """The score function changes when head and tail are exchanged.
+
+    The trilinear product is symmetric in its arguments, so swapping h and
+    t maps term ``(i, j, k)`` to ``(j, i, k)``; the score function of a
+    shared entity table is symmetric — hence indistinguishable — exactly
+    when ω equals its head/tail transpose.
+    """
+    tensor = weights.tensor
+    if tensor.shape[0] != tensor.shape[1]:
+        return True  # role-based tables cannot be transposed onto themselves
+    return not np.array_equal(tensor, np.swapaxes(tensor, 0, 1))
+
+
+def analyze_weight_vector(weights: WeightVector) -> WeightVectorProperties:
+    """Full §6.1.2 diagnostic for one weight vector."""
+    return WeightVectorProperties(
+        name=weights.name,
+        complete=is_complete(weights),
+        stable=is_stable(weights),
+        distinguishable=is_distinguishable(weights),
+        dead_slots=dead_slots(weights),
+        slot_masses=_axis_masses(weights.tensor),
+    )

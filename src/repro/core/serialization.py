@@ -1,0 +1,116 @@
+"""Saving and loading trained multi-embedding models.
+
+Checkpoints are a directory with two files:
+
+* ``weights.npz`` — the embedding tables (and ρ for learned-ω models),
+* ``meta.json``  — model class, ω (name + values), dimensions, flags.
+
+The format is deliberately framework-free so checkpoints written here
+can be consumed by any numpy-reading tool.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.interaction import MultiEmbeddingModel
+from repro.core.learned import LearnedWeightModel, make_transform
+from repro.core.weights import WeightVector
+from repro.errors import ModelError
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: MultiEmbeddingModel, directory: str | Path) -> None:
+    """Write *model* to *directory* (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays = {
+        "entity_embeddings": model.entity_embeddings,
+        "relation_embeddings": model.relation_embeddings,
+        "omega": np.asarray(model.omega),
+    }
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "model_class": type(model).__name__,
+        "name": model.name,
+        "num_entities": model.num_entities,
+        "num_relations": model.num_relations,
+        "dim": model.dim,
+        "weight_name": model.weights.name,
+        "weight_shape": list(model.weights.tensor.shape),
+        "regularization": model.regularizer.strength,
+        "unit_norm_entities": model.constraint is not None,
+    }
+    if isinstance(model, LearnedWeightModel):
+        arrays["rho"] = model.rho
+        meta["transform"] = model.transform.name
+        meta["has_sparsity"] = model.sparsity is not None
+        if model.sparsity is not None:
+            meta["sparsity_alpha"] = model.sparsity.alpha
+            meta["sparsity_strength"] = model.sparsity.strength
+    np.savez(directory / "weights.npz", **arrays)
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2), encoding="utf-8")
+
+
+def load_model(directory: str | Path) -> MultiEmbeddingModel:
+    """Rebuild a model saved by :func:`save_model`.
+
+    The returned model scores identically to the saved one; optimizer
+    state is not checkpointed (retraining restarts moments from zero).
+    """
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    npz_path = directory / "weights.npz"
+    if not meta_path.exists() or not npz_path.exists():
+        raise ModelError(f"not a model checkpoint directory: {directory}")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ModelError(f"unsupported checkpoint version: {meta.get('format_version')}")
+    with np.load(npz_path) as payload:
+        arrays = {key: payload[key] for key in payload.files}
+
+    rng = np.random.default_rng(0)  # tables are overwritten below
+    if meta["model_class"] == "LearnedWeightModel":
+        from repro.nn.regularizers import DirichletSparsityRegularizer
+
+        sparsity = None
+        if meta.get("has_sparsity"):
+            sparsity = DirichletSparsityRegularizer(
+                alpha=meta["sparsity_alpha"], strength=meta["sparsity_strength"]
+            )
+        shape = meta["weight_shape"]
+        model: MultiEmbeddingModel = LearnedWeightModel(
+            meta["num_entities"],
+            meta["num_relations"],
+            meta["dim"],
+            rng,
+            num_entity_vectors=shape[0],
+            num_relation_vectors=shape[2],
+            transform=meta["transform"],
+            sparsity=sparsity,
+            regularization=meta["regularization"],
+        )
+        model.rho = arrays["rho"]
+        model._omega_cache = make_transform(meta["transform"]).forward(model.rho)
+    elif meta["model_class"] == "MultiEmbeddingModel":
+        weights = WeightVector(meta["weight_name"], arrays["omega"])
+        model = MultiEmbeddingModel(
+            meta["num_entities"],
+            meta["num_relations"],
+            meta["dim"],
+            weights,
+            rng,
+            regularization=meta["regularization"],
+            unit_norm_entities=meta["unit_norm_entities"],
+        )
+    else:
+        raise ModelError(f"unknown model class in checkpoint: {meta['model_class']}")
+
+    model.entity_embeddings = arrays["entity_embeddings"]
+    model.relation_embeddings = arrays["relation_embeddings"]
+    model.name = meta["name"]
+    return model

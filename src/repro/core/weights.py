@@ -1,0 +1,192 @@
+"""Interaction weight vectors — the ω of Eq. 8 and Table 1.
+
+A weight vector assigns a scalar ω_{ijk} to every trilinear term
+⟨h^(i), t^(j), r^(k)⟩.  We store ω as an ``(n_h, n_t, n_r)`` tensor; the
+paper's 8-tuples (n = 2) are its row-major flattening in the order
+
+    ⟨h1t1r1⟩, ⟨h1t1r2⟩, ⟨h1t2r1⟩, ⟨h1t2r2⟩,
+    ⟨h2t1r1⟩, ⟨h2t1r2⟩, ⟨h2t2r1⟩, ⟨h2t2r2⟩
+
+matching the row order of Table 1.  This module ships every preset the
+paper uses: Table 1's model derivations (with all listed equivalents),
+Table 2's good/bad hand-crafted variants, Table 3's uniform baseline, and
+the quaternion tensor of Eq. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.algebra.quaternion import quaternion_weight_tensor
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WeightVector:
+    """An immutable interaction weight tensor with a display name.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in tables and logs.
+    tensor:
+        ``(n_h, n_t, n_r)`` float array; ``tensor[i, j, k]`` weighs the
+        trilinear term ⟨h^(i+1), t^(j+1), r^(k+1)⟩.
+    """
+
+    name: str
+    tensor: np.ndarray
+
+    def __post_init__(self) -> None:
+        tensor = np.asarray(self.tensor, dtype=np.float64)
+        if tensor.ndim != 3:
+            raise ConfigError(f"weight tensor must be 3-D (n_h, n_t, n_r), got {tensor.shape}")
+        if min(tensor.shape) < 1:
+            raise ConfigError("weight tensor axes must be non-empty")
+        tensor = tensor.copy()
+        tensor.setflags(write=False)
+        object.__setattr__(self, "tensor", tensor)
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def num_head_vectors(self) -> int:
+        """Number of embedding vectors per entity in the head role."""
+        return self.tensor.shape[0]
+
+    @property
+    def num_tail_vectors(self) -> int:
+        """Number of embedding vectors per entity in the tail role."""
+        return self.tensor.shape[1]
+
+    @property
+    def num_entity_vectors(self) -> int:
+        """Embedding vectors per entity (head and tail share one table)."""
+        if self.tensor.shape[0] != self.tensor.shape[1]:
+            raise ConfigError("head/tail vector counts differ; no shared entity table")
+        return self.tensor.shape[0]
+
+    @property
+    def num_relation_vectors(self) -> int:
+        """Number of embedding vectors per relation."""
+        return self.tensor.shape[2]
+
+    def flatten(self) -> tuple[float, ...]:
+        """Row-major 8-tuple (for n=2) in the paper's Table 1 order."""
+        return tuple(float(x) for x in self.tensor.ravel())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightVector):
+            return NotImplemented
+        return self.name == other.name and np.array_equal(self.tensor, other.tensor)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.tensor.tobytes(), self.tensor.shape))
+
+    def __repr__(self) -> str:
+        return f"WeightVector({self.name!r}, {self.flatten()})"
+
+    # -------------------------------------------------------------- transforms
+    def renamed(self, name: str) -> "WeightVector":
+        """Copy with a different display name."""
+        return WeightVector(name, self.tensor)
+
+    def scaled(self, factor: float) -> "WeightVector":
+        """Copy with every weight multiplied by *factor*."""
+        return WeightVector(f"{self.name}*{factor:g}", self.tensor * factor)
+
+    def head_tail_swapped(self) -> "WeightVector":
+        """The ω obtained by exchanging the head and tail slots.
+
+        The paper uses this symmetry to derive "ComplEx equiv. 1" and
+        "CPh equiv." from the primary weight vectors.
+        """
+        return WeightVector(f"{self.name}(h<->t)", np.swapaxes(self.tensor, 0, 1))
+
+    def nonzero_terms(self) -> list[tuple[int, int, int, float]]:
+        """All (i, j, k, weight) with weight != 0, 0-indexed."""
+        out = []
+        for (i, j, k), value in np.ndenumerate(self.tensor):
+            if value != 0.0:
+                out.append((i, j, k, float(value)))
+        return out
+
+    @classmethod
+    def from_flat(
+        cls, name: str, values: object, shape: tuple[int, int, int] = (2, 2, 2)
+    ) -> "WeightVector":
+        """Build from a flat sequence in Table 1 row order."""
+        arr = np.asarray(values, dtype=np.float64)
+        expected = int(np.prod(shape))
+        if arr.size != expected:
+            raise ConfigError(f"expected {expected} weights for shape {shape}, got {arr.size}")
+        return cls(name, arr.reshape(shape))
+
+
+def _flat(name: str, values: tuple[float, ...]) -> WeightVector:
+    return WeightVector.from_flat(name, values)
+
+
+# --- Table 1: model derivations -------------------------------------------
+DISTMULT = _flat("DistMult", (1, 0, 0, 0, 0, 0, 0, 0))
+COMPLEX = _flat("ComplEx", (1, 0, 0, 1, 0, -1, 1, 0))
+COMPLEX_EQUIV_1 = _flat("ComplEx equiv. 1", (1, 0, 0, -1, 0, 1, 1, 0))
+COMPLEX_EQUIV_2 = _flat("ComplEx equiv. 2", (0, 1, -1, 0, 1, 0, 0, 1))
+COMPLEX_EQUIV_3 = _flat("ComplEx equiv. 3", (0, 1, 1, 0, -1, 0, 0, 1))
+CP = _flat("CP", (0, 0, 1, 0, 0, 0, 0, 0))
+CPH = _flat("CPh", (0, 0, 1, 0, 0, 1, 0, 0))
+CPH_EQUIV = _flat("CPh equiv.", (0, 0, 0, 1, 1, 0, 0, 0))
+
+# --- Table 2: hand-crafted variants ----------------------------------------
+BAD_EXAMPLE_1 = _flat("Bad example 1", (0, 0, 20, 0, 0, 1, 0, 0))
+BAD_EXAMPLE_2 = _flat("Bad example 2", (0, 0, 1, 1, 1, 1, 0, 0))
+GOOD_EXAMPLE_1 = _flat("Good example 1", (0, 0, 20, 1, 1, 20, 0, 0))
+GOOD_EXAMPLE_2 = _flat("Good example 2", (1, 1, -1, 1, 1, -1, 1, 1))
+
+# --- Table 3: the uniform baseline ------------------------------------------
+UNIFORM = _flat("Uniform weight", (1, 1, 1, 1, 1, 1, 1, 1))
+
+# --- Eq. 14: quaternion four-embedding --------------------------------------
+QUATERNION = WeightVector("Quaternion", quaternion_weight_tensor())
+
+#: One-embedding special case: DistMult expressed with n = 1.
+DISTMULT_N1 = WeightVector("DistMult(n=1)", np.ones((1, 1, 1)))
+
+#: Registry of all named presets, keyed by a lowercase identifier.
+PRESETS: dict[str, WeightVector] = {
+    "distmult": DISTMULT,
+    "complex": COMPLEX,
+    "complex_equiv_1": COMPLEX_EQUIV_1,
+    "complex_equiv_2": COMPLEX_EQUIV_2,
+    "complex_equiv_3": COMPLEX_EQUIV_3,
+    "cp": CP,
+    "cph": CPH,
+    "cph_equiv": CPH_EQUIV,
+    "bad_example_1": BAD_EXAMPLE_1,
+    "bad_example_2": BAD_EXAMPLE_2,
+    "good_example_1": GOOD_EXAMPLE_1,
+    "good_example_2": GOOD_EXAMPLE_2,
+    "uniform": UNIFORM,
+    "quaternion": QUATERNION,
+    "distmult_n1": DISTMULT_N1,
+}
+
+
+def get_preset(name: str) -> WeightVector:
+    """Look up a preset ω by identifier; raises :class:`ConfigError` if unknown."""
+    try:
+        return PRESETS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ConfigError(f"unknown weight preset {name!r}; known: {known}") from None
+
+
+def complex_equivalents() -> tuple[WeightVector, ...]:
+    """ComplEx and its three Table 1 equivalents."""
+    return (COMPLEX, COMPLEX_EQUIV_1, COMPLEX_EQUIV_2, COMPLEX_EQUIV_3)
+
+
+def cph_equivalents() -> tuple[WeightVector, ...]:
+    """CPh and its Table 1 equivalent."""
+    return (CPH, CPH_EQUIV)

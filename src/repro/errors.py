@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library errors without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class VocabularyError(ReproError):
+    """A name or index is unknown to a vocabulary, or a duplicate was added."""
+
+
+class TripleError(ReproError):
+    """A triple array has the wrong shape, dtype, or out-of-range indices."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed (overlapping splits, empty split, bad file)."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its valid range or inconsistent."""
+
+
+class ModelError(ReproError):
+    """A model was constructed or used inconsistently."""
+
+
+class TrainingError(ReproError):
+    """The training loop was mis-configured or diverged."""
+
+
+class EvaluationError(ReproError):
+    """The evaluation protocol received inconsistent inputs."""

@@ -1,0 +1,144 @@
+"""Link prediction evaluator tying models, datasets and metrics together.
+
+Implements the protocol of §5.2: for every eval triple, corrupt the tail
+against all entities and the head against all entities, filter known true
+triples (the *filtered* setting), rank the true entity, and aggregate
+MRR / Hits@k over both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import KGEModel
+from repro.errors import EvaluationError
+from repro.eval.metrics import DEFAULT_HITS_AT, RankingMetrics, compute_metrics, merge_metrics
+from repro.eval.ranking import ranks_from_score_matrix
+from repro.kg.graph import FilterIndex, KGDataset
+from repro.kg.triples import TripleSet
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Metrics for one evaluation run, overall and per side."""
+
+    overall: RankingMetrics
+    tail_side: RankingMetrics
+    head_side: RankingMetrics
+    split: str
+
+
+class LinkPredictionEvaluator:
+    """Filtered (or raw) ranking evaluation of a model on a dataset split.
+
+    Parameters
+    ----------
+    dataset:
+        Supplies the splits and the filter index over all known triples.
+    batch_size:
+        Number of eval triples scored per 1-vs-all sweep.
+    filtered:
+        Use the filtered protocol (True, paper default) or raw ranking.
+    hits_at:
+        Cutoffs for Hits@k.
+    tie_policy:
+        Tie handling convention, see :mod:`repro.eval.ranking`.
+    """
+
+    def __init__(
+        self,
+        dataset: KGDataset,
+        batch_size: int = 512,
+        filtered: bool = True,
+        hits_at: tuple[int, ...] = DEFAULT_HITS_AT,
+        tie_policy: str = "average",
+    ) -> None:
+        if batch_size < 1:
+            raise EvaluationError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.filtered = bool(filtered)
+        self.hits_at = tuple(hits_at)
+        self.tie_policy = tie_policy
+
+    # ------------------------------------------------------------------ public
+    def evaluate(
+        self, model: KGEModel, split: str = "test", max_triples: int | None = None
+    ) -> EvaluationResult:
+        """Evaluate *model* on a named split of the dataset."""
+        try:
+            triples = self.dataset.splits[split]
+        except KeyError:
+            raise EvaluationError(f"unknown split {split!r}") from None
+        return self.evaluate_triples(model, triples, split_name=split, max_triples=max_triples)
+
+    def evaluate_triples(
+        self,
+        model: KGEModel,
+        triples: TripleSet,
+        split_name: str = "custom",
+        max_triples: int | None = None,
+    ) -> EvaluationResult:
+        """Evaluate on an explicit :class:`TripleSet` (e.g. train subsample).
+
+        ``max_triples`` caps the number of evaluated triples — used to
+        report "on train" rows (paper Table 2) without sweeping the whole
+        training set.
+        """
+        if len(triples) == 0:
+            raise EvaluationError("cannot evaluate on an empty triple set")
+        arr = triples.array
+        if max_triples is not None and len(arr) > max_triples:
+            arr = arr[:max_triples]
+        filter_index = self.dataset.filter_index if self.filtered else None
+        tail_ranks = self._ranks_one_side(model, arr, filter_index, side="tail")
+        head_ranks = self._ranks_one_side(model, arr, filter_index, side="head")
+        tail_metrics = compute_metrics(tail_ranks, self.hits_at)
+        head_metrics = compute_metrics(head_ranks, self.hits_at)
+        return EvaluationResult(
+            overall=merge_metrics(tail_metrics, head_metrics),
+            tail_side=tail_metrics,
+            head_side=head_metrics,
+            split=split_name,
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _ranks_one_side(
+        self,
+        model: KGEModel,
+        triples: np.ndarray,
+        filter_index: FilterIndex | None,
+        side: str,
+    ) -> np.ndarray:
+        ranks: list[np.ndarray] = []
+        for start in range(0, len(triples), self.batch_size):
+            batch = triples[start : start + self.batch_size]
+            heads, tails, relations = batch[:, 0], batch[:, 1], batch[:, 2]
+            if side == "tail":
+                scores = model.score_all_tails(heads, relations)
+                true_indices = tails
+                filters = (
+                    [
+                        filter_index.true_tails(int(h), int(r))
+                        for h, r in zip(heads, relations)
+                    ]
+                    if filter_index is not None
+                    else None
+                )
+            else:
+                scores = model.score_all_heads(tails, relations)
+                true_indices = heads
+                filters = (
+                    [
+                        filter_index.true_heads(int(t), int(r))
+                        for t, r in zip(tails, relations)
+                    ]
+                    if filter_index is not None
+                    else None
+                )
+            ranks.append(
+                ranks_from_score_matrix(scores, true_indices, filters, self.tie_policy)
+            )
+        return np.concatenate(ranks)

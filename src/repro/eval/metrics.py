@@ -1,0 +1,87 @@
+"""Ranking metrics: MR, MRR and Hits@k (paper §5.2).
+
+Given the rank of each true triple among its corrupted candidates
+(rank 1 = best), the standard link-prediction metrics are
+
+* ``MR``   — mean rank,
+* ``MRR``  — mean reciprocal rank,
+* ``Hits@k`` — fraction of true triples ranked in the top k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+#: The k values the paper reports.
+DEFAULT_HITS_AT = (1, 3, 10)
+
+
+@dataclass(frozen=True)
+class RankingMetrics:
+    """Aggregated link-prediction metrics over a set of ranks."""
+
+    mrr: float
+    mr: float
+    hits: dict[int, float] = field(default_factory=dict)
+    num_ranks: int = 0
+
+    def hits_at(self, k: int) -> float:
+        """Hits@k; raises if *k* was not computed."""
+        try:
+            return self.hits[k]
+        except KeyError:
+            raise EvaluationError(f"Hits@{k} was not computed; available: {sorted(self.hits)}")
+
+    def format_row(self, label: str, label_width: int = 42) -> str:
+        """One aligned table row: MRR then Hits@1/3/10, paper Table 2 style."""
+        cells = [f"{self.mrr:6.3f}"]
+        for k in sorted(self.hits):
+            cells.append(f"{self.hits[k]:6.3f}")
+        return f"{label:<{label_width}} " + " ".join(cells)
+
+    @staticmethod
+    def header_row(label: str = "Weight setting", label_width: int = 42) -> str:
+        """The table header matching :meth:`format_row`."""
+        cells = ["   MRR"] + [f" Hit@{k}" for k in DEFAULT_HITS_AT]
+        return f"{label:<{label_width}} " + " ".join(cells)
+
+
+def compute_metrics(ranks: np.ndarray, hits_at: tuple[int, ...] = DEFAULT_HITS_AT) -> RankingMetrics:
+    """Aggregate raw ranks (1-based) into :class:`RankingMetrics`."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.ndim != 1 or len(ranks) == 0:
+        raise EvaluationError("ranks must be a non-empty 1-D array")
+    if (ranks < 1).any():
+        raise EvaluationError("ranks are 1-based; found a rank < 1")
+    if any(k < 1 for k in hits_at):
+        raise EvaluationError("hits_at cutoffs must be >= 1")
+    return RankingMetrics(
+        mrr=float(np.mean(1.0 / ranks)),
+        mr=float(np.mean(ranks)),
+        hits={k: float(np.mean(ranks <= k)) for k in hits_at},
+        num_ranks=len(ranks),
+    )
+
+
+def merge_metrics(first: RankingMetrics, second: RankingMetrics) -> RankingMetrics:
+    """Weighted merge of two metric aggregates (e.g. head-side + tail-side)."""
+    if set(first.hits) != set(second.hits):
+        raise EvaluationError("cannot merge metrics with different Hits@k cutoffs")
+    n1, n2 = first.num_ranks, second.num_ranks
+    total = n1 + n2
+    if total == 0:
+        raise EvaluationError("cannot merge empty metrics")
+
+    def blend(a: float, b: float) -> float:
+        return (a * n1 + b * n2) / total
+
+    return RankingMetrics(
+        mrr=blend(first.mrr, second.mrr),
+        mr=blend(first.mr, second.mr),
+        hits={k: blend(first.hits[k], second.hits[k]) for k in first.hits},
+        num_ranks=total,
+    )

@@ -1,0 +1,121 @@
+"""Shared experiment harness for the benchmarks and the CLI.
+
+Each paper table is a list of rows; each row is "train this model on this
+dataset, evaluate on test (and optionally on a training subsample for the
+'on train' rows), print MRR / Hits@{1,3,10}".  This module factors that
+recipe out so every benchmark file stays declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import KGEModel
+from repro.errors import ConfigError
+from repro.eval.evaluator import LinkPredictionEvaluator
+from repro.eval.metrics import RankingMetrics
+from repro.kg.graph import KGDataset
+from repro.kg.synthetic import SyntheticKGConfig, generate_synthetic_kg
+from repro.training.trainer import Trainer, TrainingConfig
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Dataset + training settings shared by every row of a table.
+
+    The defaults are the scaled-down analogue of the paper's §5.3 setup
+    (WN18, embedding budget 400, batch 2^12/2^14, Adam, 1 negative,
+    validation every 50 epochs with 100 epochs patience).
+    """
+
+    dataset_config: SyntheticKGConfig = field(
+        default_factory=lambda: SyntheticKGConfig(
+            num_entities=800, num_clusters=40, num_domains=8, seed=7
+        )
+    )
+    total_dim: int = 64
+    epochs: int = 400
+    batch_size: int = 1024
+    learning_rate: float = 0.02
+    regularization: float = 3e-3
+    num_negatives: int = 1
+    validate_every: int = 50
+    patience: int = 100
+    seed: int = 0
+    train_eval_triples: int = 1000
+
+    def training_config(self) -> TrainingConfig:
+        """The :class:`TrainingConfig` implied by these settings."""
+        return TrainingConfig(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            num_negatives=self.num_negatives,
+            validate_every=self.validate_every,
+            patience=self.patience,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class ExperimentRow:
+    """One table row: a label plus its test (and optionally train) metrics."""
+
+    label: str
+    test_metrics: RankingMetrics
+    train_metrics: RankingMetrics | None = None
+    epochs_run: int = 0
+
+
+def build_dataset(settings: ExperimentSettings) -> KGDataset:
+    """Generate the synthetic dataset for *settings* (deterministic)."""
+    return generate_synthetic_kg(settings.dataset_config)
+
+
+def run_experiment_row(
+    model: KGEModel,
+    dataset: KGDataset,
+    settings: ExperimentSettings,
+    label: str | None = None,
+    evaluate_train: bool = False,
+) -> ExperimentRow:
+    """Train *model* on *dataset* and evaluate it per the paper's protocol."""
+    trainer = Trainer(dataset, settings.training_config())
+    result = trainer.train(model)
+    evaluator = LinkPredictionEvaluator(dataset)
+    test_result = evaluator.evaluate(model, split="test")
+    train_metrics = None
+    if evaluate_train:
+        train_result = evaluator.evaluate_triples(
+            model, dataset.train, split_name="train", max_triples=settings.train_eval_triples
+        )
+        train_metrics = train_result.overall
+    return ExperimentRow(
+        label=label or model.name,
+        test_metrics=test_result.overall,
+        train_metrics=train_metrics,
+        epochs_run=result.epochs_run,
+    )
+
+
+def format_table(title: str, rows: list[ExperimentRow], label_width: int = 42) -> str:
+    """Render rows in the layout of the paper's Tables 2-4."""
+    if not rows:
+        raise ConfigError("cannot format an empty table")
+    lines = [title, RankingMetrics.header_row(label_width=label_width)]
+    lines.append("-" * len(lines[-1]))
+    for row in rows:
+        lines.append(row.test_metrics.format_row(row.label, label_width))
+    train_rows = [row for row in rows if row.train_metrics is not None]
+    if train_rows:
+        lines.append("-" * len(lines[1]))
+        for row in train_rows:
+            lines.append(row.train_metrics.format_row(f"{row.label} on train", label_width))
+    return "\n".join(lines)
+
+
+def seeded_rng(settings: ExperimentSettings, offset: int = 0) -> np.random.Generator:
+    """Model-init generator derived from the settings seed (+ row offset)."""
+    return np.random.default_rng(settings.seed + 1000 + offset)

@@ -1,0 +1,70 @@
+"""Knowledge-graph substrate: vocabularies, triple stores, datasets.
+
+Public entry points:
+
+* :class:`~repro.kg.vocab.Vocabulary` — name <-> id mapping.
+* :class:`~repro.kg.triples.TripleSet` — immutable numpy triple store.
+* :class:`~repro.kg.graph.KGDataset` — splits + filter index.
+* :func:`~repro.kg.synthetic.generate_synthetic_kg` — WN18-like generator.
+* :func:`~repro.kg.augment.augment_with_inverses` — the CPh heuristic.
+"""
+
+from repro.kg.augment import (
+    augment_with_inverses,
+    augmented_relation_name,
+    is_augmented_relation_name,
+)
+from repro.kg.graph import FilterIndex, KGDataset, split_triples
+from repro.kg.io import (
+    load_dataset_directory,
+    load_dataset_with_sidecar,
+    read_labeled_triples,
+    save_dataset_directory,
+    write_labeled_triples,
+)
+from repro.kg.patterns import (
+    RelationPatternReport,
+    analyze_relations,
+    find_inverse_partner,
+    inverse_leakage,
+    relation_symmetry,
+)
+from repro.kg.stats import DatasetStats, compute_stats
+from repro.kg.synthetic import (
+    SyntheticKGConfig,
+    generate_synthetic_kg,
+    inverse_relation_pairs,
+    symmetric_relation_names,
+)
+from repro.kg.synthetic_fb import SyntheticFBConfig, generate_synthetic_fb15k
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+
+__all__ = [
+    "DatasetStats",
+    "FilterIndex",
+    "KGDataset",
+    "RelationPatternReport",
+    "SyntheticFBConfig",
+    "SyntheticKGConfig",
+    "TripleSet",
+    "Vocabulary",
+    "analyze_relations",
+    "augment_with_inverses",
+    "augmented_relation_name",
+    "compute_stats",
+    "find_inverse_partner",
+    "generate_synthetic_fb15k",
+    "generate_synthetic_kg",
+    "inverse_leakage",
+    "inverse_relation_pairs",
+    "is_augmented_relation_name",
+    "load_dataset_directory",
+    "load_dataset_with_sidecar",
+    "read_labeled_triples",
+    "relation_symmetry",
+    "save_dataset_directory",
+    "split_triples",
+    "symmetric_relation_names",
+    "write_labeled_triples",
+]

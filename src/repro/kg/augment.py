@@ -1,0 +1,74 @@
+"""Inverse-triple data augmentation — the CPh heuristic.
+
+Lacroix et al. (2018) showed that CP becomes competitive with ComplEx once
+the training data is augmented with an inverse triple ``(t, h, r_a)`` for
+every training triple ``(h, t, r)``, where ``r_a`` is a fresh "augmented"
+relation paired with ``r``.  The paper under reproduction (Eq. 7/11 and
+Table 1) analyses this heuristic as a two-embedding interaction: mapping
+``r_a`` to the second relation embedding ``r^(2)`` turns CPh into the
+weight vector ``(0, 0, 1, 0, 0, 1, 0, 0)``.
+
+This module implements the dataset-level form of the heuristic: it doubles
+the relation vocabulary (``r`` at id ``i`` gains ``r_a`` at id ``i + R``)
+and doubles the training split.  Validation and test splits are *not*
+augmented — evaluation stays on the original relations.
+"""
+
+from __future__ import annotations
+
+from repro.kg.graph import KGDataset
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+
+#: Suffix appended to a relation name to form its augmented inverse name.
+INVERSE_SUFFIX = "_inverse_aug"
+
+
+def augmented_relation_name(name: str) -> str:
+    """The name of the augmented inverse relation for *name*."""
+    return f"{name}{INVERSE_SUFFIX}"
+
+
+def is_augmented_relation_name(name: str) -> bool:
+    """Whether *name* denotes an augmented inverse relation."""
+    return name.endswith(INVERSE_SUFFIX)
+
+
+def augment_with_inverses(dataset: KGDataset) -> KGDataset:
+    """Return a new dataset with CPh inverse augmentation applied to train.
+
+    For a dataset with ``R`` relations the result has ``2R`` relations; the
+    training split contains the original triples followed by their inverses
+    ``(t, h, r + R)``.  Valid/test are carried over unchanged (but re-typed
+    to the doubled relation space, so the same model can score them).
+    """
+    num_relations = dataset.num_relations
+    relations = Vocabulary(dataset.relations.to_list())
+    for name in dataset.relations:
+        # Repeated augmentation (augmenting an already-augmented dataset)
+        # would collide on names; uniquify with a numeric suffix so the
+        # id layout (augmented id = original id + R) always holds.
+        candidate = augmented_relation_name(name)
+        counter = 2
+        while candidate in relations:
+            candidate = f"{augmented_relation_name(name)}{counter}"
+            counter += 1
+        relations.add(candidate)
+
+    train = dataset.train
+    inverse_train = train.inverted(relation_offset=num_relations)
+    augmented_train = TripleSet(
+        train.array, dataset.num_entities, 2 * num_relations
+    ).concat(inverse_train)
+
+    def retype(split: TripleSet) -> TripleSet:
+        return TripleSet(split.array, dataset.num_entities, 2 * num_relations)
+
+    return KGDataset(
+        entities=dataset.entities,
+        relations=relations,
+        train=augmented_train,
+        valid=retype(dataset.valid),
+        test=retype(dataset.test),
+        name=f"{dataset.name}+inv",
+    )

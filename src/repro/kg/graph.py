@@ -1,0 +1,195 @@
+"""Dataset container: vocabularies + train/valid/test splits + filter index.
+
+:class:`KGDataset` is the object every trainer, evaluator and benchmark in
+this repository consumes.  It bundles the entity/relation vocabularies with
+the three standard splits and lazily builds the *filter index* required by
+the filtered ranking protocol of Bordes et al. (2013): for each
+``(h, r)`` the set of known true tails across all splits, and for each
+``(t, r)`` the set of known true heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+
+
+class FilterIndex:
+    """Known-triple index used to filter accidental true triples when ranking.
+
+    The index answers two queries, both returning sorted numpy id arrays:
+
+    * :meth:`true_tails` — entities ``t'`` such that ``(h, t', r)`` is known.
+    * :meth:`true_heads` — entities ``h'`` such that ``(h', t, r)`` is known.
+    """
+
+    def __init__(self, triples: TripleSet) -> None:
+        tails: dict[tuple[int, int], list[int]] = {}
+        heads: dict[tuple[int, int], list[int]] = {}
+        for h, t, r in triples:
+            tails.setdefault((h, r), []).append(t)
+            heads.setdefault((t, r), []).append(h)
+        self._tails = {k: np.unique(np.asarray(v, dtype=np.int64)) for k, v in tails.items()}
+        self._heads = {k: np.unique(np.asarray(v, dtype=np.int64)) for k, v in heads.items()}
+        self.num_entities = triples.num_entities
+        self.num_relations = triples.num_relations
+
+    _EMPTY = np.empty(0, dtype=np.int64)
+
+    def true_tails(self, head: int, relation: int) -> np.ndarray:
+        """Sorted ids of all known true tails of ``(head, ?, relation)``."""
+        return self._tails.get((int(head), int(relation)), self._EMPTY)
+
+    def true_heads(self, tail: int, relation: int) -> np.ndarray:
+        """Sorted ids of all known true heads of ``(?, tail, relation)``."""
+        return self._heads.get((int(tail), int(relation)), self._EMPTY)
+
+    def contains(self, head: int, tail: int, relation: int) -> bool:
+        """Whether ``(head, tail, relation)`` is a known true triple."""
+        tails = self.true_tails(head, relation)
+        pos = int(np.searchsorted(tails, tail))
+        return pos < len(tails) and int(tails[pos]) == int(tail)
+
+
+@dataclass
+class KGDataset:
+    """A knowledge graph dataset with train/valid/test splits.
+
+    Attributes
+    ----------
+    entities, relations:
+        Vocabularies; ``len(entities)`` and ``len(relations)`` define the id
+        spaces shared by all three splits.
+    train, valid, test:
+        The splits as :class:`TripleSet` instances over those id spaces.
+    name:
+        Human-readable dataset name used in logs and benchmark output.
+    """
+
+    entities: Vocabulary
+    relations: Vocabulary
+    train: TripleSet
+    valid: TripleSet
+    test: TripleSet
+    name: str = "unnamed"
+    _filter_index: FilterIndex | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        ne, nr = len(self.entities), len(self.relations)
+        for split_name, split in self.splits.items():
+            if split.num_entities > ne or split.num_relations > nr:
+                raise DatasetError(
+                    f"split {split_name!r} references ids outside the vocabularies "
+                    f"({split.num_entities} entities / {split.num_relations} relations "
+                    f"vs {ne} / {nr})"
+                )
+        if len(self.train) == 0:
+            raise DatasetError("training split must be non-empty")
+        train_set = self.train.as_set()
+        for split_name, split in (("valid", self.valid), ("test", self.test)):
+            overlap = len(train_set & split.as_set())
+            if overlap:
+                raise DatasetError(
+                    f"{overlap} triples appear in both train and {split_name}; "
+                    "splits must be disjoint"
+                )
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def num_entities(self) -> int:
+        """Size of the entity id space."""
+        return len(self.entities)
+
+    @property
+    def num_relations(self) -> int:
+        """Size of the relation id space."""
+        return len(self.relations)
+
+    @property
+    def splits(self) -> dict[str, TripleSet]:
+        """Mapping of split name to :class:`TripleSet`."""
+        return {"train": self.train, "valid": self.valid, "test": self.test}
+
+    def all_triples(self) -> TripleSet:
+        """Union of all three splits (with duplicates removed)."""
+        return self.train.concat(self.valid).concat(self.test).deduplicate()
+
+    @property
+    def filter_index(self) -> FilterIndex:
+        """Filter index over *all* splits, built lazily and cached."""
+        if self._filter_index is None:
+            self._filter_index = FilterIndex(self.all_triples())
+        return self._filter_index
+
+    def __repr__(self) -> str:
+        return (
+            f"KGDataset(name={self.name!r}, entities={self.num_entities}, "
+            f"relations={self.num_relations}, train={len(self.train)}, "
+            f"valid={len(self.valid)}, test={len(self.test)})"
+        )
+
+    # ------------------------------------------------------------- constructors
+    @classmethod
+    def from_labeled_triples(
+        cls,
+        train: list[tuple[str, str, str]],
+        valid: list[tuple[str, str, str]],
+        test: list[tuple[str, str, str]],
+        name: str = "unnamed",
+    ) -> "KGDataset":
+        """Build a dataset from ``(head, tail, relation)`` *name* triples.
+
+        Vocabularies are constructed from the union of all splits, in first
+        occurrence order over train, then valid, then test.
+        """
+        entities = Vocabulary()
+        relations = Vocabulary()
+        split_arrays = []
+        for labeled in (train, valid, test):
+            rows = np.empty((len(labeled), 3), dtype=np.int64)
+            for i, (h, t, r) in enumerate(labeled):
+                rows[i, 0] = entities.get_or_add(h)
+                rows[i, 1] = entities.get_or_add(t)
+                rows[i, 2] = relations.get_or_add(r)
+            split_arrays.append(rows)
+        ne, nr = len(entities), len(relations)
+        return cls(
+            entities=entities,
+            relations=relations,
+            train=TripleSet(split_arrays[0], ne, nr),
+            valid=TripleSet(split_arrays[1], ne, nr),
+            test=TripleSet(split_arrays[2], ne, nr),
+            name=name,
+        )
+
+
+def split_triples(
+    triples: TripleSet,
+    valid_fraction: float,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[TripleSet, TripleSet, TripleSet]:
+    """Randomly split *triples* into train/valid/test.
+
+    The split is by uniform permutation; callers that need every entity to
+    appear in train (the usual requirement so that test entities have
+    trained embeddings) should use
+    :func:`repro.kg.synthetic.generate_synthetic_kg`, which enforces it.
+    """
+    if not 0.0 <= valid_fraction < 1.0 or not 0.0 <= test_fraction < 1.0:
+        raise DatasetError("split fractions must lie in [0, 1)")
+    if valid_fraction + test_fraction >= 1.0:
+        raise DatasetError("valid + test fractions must leave room for train")
+    n = len(triples)
+    order = rng.permutation(n)
+    n_valid = int(round(n * valid_fraction))
+    n_test = int(round(n * test_fraction))
+    valid_idx = order[:n_valid]
+    test_idx = order[n_valid : n_valid + n_test]
+    train_idx = order[n_valid + n_test :]
+    return triples.subset(train_idx), triples.subset(valid_idx), triples.subset(test_idx)

@@ -1,0 +1,130 @@
+"""Reading and writing triples in the standard whitespace-separated format.
+
+The on-disk format is the one used by the WN18 / FB15k benchmark releases:
+one triple per line, ``head<TAB>relation<TAB>tail`` (note the column order
+on disk differs from the in-memory ``(h, t, r)`` order; this module
+converts).  A dataset directory contains ``train.txt``, ``valid.txt`` and
+``test.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.kg.graph import KGDataset
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+
+_SPLIT_FILES = {"train": "train.txt", "valid": "valid.txt", "test": "test.txt"}
+
+
+def read_labeled_triples(path: str | Path) -> list[tuple[str, str, str]]:
+    """Read ``head<TAB>relation<TAB>tail`` lines into ``(h, t, r)`` tuples.
+
+    Blank lines are skipped.  Raises :class:`DatasetError` on malformed
+    lines so silent truncation cannot occur.
+    """
+    path = Path(path)
+    triples: list[tuple[str, str, str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            parts = line.split("\t") if "\t" in line else line.split()
+            if len(parts) != 3:
+                raise DatasetError(f"{path}:{lineno}: expected 3 columns, got {len(parts)}")
+            head, relation, tail = parts
+            triples.append((head, tail, relation))
+    return triples
+
+
+def write_labeled_triples(
+    path: str | Path, triples: list[tuple[str, str, str]]
+) -> None:
+    """Write ``(h, t, r)`` tuples as ``head<TAB>relation<TAB>tail`` lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for head, tail, relation in triples:
+            handle.write(f"{head}\t{relation}\t{tail}\n")
+
+
+def load_dataset_directory(directory: str | Path, name: str | None = None) -> KGDataset:
+    """Load a WN18-style dataset directory with train/valid/test files."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DatasetError(f"not a dataset directory: {directory}")
+    splits = {}
+    for split, filename in _SPLIT_FILES.items():
+        file_path = directory / filename
+        if not file_path.exists():
+            raise DatasetError(f"missing split file: {file_path}")
+        splits[split] = read_labeled_triples(file_path)
+    return KGDataset.from_labeled_triples(
+        train=splits["train"],
+        valid=splits["valid"],
+        test=splits["test"],
+        name=name or directory.name,
+    )
+
+
+def save_dataset_directory(dataset: KGDataset, directory: str | Path) -> None:
+    """Write *dataset* as a WN18-style directory (plus a vocab sidecar).
+
+    The sidecar ``vocab.json`` preserves the exact id order so that a
+    round-trip through :func:`load_dataset_directory` +
+    :func:`load_vocabularies` reproduces identical id assignments.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for split, filename in _SPLIT_FILES.items():
+        triples = dataset.splits[split]
+        labeled = [
+            (dataset.entities.name(h), dataset.entities.name(t), dataset.relations.name(r))
+            for h, t, r in triples
+        ]
+        write_labeled_triples(directory / filename, labeled)
+    sidecar = {
+        "name": dataset.name,
+        "entities": dataset.entities.to_list(),
+        "relations": dataset.relations.to_list(),
+    }
+    (directory / "vocab.json").write_text(json.dumps(sidecar), encoding="utf-8")
+
+
+def load_vocabularies(directory: str | Path) -> tuple[Vocabulary, Vocabulary]:
+    """Load the ``vocab.json`` sidecar written by :func:`save_dataset_directory`."""
+    sidecar_path = Path(directory) / "vocab.json"
+    if not sidecar_path.exists():
+        raise DatasetError(f"missing vocab sidecar: {sidecar_path}")
+    payload = json.loads(sidecar_path.read_text(encoding="utf-8"))
+    return (
+        Vocabulary.from_list(payload["entities"]),
+        Vocabulary.from_list(payload["relations"]),
+    )
+
+
+def load_dataset_with_sidecar(directory: str | Path) -> KGDataset:
+    """Load a dataset directory using the vocab sidecar for exact id order."""
+    directory = Path(directory)
+    entities, relations = load_vocabularies(directory)
+    payload = json.loads((directory / "vocab.json").read_text(encoding="utf-8"))
+    splits = {}
+    for split, filename in _SPLIT_FILES.items():
+        labeled = read_labeled_triples(directory / filename)
+        rows = [
+            (entities.index(h), entities.index(t), relations.index(r))
+            for h, t, r in labeled
+        ]
+        splits[split] = TripleSet(rows, len(entities), len(relations))
+    return KGDataset(
+        entities=entities,
+        relations=relations,
+        train=splits["train"],
+        valid=splits["valid"],
+        test=splits["test"],
+        name=payload.get("name", directory.name),
+    )

@@ -1,0 +1,61 @@
+"""Summary statistics for knowledge graph datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kg.graph import KGDataset
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Headline statistics of a :class:`~repro.kg.graph.KGDataset`."""
+
+    name: str
+    num_entities: int
+    num_relations: int
+    num_train: int
+    num_valid: int
+    num_test: int
+    mean_entity_degree: float
+    median_entity_degree: float
+    max_entity_degree: int
+    isolated_entities: int
+    relation_frequencies: tuple[int, ...]
+
+    def format_table(self) -> str:
+        """Render the stats as an aligned plain-text table."""
+        rows = [
+            ("dataset", self.name),
+            ("entities", f"{self.num_entities:,}"),
+            ("relations", f"{self.num_relations:,}"),
+            ("train triples", f"{self.num_train:,}"),
+            ("valid triples", f"{self.num_valid:,}"),
+            ("test triples", f"{self.num_test:,}"),
+            ("mean degree", f"{self.mean_entity_degree:.2f}"),
+            ("median degree", f"{self.median_entity_degree:.1f}"),
+            ("max degree", f"{self.max_entity_degree:,}"),
+            ("isolated entities", f"{self.isolated_entities:,}"),
+        ]
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+def compute_stats(dataset: KGDataset) -> DatasetStats:
+    """Compute :class:`DatasetStats` over the training split of *dataset*."""
+    degree = dataset.train.entity_degree()
+    return DatasetStats(
+        name=dataset.name,
+        num_entities=dataset.num_entities,
+        num_relations=dataset.num_relations,
+        num_train=len(dataset.train),
+        num_valid=len(dataset.valid),
+        num_test=len(dataset.test),
+        mean_entity_degree=float(degree.mean()) if len(degree) else 0.0,
+        median_entity_degree=float(np.median(degree)) if len(degree) else 0.0,
+        max_entity_degree=int(degree.max()) if len(degree) else 0,
+        isolated_entities=int((degree == 0).sum()),
+        relation_frequencies=tuple(int(c) for c in dataset.train.relation_frequency()),
+    )

@@ -1,0 +1,280 @@
+"""Synthetic WordNet-like knowledge graph generator.
+
+The paper evaluates on WN18, which is not redistributable inside this
+offline environment, so experiments run on a synthetic dataset that
+reproduces the *structural* properties of WN18 that drive every result in
+the paper:
+
+* **Inverse relation pairs** (hypernym/hyponym, part_of/has_part,
+  member_of_domain/domain_member).  WN18's famous quirk is that ~94% of
+  test triples have their inverse counterpart in the training set; a plain
+  random split over a graph asserted in both directions reproduces this
+  leakage automatically (the partner of an eval triple lands in train with
+  probability ≈ the train fraction).  This leakage is exactly what CP
+  cannot exploit (role-based embeddings are decoupled) and what
+  ComplEx/CPh exploit well — the core empirical finding of Table 2.
+* **Symmetric relations** (similar_to, verb_group, also_see) that DistMult
+  models perfectly.
+* **Asymmetric hierarchy edges** whose direction DistMult provably cannot
+  distinguish (its score is symmetric), capping its MRR below
+  ComplEx/CPh — the DistMult row of Table 2.
+* **Compositional shortcuts** (grandparent edges) and a low-frequency tail
+  of relations, mimicking WN18's skewed relation frequency distribution.
+
+Entities are organised as a random recursive tree (a toy taxonomy) with a
+cluster overlay (toy synsets' semantic fields).  All randomness flows from
+one :class:`numpy.random.Generator` seeded by the config, so generation is
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kg.graph import KGDataset
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+
+#: Relation inventory: (name, kind, inverse_name_or_None).
+#: Kinds: "hierarchy" (tree edges, asymmetric), "composed" (grandparent),
+#: "intra_cluster" (directed within cluster), "hub" (entity -> domain hub),
+#: "symmetric" (asserted both ways under the same relation).
+_RELATION_PLAN: tuple[tuple[str, str, str | None], ...] = (
+    ("hypernym", "hierarchy", "hyponym"),
+    ("instance_hypernym", "composed", "instance_hyponym"),
+    ("part_of", "intra_cluster", "has_part"),
+    ("member_of_domain", "hub", "domain_member"),
+    ("similar_to", "symmetric", None),
+    ("verb_group", "symmetric", None),
+    ("also_see", "symmetric", None),
+    ("attribute", "intra_cluster", "attribute_of"),
+)
+
+
+@dataclass(frozen=True)
+class SyntheticKGConfig:
+    """Configuration for :func:`generate_synthetic_kg`.
+
+    Parameters
+    ----------
+    num_entities:
+        Number of entities (WN18 has 40,943; benches default to ~1.5k).
+    num_clusters:
+        Number of semantic clusters used by intra-cluster and symmetric
+        relations.
+    num_domains:
+        Number of hub entities that act as "domain" targets.
+    intra_cluster_facts_per_entity:
+        Density knob for directed intra-cluster relations.
+    symmetric_facts_per_entity:
+        Density knob for symmetric relations.
+    composed_fraction:
+        Fraction of tree nodes that also get a grandparent shortcut edge.
+    valid_fraction, test_fraction:
+        Eval split sizes as fractions of all triples (WN18 uses ~3.3% each).
+    seed:
+        Seed for the single generator that drives all sampling.
+    """
+
+    num_entities: int = 1500
+    num_clusters: int = 60
+    num_domains: int = 12
+    intra_cluster_facts_per_entity: float = 1.0
+    symmetric_facts_per_entity: float = 1.0
+    composed_fraction: float = 0.35
+    valid_fraction: float = 0.04
+    test_fraction: float = 0.04
+    seed: int = 0
+    name: str = "synthetic-wn18"
+
+    def __post_init__(self) -> None:
+        if self.num_entities < 10:
+            raise ConfigError("num_entities must be >= 10")
+        if not 1 <= self.num_clusters <= self.num_entities:
+            raise ConfigError("num_clusters must be in [1, num_entities]")
+        if not 1 <= self.num_domains <= self.num_entities:
+            raise ConfigError("num_domains must be in [1, num_entities]")
+        if self.valid_fraction + self.test_fraction >= 0.5:
+            raise ConfigError("eval fractions unreasonably large (>= 0.5 combined)")
+        if min(self.valid_fraction, self.test_fraction) < 0:
+            raise ConfigError("eval fractions must be non-negative")
+
+
+@dataclass
+class _FactBuilder:
+    """Accumulates (h, t, r) rows while deduplicating and skipping loops."""
+
+    rows: list[tuple[int, int, int]] = field(default_factory=list)
+    seen: set[tuple[int, int, int]] = field(default_factory=set)
+
+    def add(self, head: int, tail: int, relation: int) -> None:
+        if head == tail:
+            return
+        key = (head, tail, relation)
+        if key in self.seen:
+            return
+        self.seen.add(key)
+        self.rows.append(key)
+
+
+def _build_relation_vocab() -> tuple[Vocabulary, dict[str, int]]:
+    relations = Vocabulary()
+    for name, _kind, inverse in _RELATION_PLAN:
+        relations.add(name)
+        if inverse is not None:
+            relations.add(inverse)
+    return relations, {name: relations.index(name) for name in relations}
+
+
+def inverse_relation_pairs() -> tuple[tuple[str, str], ...]:
+    """The (relation, inverse-relation) name pairs asserted by the generator."""
+    return tuple(
+        (name, inverse) for name, _kind, inverse in _RELATION_PLAN if inverse is not None
+    )
+
+
+def symmetric_relation_names() -> tuple[str, ...]:
+    """Names of the relations asserted symmetrically by the generator."""
+    return tuple(name for name, kind, _inv in _RELATION_PLAN if kind == "symmetric")
+
+
+def _sample_tree_parents(num_entities: int, rng: np.random.Generator) -> np.ndarray:
+    """Random recursive tree: parent of node i is uniform over 0..i-1."""
+    parents = np.zeros(num_entities, dtype=np.int64)
+    for node in range(1, num_entities):
+        parents[node] = rng.integers(0, node)
+    return parents
+
+
+def _generate_facts(config: SyntheticKGConfig, rng: np.random.Generator) -> tuple[
+    np.ndarray, Vocabulary
+]:
+    relations, rel_id = _build_relation_vocab()
+    n = config.num_entities
+    parents = _sample_tree_parents(n, rng)
+    clusters = rng.integers(0, config.num_clusters, size=n)
+    domain_hubs = rng.choice(n, size=config.num_domains, replace=False)
+    cluster_to_domain = rng.integers(0, config.num_domains, size=config.num_clusters)
+    cluster_members: list[np.ndarray] = [
+        np.flatnonzero(clusters == c) for c in range(config.num_clusters)
+    ]
+
+    facts = _FactBuilder()
+
+    def add_pair(head: int, tail: int, fwd: str, inverse: str | None) -> None:
+        facts.add(head, tail, rel_id[fwd])
+        if inverse is not None:
+            facts.add(tail, head, rel_id[inverse])
+
+    # Hierarchy: every non-root node points to its parent (and back).
+    for node in range(1, n):
+        add_pair(node, int(parents[node]), "hypernym", "hyponym")
+
+    # Composed shortcuts: child -> grandparent for a sampled subset.
+    eligible = np.arange(2, n)
+    n_composed = int(round(config.composed_fraction * len(eligible)))
+    for node in rng.choice(eligible, size=n_composed, replace=False):
+        grandparent = int(parents[parents[node]])
+        add_pair(int(node), grandparent, "instance_hypernym", "instance_hyponym")
+
+    # Directed intra-cluster relations (part_of, attribute).
+    for fwd, inverse in (("part_of", "has_part"), ("attribute", "attribute_of")):
+        n_facts = int(round(config.intra_cluster_facts_per_entity * n / 2))
+        heads = rng.integers(0, n, size=n_facts)
+        for head in heads:
+            members = cluster_members[clusters[head]]
+            if len(members) < 2:
+                continue
+            tail = int(rng.choice(members))
+            add_pair(int(head), tail, fwd, inverse)
+
+    # Hub relations: entity -> the domain hub of its cluster.
+    hub_candidates = rng.choice(n, size=int(round(0.4 * n)), replace=False)
+    for head in hub_candidates:
+        hub = int(domain_hubs[cluster_to_domain[clusters[head]]])
+        add_pair(int(head), hub, "member_of_domain", "domain_member")
+
+    # Symmetric relations: both directions under the same relation id.
+    symmetric_names = symmetric_relation_names()
+    for name in symmetric_names:
+        density = config.symmetric_facts_per_entity / max(len(symmetric_names), 1)
+        n_facts = int(round(density * n))
+        heads = rng.integers(0, n, size=n_facts)
+        for head in heads:
+            members = cluster_members[clusters[head]]
+            if len(members) < 2:
+                continue
+            tail = int(rng.choice(members))
+            if tail == head:
+                continue
+            facts.add(int(head), tail, rel_id[name])
+            facts.add(tail, int(head), rel_id[name])
+
+    return np.asarray(facts.rows, dtype=np.int64), relations
+
+
+def _coverage_fixup(
+    triples: np.ndarray,
+    assignment: np.ndarray,
+    num_entities: int,
+    num_relations: int,
+) -> np.ndarray:
+    """Move eval triples to train until every entity/relation occurs in train.
+
+    ``assignment`` maps each triple row to 0=train, 1=valid, 2=test and is
+    modified in place (and also returned).
+    """
+    train_mask = assignment == 0
+    entity_covered = np.zeros(num_entities, dtype=bool)
+    entity_covered[triples[train_mask, 0]] = True
+    entity_covered[triples[train_mask, 1]] = True
+    relation_covered = np.zeros(num_relations, dtype=bool)
+    relation_covered[triples[train_mask, 2]] = True
+
+    for row in np.flatnonzero(~train_mask):
+        h, t, r = triples[row]
+        if not (entity_covered[h] and entity_covered[t] and relation_covered[r]):
+            assignment[row] = 0
+            entity_covered[h] = entity_covered[t] = True
+            relation_covered[r] = True
+    return assignment
+
+
+def generate_synthetic_kg(config: SyntheticKGConfig | None = None) -> KGDataset:
+    """Generate a synthetic WN18-like dataset.
+
+    Returns a :class:`KGDataset` whose train/valid/test splits are a plain
+    random split of the asserted triples (reproducing WN18's inverse
+    leakage), post-processed so that every entity and relation occurs in
+    the training split.
+    """
+    config = config or SyntheticKGConfig()
+    rng = np.random.default_rng(config.seed)
+    triples, relations = _generate_facts(config, rng)
+    if len(triples) == 0:
+        raise ConfigError("generator produced no triples; densities too low")
+    order = rng.permutation(len(triples))
+    triples = triples[order]
+
+    n = len(triples)
+    n_valid = int(round(config.valid_fraction * n))
+    n_test = int(round(config.test_fraction * n))
+    assignment = np.zeros(n, dtype=np.int64)
+    assignment[:n_valid] = 1
+    assignment[n_valid : n_valid + n_test] = 2
+    assignment = assignment[rng.permutation(n)]
+    assignment = _coverage_fixup(triples, assignment, config.num_entities, len(relations))
+
+    entities = Vocabulary(f"entity_{i:05d}" for i in range(config.num_entities))
+    ne, nr = config.num_entities, len(relations)
+    return KGDataset(
+        entities=entities,
+        relations=relations,
+        train=TripleSet(triples[assignment == 0], ne, nr),
+        valid=TripleSet(triples[assignment == 1], ne, nr),
+        test=TripleSet(triples[assignment == 2], ne, nr),
+        name=config.name,
+    )

@@ -1,0 +1,110 @@
+"""Vocabularies mapping entity / relation names to contiguous integer ids.
+
+Knowledge graph embedding models index embedding tables by integer id, so
+the first step of any pipeline is a stable, contiguous mapping from string
+names to ``0..n-1``.  :class:`Vocabulary` provides that mapping plus
+round-tripping, containment tests, and (de)serialisation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import VocabularyError
+
+
+class Vocabulary:
+    """A bidirectional mapping between names and contiguous integer ids.
+
+    Ids are assigned in insertion order starting from zero.  The mapping is
+    append-only: names can be added but never removed, which guarantees that
+    ids already handed out stay valid.
+
+    Example
+    -------
+    >>> vocab = Vocabulary(["dog", "cat"])
+    >>> vocab.index("cat")
+    1
+    >>> vocab.name(0)
+    'dog'
+    >>> len(vocab)
+    2
+    """
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._name_to_id: dict[str, int] = {}
+        self._names: list[str] = []
+        for name in names:
+            self.add(name)
+
+    def add(self, name: str) -> int:
+        """Add *name* and return its id; raise if it already exists."""
+        if not isinstance(name, str):
+            raise VocabularyError(f"vocabulary names must be str, got {type(name).__name__}")
+        if name in self._name_to_id:
+            raise VocabularyError(f"duplicate vocabulary name: {name!r}")
+        idx = len(self._names)
+        self._name_to_id[name] = idx
+        self._names.append(name)
+        return idx
+
+    def get_or_add(self, name: str) -> int:
+        """Return the id of *name*, adding it first if unseen."""
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        return self.add(name)
+
+    def index(self, name: str) -> int:
+        """Return the id of *name*; raise :class:`VocabularyError` if unknown."""
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise VocabularyError(f"unknown name: {name!r}") from None
+
+    def indices(self, names: Sequence[str]) -> list[int]:
+        """Vectorised :meth:`index` over a sequence of names."""
+        return [self.index(name) for name in names]
+
+    def name(self, idx: int) -> str:
+        """Return the name with id *idx*; raise :class:`VocabularyError` if out of range."""
+        if not 0 <= idx < len(self._names):
+            raise VocabularyError(f"id {idx} out of range for vocabulary of size {len(self)}")
+        return self._names[idx]
+
+    def names(self, indices: Iterable[int]) -> list[str]:
+        """Vectorised :meth:`name` over a sequence of ids."""
+        return [self.name(idx) for idx in indices]
+
+    @property
+    def all_names(self) -> tuple[str, ...]:
+        """All names in id order."""
+        return tuple(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._name_to_id
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._names == other._names
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(n) for n in self._names[:3])
+        suffix = ", ..." if len(self._names) > 3 else ""
+        return f"Vocabulary([{preview}{suffix}], size={len(self)})"
+
+    def to_list(self) -> list[str]:
+        """Serialise to a plain list of names in id order."""
+        return list(self._names)
+
+    @classmethod
+    def from_list(cls, names: Sequence[str]) -> "Vocabulary":
+        """Rebuild a vocabulary from :meth:`to_list` output."""
+        return cls(names)

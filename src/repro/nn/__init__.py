@@ -1,0 +1,69 @@
+"""Neural-network substrate: initializers, losses, optimizers, autodiff.
+
+This package is the repository's stand-in for the parts of PyTorch the
+paper relied on: parameter initialisation, the logistic loss of Eq. 16,
+Adam/Adagrad/SGD with lazy sparse row updates, per-iteration norm
+constraints, the regularizers (including the Dirichlet sparsity loss of
+Eq. 12), and a minimal reverse-mode autodiff engine used for gradient
+checking and the ER-MLP baseline.
+"""
+
+from repro.nn.autodiff import Tensor, numeric_gradient
+from repro.nn.constraints import MaxNormConstraint, UnitNormConstraint
+from repro.nn.initializers import (
+    INITIALIZERS,
+    get_initializer,
+    normal,
+    uniform,
+    unit_normalized,
+    xavier_uniform,
+)
+from repro.nn.losses import (
+    LogisticLoss,
+    MarginRankingLoss,
+    binary_cross_entropy_from_logits,
+    sigmoid,
+    softplus,
+)
+from repro.nn.optimizers import (
+    OPTIMIZERS,
+    Adagrad,
+    Adam,
+    Optimizer,
+    SGD,
+    aggregate_rows,
+    make_optimizer,
+)
+from repro.nn.regularizers import (
+    DirichletSparsityRegularizer,
+    L2Regularizer,
+    N3Regularizer,
+)
+
+__all__ = [
+    "Adagrad",
+    "Adam",
+    "DirichletSparsityRegularizer",
+    "INITIALIZERS",
+    "L2Regularizer",
+    "LogisticLoss",
+    "MarginRankingLoss",
+    "MaxNormConstraint",
+    "N3Regularizer",
+    "OPTIMIZERS",
+    "Optimizer",
+    "SGD",
+    "Tensor",
+    "UnitNormConstraint",
+    "aggregate_rows",
+    "binary_cross_entropy_from_logits",
+    "get_initializer",
+    "make_optimizer",
+    "normal",
+    "numeric_gradient",
+    "sigmoid",
+    "softplus",
+    "uniform",
+    "unit_normalized",
+    "xavier_uniform",
+]

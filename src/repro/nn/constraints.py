@@ -1,0 +1,71 @@
+"""Parameter constraints applied after each optimizer step.
+
+The paper constrains entity embedding vectors to unit L2 norm after every
+training iteration (§5.3).  For multi-embedding tables of shape
+``(num_items, num_vectors, dim)`` each of the ``num_vectors`` component
+vectors is normalised independently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class UnitNormConstraint:
+    """Project (selected rows of) an embedding table onto unit L2 spheres.
+
+    Normalisation is along the last axis.  Vectors with norm below ``eps``
+    are left untouched (projecting the zero vector is undefined).
+    """
+
+    def __init__(self, eps: float = 1e-12) -> None:
+        if eps <= 0:
+            raise ConfigError("eps must be positive")
+        self.eps = float(eps)
+
+    def apply(self, table: np.ndarray, rows: np.ndarray | None = None) -> None:
+        """Normalise *table* in place; restrict to *rows* when given."""
+        if rows is None:
+            block = table
+        else:
+            rows = np.asarray(rows, dtype=np.int64)
+            block = table[rows]
+        norms = np.linalg.norm(block, axis=-1, keepdims=True)
+        safe = np.where(norms > self.eps, norms, 1.0)
+        block = block / safe
+        if rows is None:
+            table[...] = block
+        else:
+            table[rows] = block
+
+    def violation(self, table: np.ndarray) -> float:
+        """Max absolute deviation of any vector norm from 1 (diagnostic)."""
+        norms = np.linalg.norm(table, axis=-1)
+        return float(np.max(np.abs(norms - 1.0))) if norms.size else 0.0
+
+
+class MaxNormConstraint:
+    """Clip vector norms to at most ``max_norm`` (TransE-style constraint)."""
+
+    def __init__(self, max_norm: float = 1.0, eps: float = 1e-12) -> None:
+        if max_norm <= 0:
+            raise ConfigError("max_norm must be positive")
+        self.max_norm = float(max_norm)
+        self.eps = float(eps)
+
+    def apply(self, table: np.ndarray, rows: np.ndarray | None = None) -> None:
+        """Rescale in place any vector whose norm exceeds ``max_norm``."""
+        if rows is None:
+            block = table
+        else:
+            rows = np.asarray(rows, dtype=np.int64)
+            block = table[rows]
+        norms = np.linalg.norm(block, axis=-1, keepdims=True)
+        scale = np.minimum(1.0, self.max_norm / np.maximum(norms, self.eps))
+        block = block * scale
+        if rows is None:
+            table[...] = block
+        else:
+            table[rows] = block

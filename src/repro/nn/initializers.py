@@ -1,0 +1,71 @@
+"""Embedding initializers.
+
+All initializers are pure functions of an explicit
+:class:`numpy.random.Generator`, keeping every experiment reproducible
+from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+
+    For an embedding table we treat the last axis as fan_in == fan_out ==
+    the embedding dimension, which reduces to ``a = sqrt(3 / dim)`` — the
+    same convention PyTorch applies to 2-D embedding weights.
+    """
+    if not shape:
+        raise ConfigError("shape must be non-empty")
+    dim = shape[-1]
+    bound = np.sqrt(3.0 / dim)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.1) -> np.ndarray:
+    """Gaussian init with mean zero and the given standard deviation."""
+    if std <= 0:
+        raise ConfigError("std must be positive")
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, low: float = -0.1, high: float = 0.1
+) -> np.ndarray:
+    """Uniform init over ``[low, high)``."""
+    if low >= high:
+        raise ConfigError("low must be < high")
+    return rng.uniform(low, high, size=shape)
+
+
+def unit_normalized(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Gaussian init followed by L2 normalisation of the last axis.
+
+    Matches the paper's constraint that entity embedding vectors have unit
+    L2 norm, so training starts already on the constraint manifold.
+    """
+    table = rng.normal(0.0, 1.0, size=shape)
+    norms = np.linalg.norm(table, axis=-1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return table / norms
+
+
+INITIALIZERS = {
+    "xavier_uniform": xavier_uniform,
+    "normal": normal,
+    "uniform": uniform,
+    "unit_normalized": unit_normalized,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name; raises :class:`ConfigError` if unknown."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(INITIALIZERS))
+        raise ConfigError(f"unknown initializer {name!r}; known: {known}") from None

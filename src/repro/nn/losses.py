@@ -1,0 +1,112 @@
+"""Loss functions for triple classification.
+
+The paper trains with the logistic (negative log-likelihood) loss of
+Eq. 15/16: with labels ``y in {+1, -1}`` the per-triple loss is
+``softplus(-y * s) = log(1 + exp(-y * s))``.  A margin-based ranking loss
+is included for the TransE baseline, which was historically trained that
+way (Bordes et al. 2013).
+
+Each loss exposes ``value`` (mean loss) and ``grad_score`` (gradient of
+the mean loss with respect to each score), which is all the manual
+backward passes in this repository need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    exp_x = np.exp(x[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(1 + exp(x))``."""
+    return np.logaddexp(0.0, x)
+
+
+class LogisticLoss:
+    """Mean logistic loss of Eq. 16: ``mean(softplus(-y * s))``.
+
+    ``grad_score`` returns ``d(mean loss)/d(s) = -y * sigmoid(-y * s) / n``.
+    """
+
+    name = "logistic"
+
+    def value(self, scores: np.ndarray, labels: np.ndarray) -> float:
+        scores, labels = self._check(scores, labels)
+        return float(np.mean(softplus(-labels * scores)))
+
+    def grad_score(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        scores, labels = self._check(scores, labels)
+        return -labels * sigmoid(-labels * scores) / len(scores)
+
+    @staticmethod
+    def _check(scores: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        scores = np.asarray(scores, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if scores.shape != labels.shape:
+            raise ConfigError(f"scores {scores.shape} and labels {labels.shape} must match")
+        if len(scores) == 0:
+            raise ConfigError("loss requires at least one example")
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise ConfigError("labels must be +/-1")
+        return scores, labels
+
+
+class MarginRankingLoss:
+    """Margin ranking loss: ``mean(relu(margin - s_pos + s_neg))``.
+
+    Used by the TransE baseline.  ``grad_pair`` returns gradients with
+    respect to the positive and negative scores of each pair.
+    """
+
+    name = "margin"
+
+    def __init__(self, margin: float = 1.0) -> None:
+        if margin <= 0:
+            raise ConfigError("margin must be positive")
+        self.margin = float(margin)
+
+    def value(self, pos_scores: np.ndarray, neg_scores: np.ndarray) -> float:
+        pos, neg = self._check(pos_scores, neg_scores)
+        return float(np.mean(np.maximum(0.0, self.margin - pos + neg)))
+
+    def grad_pair(
+        self, pos_scores: np.ndarray, neg_scores: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        pos, neg = self._check(pos_scores, neg_scores)
+        active = (self.margin - pos + neg) > 0
+        scale = active.astype(np.float64) / len(pos)
+        return -scale, scale
+
+    @staticmethod
+    def _check(pos: np.ndarray, neg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        pos = np.asarray(pos, dtype=np.float64)
+        neg = np.asarray(neg, dtype=np.float64)
+        if pos.shape != neg.shape:
+            raise ConfigError("positive and negative score shapes must match")
+        if len(pos) == 0:
+            raise ConfigError("loss requires at least one example")
+        return pos, neg
+
+
+def binary_cross_entropy_from_logits(scores: np.ndarray, targets: np.ndarray) -> float:
+    """BCE with {0,1} targets; equivalent to :class:`LogisticLoss` with y=2p-1.
+
+    Provided for the probabilistic reading of Eq. 15.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if scores.shape != targets.shape:
+        raise ConfigError("scores and targets must have the same shape")
+    # softplus(s) - s*t  ==  -t*log(sigmoid(s)) - (1-t)*log(1-sigmoid(s))
+    return float(np.mean(softplus(scores) - scores * targets))

@@ -1,0 +1,194 @@
+"""Optimizers with dense and lazy-sparse update paths.
+
+Embedding models touch only a handful of rows per mini-batch, so updating
+the full table every step would dominate runtime.  Each optimizer here
+therefore exposes two paths:
+
+* :meth:`Optimizer.step_dense` — update a full parameter array (used for
+  small parameters such as the interaction weight vector ω).
+* :meth:`Optimizer.step_sparse` — update only the given *unique* rows of a
+  table.  Adam/Adagrad keep dense state arrays but advance per-row step
+  counters lazily, matching the semantics of ``torch.optim.SparseAdam``.
+
+Use :func:`aggregate_rows` to collapse duplicate row indices (an entity
+can occur several times in one batch) into unique rows with summed
+gradients before calling the sparse path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, TrainingError
+
+
+def aggregate_rows(indices: np.ndarray, grads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sum gradient rows that share an index.
+
+    Parameters
+    ----------
+    indices:
+        ``(b,)`` integer row indices, possibly with duplicates.
+    grads:
+        ``(b, ...)`` per-occurrence gradients.
+
+    Returns
+    -------
+    ``(unique_rows, summed_grads)`` with ``summed_grads[i]`` the sum of all
+    gradient rows whose index equals ``unique_rows[i]``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    grads = np.asarray(grads, dtype=np.float64)
+    if len(indices) != len(grads):
+        raise TrainingError("indices and grads must have equal leading dimension")
+    unique, inverse = np.unique(indices, return_inverse=True)
+    summed = np.zeros((len(unique),) + grads.shape[1:], dtype=np.float64)
+    np.add.at(summed, inverse, grads)
+    return unique, summed
+
+
+class Optimizer:
+    """Base class; subclasses implement the two update paths."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self._state: dict[str, dict[str, np.ndarray | int]] = {}
+
+    def _ensure_state(self, name: str, array: np.ndarray) -> dict:
+        state = self._state.get(name)
+        if state is None:
+            state = self._init_state(array)
+            self._state[name] = state
+        return state
+
+    def _init_state(self, array: np.ndarray) -> dict:
+        return {}
+
+    def step_dense(self, name: str, array: np.ndarray, grad: np.ndarray) -> None:
+        """Apply one update to the whole array, in place."""
+        raise NotImplementedError
+
+    def step_sparse(
+        self, name: str, array: np.ndarray, rows: np.ndarray, row_grads: np.ndarray
+    ) -> None:
+        """Apply one update to ``array[rows]`` in place; *rows* must be unique."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all accumulated state (moments, step counters)."""
+        self._state.clear()
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent (no momentum)."""
+
+    def step_dense(self, name: str, array: np.ndarray, grad: np.ndarray) -> None:
+        array -= self.learning_rate * grad
+
+    def step_sparse(
+        self, name: str, array: np.ndarray, rows: np.ndarray, row_grads: np.ndarray
+    ) -> None:
+        array[rows] -= self.learning_rate * row_grads
+
+
+class Adagrad(Optimizer):
+    """Adagrad with per-coordinate accumulated squared gradients."""
+
+    def __init__(self, learning_rate: float = 0.1, eps: float = 1e-10) -> None:
+        super().__init__(learning_rate)
+        self.eps = float(eps)
+
+    def _init_state(self, array: np.ndarray) -> dict:
+        return {"accum": np.zeros_like(array, dtype=np.float64)}
+
+    def step_dense(self, name: str, array: np.ndarray, grad: np.ndarray) -> None:
+        state = self._ensure_state(name, array)
+        accum = state["accum"]
+        accum += np.square(grad)
+        array -= self.learning_rate * grad / (np.sqrt(accum) + self.eps)
+
+    def step_sparse(
+        self, name: str, array: np.ndarray, rows: np.ndarray, row_grads: np.ndarray
+    ) -> None:
+        state = self._ensure_state(name, array)
+        accum = state["accum"]
+        accum[rows] += np.square(row_grads)
+        array[rows] -= self.learning_rate * row_grads / (np.sqrt(accum[rows]) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2014) with lazy per-row bias correction.
+
+    The sparse path keeps a per-row step counter so that bias correction
+    for a row reflects how many times *that row* has been updated — the
+    behaviour of ``torch.optim.SparseAdam``, and the right semantics for
+    embeddings where rare entities receive few updates.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigError("betas must lie in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+
+    def _init_state(self, array: np.ndarray) -> dict:
+        return {
+            "m": np.zeros_like(array, dtype=np.float64),
+            "v": np.zeros_like(array, dtype=np.float64),
+            "step": 0,
+            "row_steps": np.zeros(array.shape[0], dtype=np.int64) if array.ndim else None,
+        }
+
+    def step_dense(self, name: str, array: np.ndarray, grad: np.ndarray) -> None:
+        state = self._ensure_state(name, array)
+        state["step"] += 1
+        step = state["step"]
+        m, v = state["m"], state["v"]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * np.square(grad)
+        m_hat = m / (1.0 - self.beta1**step)
+        v_hat = v / (1.0 - self.beta2**step)
+        array -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step_sparse(
+        self, name: str, array: np.ndarray, rows: np.ndarray, row_grads: np.ndarray
+    ) -> None:
+        state = self._ensure_state(name, array)
+        rows = np.asarray(rows, dtype=np.int64)
+        row_steps = state["row_steps"]
+        row_steps[rows] += 1
+        steps = row_steps[rows].astype(np.float64)
+        m, v = state["m"], state["v"]
+        m_rows = self.beta1 * m[rows] + (1.0 - self.beta1) * row_grads
+        v_rows = self.beta2 * v[rows] + (1.0 - self.beta2) * np.square(row_grads)
+        m[rows] = m_rows
+        v[rows] = v_rows
+        correction_shape = (len(rows),) + (1,) * (array.ndim - 1)
+        c1 = (1.0 - self.beta1**steps).reshape(correction_shape)
+        c2 = (1.0 - self.beta2**steps).reshape(correction_shape)
+        array[rows] -= self.learning_rate * (m_rows / c1) / (np.sqrt(v_rows / c2) + self.eps)
+
+
+OPTIMIZERS = {"sgd": SGD, "adagrad": Adagrad, "adam": Adam}
+
+
+def make_optimizer(name: str, learning_rate: float) -> Optimizer:
+    """Build an optimizer by name with the given learning rate."""
+    try:
+        cls = OPTIMIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(OPTIMIZERS))
+        raise ConfigError(f"unknown optimizer {name!r}; known: {known}") from None
+    return cls(learning_rate=learning_rate)

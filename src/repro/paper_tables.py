@@ -1,0 +1,122 @@
+"""Programmatic reproduction of the paper's evaluation tables.
+
+Each ``run_tableN`` function trains every row of the corresponding table
+on a synthetic WN18-like dataset and returns
+:class:`~repro.experiments.ExperimentRow` objects; ``format_table``
+renders them in the paper's layout.  The pytest-benchmark files under
+``benchmarks/`` are thin wrappers over these functions that add timing
+and shape assertions; the CLI exposes them as ``repro-kge table N``.
+"""
+
+from __future__ import annotations
+
+from repro.core import weights as W
+from repro.core.models import (
+    make_complex,
+    make_distmult,
+    make_learned_weight_model,
+    make_model,
+    make_quaternion,
+)
+from repro.core.weights import WeightVector
+from repro.experiments import (
+    ExperimentRow,
+    ExperimentSettings,
+    run_experiment_row,
+    seeded_rng,
+)
+from repro.kg.graph import KGDataset
+
+#: Table 2 rows: (label, preset-or-"distmult_n1", evaluate-train-too).
+TABLE2_ROWS: tuple[tuple[str, object, bool], ...] = (
+    ("DistMult (1, 0, 0, 0, 0, 0, 0, 0)", "distmult_n1", True),
+    ("ComplEx (1, 0, 0, 1, 0, -1, 1, 0)", W.COMPLEX, True),
+    ("CP (0, 0, 1, 0, 0, 0, 0, 0)", W.CP, True),
+    ("CPh (0, 0, 1, 0, 0, 1, 0, 0)", W.CPH, True),
+    ("Bad example 1 (0, 0, 20, 0, 0, 1, 0, 0)", W.BAD_EXAMPLE_1, False),
+    ("Bad example 2 (0, 0, 1, 1, 1, 1, 0, 0)", W.BAD_EXAMPLE_2, False),
+    ("Good example 1 (0, 0, 20, 1, 1, 20, 0, 0)", W.GOOD_EXAMPLE_1, False),
+    ("Good example 2 (1, 1, -1, 1, 1, -1, 1, 1)", W.GOOD_EXAMPLE_2, False),
+)
+
+#: Table 3 rows: (label, transform-or-None-for-fixed-uniform, sparse).
+TABLE3_ROWS: tuple[tuple[str, str | None, bool], ...] = (
+    ("Uniform weight (1, 1, 1, 1, 1, 1, 1, 1)", None, False),
+    ("Auto weight no restriction", "identity", False),
+    ("Auto weight in (-1, 1) by tanh", "tanh", False),
+    ("Auto weight in (0, 1) by sigmoid", "sigmoid", False),
+    ("Auto weight in (0, 1) by softmax", "softmax", False),
+    ("Auto weight no restriction, sparse", "identity", True),
+    ("Auto weight in (-1, 1) by tanh, sparse", "tanh", True),
+    ("Auto weight in (0, 1) by sigmoid, sparse", "sigmoid", True),
+    ("Auto weight in (0, 1) by softmax, sparse", "softmax", True),
+)
+
+
+def run_table2(dataset: KGDataset, settings: ExperimentSettings) -> list[ExperimentRow]:
+    """Train and evaluate every Table 2 row (derived ω + variants)."""
+    rows = []
+    for offset, (label, preset, with_train) in enumerate(TABLE2_ROWS):
+        rng = seeded_rng(settings, offset)
+        if preset == "distmult_n1":
+            model = make_distmult(
+                dataset.num_entities, dataset.num_relations, settings.total_dim,
+                rng, regularization=settings.regularization,
+            )
+        else:
+            model = make_model(
+                preset, dataset.num_entities, dataset.num_relations, rng,
+                total_dim=settings.total_dim, regularization=settings.regularization,
+            )
+        rows.append(
+            run_experiment_row(model, dataset, settings, label=label,
+                               evaluate_train=with_train)
+        )
+    return rows
+
+
+def run_table3(
+    dataset: KGDataset, settings: ExperimentSettings
+) -> tuple[list[ExperimentRow], dict[str, WeightVector]]:
+    """Train every Table 3 row; also return the learned ω snapshots."""
+    rows = []
+    learned_omegas: dict[str, WeightVector] = {}
+    for offset, (label, transform, sparse) in enumerate(TABLE3_ROWS):
+        rng = seeded_rng(settings, 100 + offset)
+        if transform is None:
+            model = make_model(
+                W.UNIFORM, dataset.num_entities, dataset.num_relations, rng,
+                total_dim=settings.total_dim, regularization=settings.regularization,
+            )
+        else:
+            model = make_learned_weight_model(
+                dataset.num_entities, dataset.num_relations, settings.total_dim,
+                rng, transform=transform, sparse=sparse,
+                regularization=settings.regularization,
+            )
+        rows.append(run_experiment_row(model, dataset, settings, label=label))
+        if transform is not None:
+            learned_omegas[label] = model.current_weight_vector()
+    return rows, learned_omegas
+
+
+def run_table4(
+    dataset: KGDataset, settings: ExperimentSettings
+) -> tuple[ExperimentRow, ExperimentRow]:
+    """Train the Table 4 quaternion model plus a ComplEx reference."""
+    quaternion = make_quaternion(
+        dataset.num_entities, dataset.num_relations, settings.total_dim,
+        seeded_rng(settings, 200), regularization=settings.regularization,
+    )
+    quaternion_row = run_experiment_row(
+        quaternion, dataset, settings,
+        label="Quaternion-based four-embedding", evaluate_train=True,
+    )
+    complex_model = make_complex(
+        dataset.num_entities, dataset.num_relations, settings.total_dim,
+        seeded_rng(settings, 201), regularization=settings.regularization,
+    )
+    complex_row = run_experiment_row(
+        complex_model, dataset, settings, label="ComplEx (reference)"
+    )
+    return quaternion_row, complex_row

@@ -1,0 +1,26 @@
+"""Training harness: negative sampling, batching, trainer, callbacks."""
+
+from repro.training.batching import iterate_batches, num_batches
+from repro.training.callbacks import (
+    ConsoleLogger,
+    EarlyStopping,
+    EpochRecord,
+    TrainingHistory,
+)
+from repro.training.negatives import BernoulliNegativeSampler, UniformNegativeSampler
+from repro.training.trainer import Trainer, TrainingConfig, TrainingResult, train_model
+
+__all__ = [
+    "BernoulliNegativeSampler",
+    "ConsoleLogger",
+    "EarlyStopping",
+    "EpochRecord",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "TrainingResult",
+    "UniformNegativeSampler",
+    "iterate_batches",
+    "num_batches",
+    "train_model",
+]

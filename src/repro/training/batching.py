@@ -1,0 +1,46 @@
+"""Mini-batch iteration over triple sets."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kg.triples import TripleSet
+
+
+def iterate_batches(
+    triples: TripleSet,
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield ``(<=batch_size, 3)`` arrays covering *triples* once.
+
+    Parameters
+    ----------
+    shuffle:
+        Permute the triple order each call (i.e. each epoch).
+    drop_last:
+        Discard a trailing batch smaller than ``batch_size``.
+    """
+    if batch_size < 1:
+        raise ConfigError("batch_size must be >= 1")
+    arr = triples.array
+    order = rng.permutation(len(arr)) if shuffle else np.arange(len(arr))
+    for start in range(0, len(arr), batch_size):
+        index = order[start : start + batch_size]
+        if drop_last and len(index) < batch_size:
+            return
+        yield arr[index]
+
+
+def num_batches(num_triples: int, batch_size: int, drop_last: bool = False) -> int:
+    """Number of batches :func:`iterate_batches` will yield."""
+    if batch_size < 1:
+        raise ConfigError("batch_size must be >= 1")
+    if drop_last:
+        return num_triples // batch_size
+    return (num_triples + batch_size - 1) // batch_size

@@ -1,0 +1,110 @@
+"""Training callbacks: history recording, early stopping, console logging.
+
+The paper stops training early by checking filtered validation MRR every
+50 epochs with 100 epochs patience (§5.3); :class:`EarlyStopping`
+implements exactly that policy (with configurable numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class EpochRecord:
+    """What happened during one training epoch."""
+
+    epoch: int
+    loss: float
+    validation_mrr: float | None = None
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulates :class:`EpochRecord` entries over a training run."""
+
+    records: list[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def losses(self) -> list[float]:
+        """Per-epoch training losses in order."""
+        return [r.loss for r in self.records]
+
+    @property
+    def validation_mrrs(self) -> list[tuple[int, float]]:
+        """(epoch, MRR) pairs for epochs where validation ran."""
+        return [
+            (r.epoch, r.validation_mrr)
+            for r in self.records
+            if r.validation_mrr is not None
+        ]
+
+    @property
+    def best_validation_mrr(self) -> float | None:
+        """Best validation MRR seen, or ``None`` if never evaluated."""
+        mrrs = [mrr for _, mrr in self.validation_mrrs]
+        return max(mrrs) if mrrs else None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class EarlyStopping:
+    """Stop when validation MRR has not improved for *patience* epochs.
+
+    ``check_every`` controls how often validation runs (paper: 50); the
+    patience is measured in epochs (paper: 100), so with the paper's
+    numbers two consecutive non-improving checks trigger a stop.
+    """
+
+    def __init__(
+        self,
+        check_every: int = 50,
+        patience: int = 100,
+        min_improvement: float = 0.0,
+    ) -> None:
+        if check_every < 1:
+            raise ConfigError("check_every must be >= 1")
+        if patience < check_every:
+            raise ConfigError("patience must be >= check_every")
+        if min_improvement < 0:
+            raise ConfigError("min_improvement must be non-negative")
+        self.check_every = int(check_every)
+        self.patience = int(patience)
+        self.min_improvement = float(min_improvement)
+        self.best_mrr = -float("inf")
+        self.best_epoch = -1
+
+    def should_validate(self, epoch: int) -> bool:
+        """Whether validation is due at (1-based) *epoch*."""
+        return epoch % self.check_every == 0
+
+    def update(self, epoch: int, mrr: float) -> bool:
+        """Record a validation result; returns ``True`` when training should stop."""
+        if mrr > self.best_mrr + self.min_improvement:
+            self.best_mrr = mrr
+            self.best_epoch = epoch
+            return False
+        return (epoch - self.best_epoch) >= self.patience
+
+
+class ConsoleLogger:
+    """Minimal stdout progress logger, silent by default in tests."""
+
+    def __init__(self, every: int = 10, enabled: bool = True) -> None:
+        if every < 1:
+            raise ConfigError("every must be >= 1")
+        self.every = int(every)
+        self.enabled = bool(enabled)
+
+    def on_epoch(self, record: EpochRecord, model_name: str) -> None:
+        """Print a one-line progress report when due."""
+        if not self.enabled or record.epoch % self.every != 0:
+            return
+        mrr = f" val_mrr={record.validation_mrr:.3f}" if record.validation_mrr is not None else ""
+        print(f"[{model_name}] epoch {record.epoch:4d} loss={record.loss:.4f}{mrr}")

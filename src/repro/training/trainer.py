@@ -1,0 +1,159 @@
+"""The training loop (paper §4–5.3).
+
+One epoch = one pass over shuffled training triples; each batch is
+augmented with sampled negatives and handed to the model's
+``train_step`` (logistic loss, analytic gradients, sparse optimizer
+update, unit-norm constraint).  Validation MRR drives early stopping as
+in §5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import KGEModel
+from repro.errors import ConfigError, TrainingError
+from repro.eval.evaluator import LinkPredictionEvaluator
+from repro.kg.graph import KGDataset
+from repro.nn.optimizers import Optimizer, make_optimizer
+from repro.training.batching import iterate_batches
+from repro.training.callbacks import ConsoleLogger, EarlyStopping, EpochRecord, TrainingHistory
+from repro.training.negatives import UniformNegativeSampler
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters of one training run (defaults follow paper §5.3).
+
+    The paper grid-searches learning rates {1e-3, 1e-4}, regularisation
+    strengths {1e-2 … 0}, batch sizes {2^12, 2^14}, with 1 negative
+    sample; scaled-down defaults here suit the synthetic benches.
+    """
+
+    epochs: int = 200
+    batch_size: int = 1024
+    learning_rate: float = 1e-3
+    optimizer: str = "adam"
+    num_negatives: int = 1
+    validate_every: int = 50
+    patience: int = 100
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if self.num_negatives < 1:
+            raise ConfigError("num_negatives must be >= 1")
+
+
+@dataclass
+class TrainingResult:
+    """Everything a caller needs after a run."""
+
+    model: KGEModel
+    history: TrainingHistory
+    stopped_early: bool
+    epochs_run: int
+    config: TrainingConfig = field(repr=False, default=None)
+
+
+class Trainer:
+    """Trains any :class:`~repro.core.base.KGEModel` on a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Provides training triples and the validation split for early
+        stopping.
+    config:
+        Hyperparameters; see :class:`TrainingConfig`.
+    sampler:
+        Negative sampler; defaults to the paper's uniform sampler with
+        ``config.num_negatives`` negatives.
+    evaluator:
+        Used for validation MRR; defaults to a filtered evaluator over
+        the dataset.
+    """
+
+    def __init__(
+        self,
+        dataset: KGDataset,
+        config: TrainingConfig | None = None,
+        sampler: UniformNegativeSampler | None = None,
+        evaluator: LinkPredictionEvaluator | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or TrainingConfig()
+        self.sampler = sampler or UniformNegativeSampler(
+            dataset.num_entities, self.config.num_negatives
+        )
+        self.evaluator = evaluator or LinkPredictionEvaluator(dataset)
+
+    def train(
+        self, model: KGEModel, optimizer: Optimizer | None = None
+    ) -> TrainingResult:
+        """Run the full loop and return the trained model plus history."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        optimizer = optimizer or make_optimizer(config.optimizer, config.learning_rate)
+        history = TrainingHistory()
+        stopper = EarlyStopping(check_every=config.validate_every, patience=config.patience)
+        logger = ConsoleLogger(every=max(1, config.validate_every // 5), enabled=config.verbose)
+        stopped_early = False
+        epochs_run = 0
+
+        for epoch in range(1, config.epochs + 1):
+            epoch_loss = self._run_epoch(model, optimizer, rng)
+            if not np.isfinite(epoch_loss):
+                raise TrainingError(
+                    f"training diverged at epoch {epoch} (loss={epoch_loss}); "
+                    "reduce the learning rate"
+                )
+            record = EpochRecord(epoch=epoch, loss=epoch_loss)
+            if len(self.dataset.valid) > 0 and stopper.should_validate(epoch):
+                result = self.evaluator.evaluate(model, split="valid")
+                record.validation_mrr = result.overall.mrr
+                if stopper.update(epoch, result.overall.mrr):
+                    history.append(record)
+                    logger.on_epoch(record, model.name)
+                    stopped_early = True
+                    epochs_run = epoch
+                    break
+            history.append(record)
+            logger.on_epoch(record, model.name)
+            epochs_run = epoch
+
+        return TrainingResult(
+            model=model,
+            history=history,
+            stopped_early=stopped_early,
+            epochs_run=epochs_run,
+            config=config,
+        )
+
+    def _run_epoch(
+        self, model: KGEModel, optimizer: Optimizer, rng: np.random.Generator
+    ) -> float:
+        total_loss = 0.0
+        batches = 0
+        for positives in iterate_batches(self.dataset.train, self.config.batch_size, rng):
+            negatives = self.sampler.corrupt(positives, rng)
+            total_loss += model.train_step(positives, negatives, optimizer)
+            batches += 1
+        if batches == 0:
+            raise TrainingError("training split produced no batches")
+        return total_loss / batches
+
+
+def train_model(
+    model: KGEModel,
+    dataset: KGDataset,
+    config: TrainingConfig | None = None,
+) -> TrainingResult:
+    """Convenience one-call wrapper: build a :class:`Trainer` and run it."""
+    return Trainer(dataset, config).train(model)

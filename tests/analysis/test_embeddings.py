@@ -1,0 +1,97 @@
+"""Unit tests for :mod:`repro.analysis.embeddings`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.embeddings import (
+    cosine_similarity_matrix,
+    embedding_norms_by_slot,
+    entity_feature_matrix,
+    l2_normalize_rows,
+    nearest_neighbors,
+    relation_feature_matrix,
+)
+from repro.core import weights as W
+from repro.core.models import make_model
+from repro.errors import EvaluationError
+
+NE, NR, DIM = 12, 3, 5
+
+
+@pytest.fixture
+def model(rng):
+    return make_model(W.COMPLEX, NE, NR, rng, dim=DIM, initializer="normal")
+
+
+class TestFeatureExport:
+    def test_entity_shape(self, model):
+        assert entity_feature_matrix(model).shape == (NE, 2 * DIM)
+
+    def test_relation_shape(self, model):
+        assert relation_feature_matrix(model).shape == (NR, 2 * DIM)
+
+    def test_normalized_rows(self, model):
+        features = entity_feature_matrix(model, normalize=True)
+        assert np.allclose(np.linalg.norm(features, axis=-1), 1.0)
+
+    def test_concatenation_order(self, model):
+        features = entity_feature_matrix(model)
+        assert np.array_equal(features[3, :DIM], model.entity_embeddings[3, 0])
+        assert np.array_equal(features[3, DIM:], model.entity_embeddings[3, 1])
+
+
+class TestNormalize:
+    def test_zero_rows_preserved(self):
+        matrix = np.array([[0.0, 0.0], [3.0, 4.0]])
+        out = l2_normalize_rows(matrix)
+        assert np.allclose(out[0], 0.0)
+        assert np.linalg.norm(out[1]) == pytest.approx(1.0)
+
+
+class TestSimilarity:
+    def test_cosine_matrix_diagonal_ones(self, rng):
+        features = rng.normal(size=(6, 4))
+        sims = cosine_similarity_matrix(features)
+        assert np.allclose(np.diag(sims), 1.0)
+        assert np.allclose(sims, sims.T)
+
+    def test_nearest_neighbors_finds_duplicate(self, rng):
+        features = rng.normal(size=(8, 4))
+        features[5] = features[2] * 2.0  # same direction as row 2
+        neighbors = nearest_neighbors(features, query=2, k=3)
+        assert neighbors[0][0] == 5
+        assert neighbors[0][1] == pytest.approx(1.0)
+
+    def test_query_excluded(self, rng):
+        features = rng.normal(size=(5, 3))
+        neighbors = nearest_neighbors(features, query=1, k=4)
+        assert all(idx != 1 for idx, _ in neighbors)
+
+    def test_sorted_descending(self, rng):
+        features = rng.normal(size=(10, 4))
+        sims = [s for _, s in nearest_neighbors(features, 0, k=5)]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_k_capped_at_population(self, rng):
+        features = rng.normal(size=(4, 3))
+        assert len(nearest_neighbors(features, 0, k=100)) == 3
+
+    def test_bad_inputs_raise(self, rng):
+        features = rng.normal(size=(4, 3))
+        with pytest.raises(EvaluationError):
+            nearest_neighbors(features, 99, k=1)
+        with pytest.raises(EvaluationError):
+            nearest_neighbors(features, 0, k=0)
+
+
+class TestSlotNorms:
+    def test_shape_and_positive(self, model):
+        norms = embedding_norms_by_slot(model)
+        assert norms.shape == (2,)
+        assert np.all(norms > 0.0)
+
+    def test_unit_normalized_model_slots_are_one(self, rng):
+        model = make_model(W.COMPLEX, NE, NR, rng, dim=DIM, initializer="unit_normalized")
+        assert np.allclose(embedding_norms_by_slot(model), 1.0)

@@ -1,0 +1,77 @@
+"""Unit + property tests for the PCA projection utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.projection import pca_project
+from repro.errors import EvaluationError
+
+
+class TestPCA:
+    def test_output_shapes(self, rng):
+        features = rng.normal(size=(30, 8))
+        result = pca_project(features, k=3)
+        assert result.projected.shape == (30, 3)
+        assert result.components.shape == (3, 8)
+        assert result.explained_variance_ratio.shape == (3,)
+
+    def test_components_orthonormal(self, rng):
+        features = rng.normal(size=(40, 6))
+        result = pca_project(features, k=4)
+        gram = result.components @ result.components.T
+        assert np.allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_recovers_dominant_direction(self, rng):
+        direction = np.array([3.0, 4.0]) / 5.0
+        points = np.outer(rng.normal(size=200), direction)
+        points += 0.01 * rng.normal(size=points.shape)
+        result = pca_project(points, k=1)
+        cosine = abs(float(result.components[0] @ direction))
+        assert cosine > 0.999
+        assert result.explained_variance_ratio[0] > 0.99
+
+    def test_variance_ratios_sorted_and_bounded(self, rng):
+        features = rng.normal(size=(50, 10))
+        ratios = pca_project(features, k=5).explained_variance_ratio
+        assert np.all(ratios[:-1] >= ratios[1:] - 1e-12)
+        assert 0.0 <= ratios.sum() <= 1.0 + 1e-12
+
+    def test_transform_matches_fit(self, rng):
+        features = rng.normal(size=(20, 5))
+        result = pca_project(features, k=2)
+        assert np.allclose(result.transform(features), result.projected)
+
+    def test_projection_centers_data(self, rng):
+        features = rng.normal(size=(100, 4)) + 17.0
+        result = pca_project(features, k=2)
+        assert np.allclose(result.projected.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_constant_data_zero_ratio(self):
+        features = np.ones((10, 3))
+        result = pca_project(features, k=2)
+        assert np.allclose(result.explained_variance_ratio, 0.0)
+
+    def test_bad_inputs_raise(self, rng):
+        with pytest.raises(EvaluationError):
+            pca_project(rng.normal(size=(5,)), k=1)
+        with pytest.raises(EvaluationError):
+            pca_project(rng.normal(size=(5, 3)), k=4)
+        with pytest.raises(EvaluationError):
+            pca_project(rng.normal(size=(5, 3)), k=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 20), st.integers(2, 6))
+    def test_property_projection_preserves_distances_in_full_rank(self, n, d):
+        rng = np.random.default_rng(n * 100 + d)
+        features = rng.normal(size=(n, d))
+        k = min(n, d)
+        result = pca_project(features, k=k)
+        # full-rank projection is an isometry of the centered data
+        centered = features - features.mean(axis=0)
+        original = np.linalg.norm(centered[0] - centered[-1])
+        projected = np.linalg.norm(result.projected[0] - result.projected[-1])
+        assert projected == pytest.approx(original, rel=1e-8)

@@ -1,0 +1,87 @@
+"""Unit tests for the ω-space enumeration and symmetry analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.weight_space import (
+    are_equivalent,
+    classify_weight_vectors,
+    count_by_quality,
+    enumerate_sign_weight_vectors,
+    symmetry_orbit,
+)
+from repro.core import weights as W
+from repro.core.weights import WeightVector
+from repro.errors import ConfigError
+
+
+class TestEnumeration:
+    def test_binary_count(self):
+        # 2^8 - 1 non-zero binary vectors
+        vectors = list(enumerate_sign_weight_vectors(values=(0.0, 1.0)))
+        assert len(vectors) == 255
+
+    def test_ternary_count(self):
+        vectors = list(enumerate_sign_weight_vectors())
+        assert len(vectors) == 3**8 - 1
+
+    def test_all_zero_excluded(self):
+        for vector in enumerate_sign_weight_vectors(values=(0.0, 1.0)):
+            assert any(v != 0 for v in vector.flatten())
+
+    def test_intractable_shape_raises(self):
+        with pytest.raises(ConfigError):
+            list(enumerate_sign_weight_vectors(shape=(3, 3, 3)))
+
+
+class TestClassification:
+    def test_buckets_cover_everything(self):
+        counts = count_by_quality(values=(0.0, 1.0))
+        assert sum(counts.values()) == 255
+        assert counts["good"] > 0
+        assert counts["symmetric"] > 0
+        assert counts["poor"] > 0
+
+    def test_good_vectors_are_minority(self):
+        """§6.1.2's implicit point: good ω are rare, bad ones abundant."""
+        counts = count_by_quality(values=(0.0, 1.0))
+        assert counts["good"] < counts["poor"]
+
+    def test_known_presets_land_in_expected_buckets(self):
+        buckets = classify_weight_vectors([W.COMPLEX, W.CP, W.UNIFORM])
+        assert W.COMPLEX in buckets["good"]
+        assert W.CP in buckets["poor"]
+        assert W.UNIFORM in buckets["symmetric"]
+
+
+class TestSymmetryOrbit:
+    def test_orbit_contains_self(self):
+        assert W.COMPLEX.flatten() in symmetry_orbit(W.COMPLEX)
+
+    def test_orbit_closed_under_composition(self):
+        orbit = symmetry_orbit(W.CPH)
+        for flat in orbit:
+            member = WeightVector.from_flat("m", flat)
+            assert symmetry_orbit(member) == orbit
+
+    def test_orbit_size_bounded_by_group_order(self):
+        # group: S2 (entities) x S2 (relations) x Z2 (h/t swap) = 8 elements
+        assert len(symmetry_orbit(W.COMPLEX)) <= 8
+
+    def test_equivalence_symmetric_relation(self):
+        assert are_equivalent(W.COMPLEX, W.COMPLEX_EQUIV_2)
+        assert are_equivalent(W.COMPLEX_EQUIV_2, W.COMPLEX)
+
+    def test_non_equivalence(self):
+        assert not are_equivalent(W.DISTMULT, W.CP)
+
+    def test_shape_mismatch_not_equivalent(self):
+        assert not are_equivalent(W.DISTMULT_N1, W.DISTMULT)
+
+    def test_role_based_tensor_raises(self):
+        import numpy as np
+
+        lopsided = WeightVector("x", np.ones((2, 3, 2)))
+        with pytest.raises(ConfigError):
+            symmetry_orbit(lopsided)

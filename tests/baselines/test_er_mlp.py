@@ -1,0 +1,107 @@
+"""Unit tests for the ER-MLP baseline (trained through autodiff)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.er_mlp import ERMLP
+from repro.errors import ConfigError
+from repro.nn.optimizers import Adam
+
+NE, NR, DIM = 8, 2, 4
+
+
+@pytest.fixture
+def model(rng):
+    return ERMLP(NE, NR, DIM, rng, hidden=6)
+
+
+class TestScoring:
+    def test_score_shape(self, model, rng):
+        heads = rng.integers(0, NE, 5)
+        tails = rng.integers(0, NE, 5)
+        rels = rng.integers(0, NR, 5)
+        assert model.score_triples(heads, tails, rels).shape == (5,)
+
+    def test_score_all_tails_consistent(self, model):
+        heads = np.array([0, 1])
+        rels = np.array([0, 1])
+        matrix = model.score_all_tails(heads, rels)
+        assert matrix.shape == (2, NE)
+        for e in range(NE):
+            assert np.allclose(
+                matrix[:, e], model.score_triples(heads, np.full(2, e), rels)
+            )
+
+    def test_score_all_heads_consistent(self, model):
+        tails = np.array([3, 4])
+        rels = np.array([1, 0])
+        matrix = model.score_all_heads(tails, rels)
+        for e in range(NE):
+            assert np.allclose(
+                matrix[:, e], model.score_triples(np.full(2, e), tails, rels)
+            )
+
+    def test_asymmetric_score(self, model, rng):
+        """Unlike DistMult, the MLP is generically asymmetric in h/t."""
+        heads = rng.integers(0, NE, 6)
+        tails = (heads + 1) % NE
+        rels = rng.integers(0, NR, 6)
+        assert not np.allclose(
+            model.score_triples(heads, tails, rels),
+            model.score_triples(tails, heads, rels),
+        )
+
+    def test_default_hidden_size(self, rng):
+        assert ERMLP(NE, NR, DIM, rng).hidden == 2 * DIM
+
+    def test_bad_dim_raises(self, rng):
+        with pytest.raises(ConfigError):
+            ERMLP(NE, NR, 0, rng)
+
+
+class TestTraining:
+    def test_loss_decreases_on_fixed_batch(self, model):
+        positives = np.array([[0, 1, 0], [2, 3, 1]])
+        negatives = np.array([[0, 5, 0], [6, 3, 1]])
+        opt = Adam(learning_rate=0.05)
+        first = model.train_step(positives, negatives, opt)
+        for _ in range(60):
+            last = model.train_step(positives, negatives, opt)
+        assert last < first * 0.8
+
+    def test_all_parameter_groups_updated(self, model):
+        snapshots = {
+            "entities": model.entity_embeddings.copy(),
+            "relations": model.relation_embeddings.copy(),
+            "w1": model.w1.copy(),
+            "b1": model.b1.copy(),
+            "w2": model.w2.copy(),
+            "b2": model.b2.copy(),
+        }
+        model.train_step(
+            np.array([[0, 1, 0]]), np.array([[0, 2, 0]]), Adam(learning_rate=0.1)
+        )
+        assert not np.allclose(model.entity_embeddings[[0, 1, 2]],
+                               snapshots["entities"][[0, 1, 2]])
+        assert not np.allclose(model.w1, snapshots["w1"])
+        assert not np.allclose(model.b1, snapshots["b1"])
+        assert not np.allclose(model.w2, snapshots["w2"])
+        assert not np.allclose(model.b2, snapshots["b2"])
+
+    def test_can_separate_a_learnable_pattern(self, rng):
+        """The MLP must fit a tiny rule: relation 0 links even->odd ids."""
+        model = ERMLP(NE, NR, DIM, rng, hidden=16)
+        positives = np.array([[0, 1, 0], [2, 3, 0], [4, 5, 0], [6, 7, 0]])
+        negatives = np.array([[1, 0, 0], [3, 2, 0], [5, 4, 0], [7, 6, 0]])
+        opt = Adam(learning_rate=0.03)
+        for _ in range(300):
+            model.train_step(positives, negatives, opt)
+        pos_scores = model.score_triples(positives[:, 0], positives[:, 1], positives[:, 2])
+        neg_scores = model.score_triples(negatives[:, 0], negatives[:, 1], negatives[:, 2])
+        assert pos_scores.min() > neg_scores.max()
+
+    def test_parameter_count(self, model):
+        expected = NE * DIM + NR * DIM + 3 * DIM * 6 + 6 + 6 + 1
+        assert model.parameter_count() == expected

@@ -1,0 +1,123 @@
+"""Unit tests for the RESCAL baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rescal import RESCAL
+from repro.core.models import make_distmult
+from repro.nn.autodiff import numeric_gradient
+from repro.nn.losses import LogisticLoss
+from repro.nn.optimizers import SGD, Adam, aggregate_rows
+
+NE, NR, DIM = 10, 3, 4
+
+
+@pytest.fixture
+def model(rng):
+    return RESCAL(NE, NR, DIM, rng, unit_norm_entities=False)
+
+
+class TestScoring:
+    def test_bilinear_formula(self, model):
+        h, t, r = 0, 1, 2
+        expected = model.entity_embeddings[h] @ model.relation_matrices[r] @ model.entity_embeddings[t]
+        score = model.score_triples(np.array([h]), np.array([t]), np.array([r]))
+        assert score[0] == pytest.approx(expected)
+
+    def test_score_all_tails_consistent(self, model, rng):
+        heads = rng.integers(0, NE, 3)
+        rels = rng.integers(0, NR, 3)
+        matrix = model.score_all_tails(heads, rels)
+        for e in range(NE):
+            assert np.allclose(
+                matrix[:, e], model.score_triples(heads, np.full(3, e), rels)
+            )
+
+    def test_score_all_heads_consistent(self, model, rng):
+        tails = rng.integers(0, NE, 3)
+        rels = rng.integers(0, NR, 3)
+        matrix = model.score_all_heads(tails, rels)
+        for e in range(NE):
+            assert np.allclose(
+                matrix[:, e], model.score_triples(np.full(3, e), tails, rels)
+            )
+
+    def test_generalizes_distmult(self, rng):
+        """RESCAL with diagonal relation matrices is exactly DistMult."""
+        distmult = make_distmult(NE, NR, DIM, rng, initializer="normal")
+        rescal = RESCAL(NE, NR, DIM, np.random.default_rng(0), unit_norm_entities=False)
+        rescal.entity_embeddings = distmult.entity_embeddings[:, 0, :].copy()
+        for r in range(NR):
+            rescal.relation_matrices[r] = np.diag(distmult.relation_embeddings[r, 0])
+        heads, tails = np.arange(5), np.arange(5, 10)
+        rels = np.array([0, 1, 2, 0, 1])
+        assert np.allclose(
+            rescal.score_triples(heads, tails, rels),
+            distmult.score_triples(heads, tails, rels),
+        )
+
+
+class TestTraining:
+    def test_gradients_match_finite_differences(self, model):
+        positives = np.array([[0, 1, 0], [2, 3, 1]])
+        negatives = np.array([[0, 4, 0], [5, 3, 1]])
+        triples = np.concatenate([positives, negatives])
+        labels = np.array([1.0, 1.0, -1.0, -1.0])
+        loss = LogisticLoss()
+
+        # entity gradient via a probe wrapper
+        original = model.entity_embeddings.copy()
+
+        def loss_at(table):
+            model.entity_embeddings = table
+            scores = model.score_triples(triples[:, 0], triples[:, 1], triples[:, 2])
+            return loss.value(scores, labels)
+
+        numeric = numeric_gradient(loss_at, original.copy())
+        model.entity_embeddings = original
+
+        h = model.entity_embeddings[triples[:, 0]]
+        t = model.entity_embeddings[triples[:, 1]]
+        w = model.relation_matrices[triples[:, 2]]
+        scores = np.einsum("bi,bij,bj->b", h, w, t)
+        g = loss.grad_score(scores, labels)
+        grad_h = g[:, None] * np.einsum("bij,bj->bi", w, t)
+        grad_t = g[:, None] * np.einsum("bi,bij->bj", h, w)
+        dense = np.zeros_like(model.entity_embeddings)
+        rows, grads = aggregate_rows(
+            np.concatenate([triples[:, 0], triples[:, 1]]),
+            np.concatenate([grad_h, grad_t], axis=0),
+        )
+        dense[rows] = grads
+        assert np.allclose(dense, numeric, atol=1e-6)
+
+    def test_loss_decreases(self, model):
+        positives = np.array([[0, 1, 0], [2, 3, 1]])
+        negatives = np.array([[0, 4, 0], [5, 3, 1]])
+        opt = Adam(learning_rate=0.05)
+        first = model.train_step(positives, negatives, opt)
+        for _ in range(30):
+            last = model.train_step(positives, negatives, opt)
+        assert last < first
+
+    def test_unit_norm_option(self, rng):
+        model = RESCAL(NE, NR, DIM, rng, unit_norm_entities=True)
+        model.train_step(
+            np.array([[0, 1, 0]]), np.array([[0, 2, 0]]), SGD(learning_rate=0.1)
+        )
+        assert np.allclose(np.linalg.norm(model.entity_embeddings[[0, 1, 2]], axis=-1), 1.0)
+
+    def test_regularization_loss_added(self, rng):
+        plain = RESCAL(NE, NR, DIM, rng, unit_norm_entities=False)
+        reg = RESCAL(NE, NR, DIM, np.random.default_rng(0), regularization=1.0,
+                     unit_norm_entities=False)
+        reg.entity_embeddings = plain.entity_embeddings.copy()
+        reg.relation_matrices = plain.relation_matrices.copy()
+        p = np.array([[0, 1, 0]])
+        n = np.array([[0, 2, 0]])
+        assert reg.train_step(p, n, SGD(1e-12)) > plain.train_step(p, n, SGD(1e-12))
+
+    def test_parameter_count_quadratic_in_dim(self, model):
+        assert model.parameter_count() == NE * DIM + NR * DIM * DIM

@@ -1,0 +1,106 @@
+"""Unit tests for the TransE baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.transe import TransE
+from repro.errors import ConfigError
+from repro.nn.optimizers import SGD, Adam
+
+NE, NR, DIM = 12, 3, 6
+
+
+@pytest.fixture
+def model(rng):
+    return TransE(NE, NR, DIM, rng, norm=1)
+
+
+class TestScoring:
+    def test_perfect_translation_scores_zero(self, rng):
+        model = TransE(NE, NR, DIM, rng, norm=2)
+        model.entity_embeddings[1] = model.entity_embeddings[0] + model.relation_embeddings[0]
+        score = model.score_triples(np.array([0]), np.array([1]), np.array([0]))
+        assert score[0] == pytest.approx(0.0)
+
+    def test_scores_non_positive(self, model, rng):
+        heads = rng.integers(0, NE, 10)
+        tails = rng.integers(0, NE, 10)
+        rels = rng.integers(0, NR, 10)
+        assert np.all(model.score_triples(heads, tails, rels) <= 0.0)
+
+    @pytest.mark.parametrize("norm", [1, 2])
+    def test_score_all_consistent_with_triples(self, rng, norm):
+        model = TransE(NE, NR, DIM, rng, norm=norm)
+        heads = np.array([0, 3])
+        rels = np.array([1, 2])
+        matrix = model.score_all_tails(heads, rels)
+        for e in range(NE):
+            expected = model.score_triples(heads, np.full(2, e), rels)
+            assert np.allclose(matrix[:, e], expected)
+        tails = np.array([2, 5])
+        matrix = model.score_all_heads(tails, rels)
+        for e in range(NE):
+            expected = model.score_triples(np.full(2, e), tails, rels)
+            assert np.allclose(matrix[:, e], expected)
+
+    def test_bad_norm_raises(self, rng):
+        with pytest.raises(ConfigError):
+            TransE(NE, NR, DIM, rng, norm=3)
+
+
+class TestTraining:
+    def test_margin_loss_decreases(self, model):
+        positives = np.array([[0, 1, 0], [2, 3, 1], [4, 5, 2]])
+        negatives = np.array([[0, 7, 0], [9, 3, 1], [4, 8, 2]])
+        opt = SGD(learning_rate=0.05)
+        first = model.train_step(positives, negatives, opt)
+        for _ in range(50):
+            last = model.train_step(positives, negatives, opt)
+        assert last < first
+
+    def test_entities_stay_unit_norm(self, model):
+        positives = np.array([[0, 1, 0]])
+        negatives = np.array([[0, 2, 0]])
+        model.train_step(positives, negatives, Adam(learning_rate=0.1))
+        norms = np.linalg.norm(model.entity_embeddings[[0, 1, 2]], axis=-1)
+        assert np.allclose(norms, 1.0)
+
+    def test_multiple_negative_rounds(self, model):
+        positives = np.array([[0, 1, 0], [2, 3, 1]])
+        negatives = np.array([[0, 7, 0], [9, 3, 1], [0, 8, 0], [7, 3, 1]])
+        loss = model.train_step(positives, negatives, SGD(learning_rate=0.01))
+        assert np.isfinite(loss)
+
+    def test_ragged_negatives_raise(self, model):
+        with pytest.raises(ConfigError):
+            model.train_step(
+                np.array([[0, 1, 0], [2, 3, 1]]),
+                np.array([[0, 7, 0], [9, 3, 1], [0, 8, 0]]),
+                SGD(learning_rate=0.01),
+            )
+
+    def test_l2_norm_training(self, rng):
+        model = TransE(NE, NR, DIM, rng, norm=2)
+        positives = np.array([[0, 1, 0]])
+        negatives = np.array([[0, 2, 0]])
+        loss = model.train_step(positives, negatives, SGD(learning_rate=0.01))
+        assert np.isfinite(loss)
+
+
+class TestKnownLimitation:
+    def test_symmetric_relation_forces_zero_relation_vector(self, tiny_dataset, rng):
+        """§2.2.1: translation cannot model a symmetric relation except
+        with r = 0 — score(h,t,r) = score(t,h,r) implies ||h+r-t|| = ||t+r-h||
+        for all pairs.  We verify the geometric fact directly."""
+        h = rng.normal(size=DIM)
+        t = rng.normal(size=DIM)
+        r = rng.normal(size=DIM)
+        forward = -np.abs(h + r - t).sum()
+        backward = -np.abs(t + r - h).sum()
+        assert forward != pytest.approx(backward)
+        assert -np.abs(h + 0 - t).sum() == pytest.approx(-np.abs(t + 0 - h).sum())
+
+    def test_parameter_count(self, model):
+        assert model.parameter_count() == NE * DIM + NR * DIM

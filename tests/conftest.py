@@ -1,0 +1,66 @@
+"""Shared fixtures: small deterministic datasets and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import KGDataset
+from repro.kg.synthetic import SyntheticKGConfig, generate_synthetic_kg
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> KGDataset:
+    """A ~100-entity synthetic dataset, shared read-only across tests."""
+    config = SyntheticKGConfig(
+        num_entities=100,
+        num_clusters=8,
+        num_domains=3,
+        valid_fraction=0.05,
+        test_fraction=0.05,
+        seed=42,
+        name="tiny",
+    )
+    return generate_synthetic_kg(config)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> KGDataset:
+    """A ~300-entity synthetic dataset for integration tests."""
+    config = SyntheticKGConfig(
+        num_entities=300,
+        num_clusters=15,
+        num_domains=5,
+        seed=7,
+        name="small",
+    )
+    return generate_synthetic_kg(config)
+
+
+@pytest.fixture
+def toy_dataset() -> KGDataset:
+    """A hand-written 6-entity dataset with known structure.
+
+    Relations: ``likes`` (asymmetric), ``married_to`` (symmetric pair).
+    """
+    train = [
+        ("alice", "bob", "likes"),
+        ("bob", "carol", "likes"),
+        ("carol", "dave", "likes"),
+        ("alice", "eve", "likes"),
+        ("eve", "frank", "likes"),
+        ("alice", "dave", "married_to"),
+        ("dave", "alice", "married_to"),
+        ("bob", "eve", "married_to"),
+        ("eve", "bob", "married_to"),
+        ("frank", "bob", "likes"),
+    ]
+    valid = [("dave", "eve", "likes")]
+    test = [("carol", "frank", "likes")]
+    return KGDataset.from_labeled_triples(train, valid, test, name="toy")

@@ -1,0 +1,110 @@
+"""Unit + property tests for :mod:`repro.core.algebra.complex_ops`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra.complex_ops import (
+    complex_score,
+    complex_score_expanded,
+    complex_trilinear,
+    pack_complex,
+    real_trilinear,
+    unpack_complex,
+)
+from repro.errors import ModelError
+
+vectors = st.lists(st.floats(-5, 5, allow_nan=False), min_size=3, max_size=3)
+
+
+def _random_complex(rng, shape):
+    return rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+
+class TestRealTrilinear:
+    def test_matches_formula(self):
+        a, b, c = np.array([1.0, 2.0]), np.array([3.0, 4.0]), np.array([5.0, 6.0])
+        assert real_trilinear(a, b, c) == pytest.approx(1 * 3 * 5 + 2 * 4 * 6)
+
+    def test_fully_symmetric_in_arguments(self, rng):
+        a, b, c = rng.normal(size=(3, 8))
+        assert real_trilinear(a, b, c) == pytest.approx(real_trilinear(c, a, b))
+        assert real_trilinear(a, b, c) == pytest.approx(real_trilinear(b, a, c))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            real_trilinear(np.ones(2), np.ones(3), np.ones(3))
+
+    def test_batched(self, rng):
+        a, b, c = rng.normal(size=(3, 4, 8))
+        out = real_trilinear(a, b, c)
+        assert out.shape == (4,)
+
+
+class TestComplexTrilinear:
+    def test_conjugates_tail(self):
+        h = np.array([1.0 + 1.0j])
+        t = np.array([0.0 + 1.0j])
+        r = np.array([1.0 + 0.0j])
+        # h * conj(t) * r = (1+i)(-i)(1) = 1 - i
+        assert complex_trilinear(h, t, r) == pytest.approx(1.0 - 1.0j)
+
+    def test_score_is_real_part(self, rng):
+        h, t, r = (_random_complex(rng, 6) for _ in range(3))
+        assert complex_score(h, t, r) == pytest.approx(np.real(complex_trilinear(h, t, r)))
+
+    def test_antisymmetry_possible(self, rng):
+        """Swapping h and t changes the score for generic embeddings —
+        the property that lets ComplEx model asymmetric data (§2.2.3)."""
+        h, t, r = (_random_complex(rng, 6) for _ in range(3))
+        assert complex_score(h, t, r) != pytest.approx(complex_score(t, h, r))
+
+    def test_symmetric_when_relation_real(self, rng):
+        """With a purely real r, the score is symmetric — the DistMult
+        special case inside ComplEx."""
+        h, t = (_random_complex(rng, 6) for _ in range(2))
+        r = rng.normal(size=6).astype(complex)
+        assert complex_score(h, t, r) == pytest.approx(complex_score(t, h, r))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            complex_trilinear(np.ones(2, dtype=complex), np.ones(3, dtype=complex),
+                              np.ones(3, dtype=complex))
+
+
+class TestEq9Expansion:
+    """Paper Eq. 9/10: the four-term real expansion equals the complex score."""
+
+    def test_expansion_identity_fixed(self, rng):
+        h, t, r = (_random_complex(rng, 16) for _ in range(3))
+        assert complex_score_expanded(h, t, r) == pytest.approx(complex_score(h, t, r))
+
+    def test_expansion_identity_batched(self, rng):
+        h, t, r = (_random_complex(rng, (5, 7)) for _ in range(3))
+        assert np.allclose(complex_score_expanded(h, t, r), complex_score(h, t, r))
+
+    @settings(max_examples=50)
+    @given(vectors, vectors, vectors, vectors, vectors, vectors)
+    def test_property_expansion_identity(self, hr, hi, tr, ti, rr, ri):
+        h = pack_complex(hr, hi)
+        t = pack_complex(tr, ti)
+        r = pack_complex(rr, ri)
+        assert complex_score_expanded(h, t, r) == pytest.approx(
+            complex_score(h, t, r), abs=1e-9
+        )
+
+
+class TestPackUnpack:
+    def test_round_trip(self, rng):
+        re, im = rng.normal(size=(2, 4))
+        z = pack_complex(re, im)
+        re2, im2 = unpack_complex(z)
+        assert np.array_equal(re, re2)
+        assert np.array_equal(im, im2)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            pack_complex(np.ones(2), np.ones(3))

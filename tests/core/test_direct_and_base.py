@@ -1,0 +1,71 @@
+"""Error-path tests for the direct scorers and the KGEModel base class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import weights as W
+from repro.core.base import KGEModel
+from repro.core.direct import (
+    complex_score_direct,
+    cph_score_direct,
+    quaternion_score_direct,
+)
+from repro.core.models import make_model
+from repro.errors import ModelError
+
+NE, NR, DIM = 8, 2, 4
+
+
+@pytest.fixture
+def one_embedding_model(rng):
+    return make_model(W.DISTMULT_N1, NE, NR, rng, dim=DIM)
+
+
+class TestDirectScorerErrors:
+    def test_complex_requires_two_vectors(self, one_embedding_model):
+        with pytest.raises(ModelError, match="two embedding vectors"):
+            complex_score_direct(
+                one_embedding_model, np.array([0]), np.array([1]), np.array([0])
+            )
+
+    def test_cph_requires_two_relation_vectors(self, one_embedding_model):
+        with pytest.raises(ModelError, match="two embedding vectors"):
+            cph_score_direct(
+                one_embedding_model, np.array([0]), np.array([1]), np.array([0])
+            )
+
+    def test_quaternion_requires_four_vectors(self, rng):
+        two_vec = make_model(W.COMPLEX, NE, NR, rng, dim=DIM)
+        with pytest.raises(ModelError, match="four embedding vectors"):
+            quaternion_score_direct(
+                two_vec, np.array([0]), np.array([1]), np.array([0])
+            )
+
+
+class TestKGEModelBase:
+    def test_repr_includes_counts(self, rng):
+        model = make_model(W.COMPLEX, NE, NR, rng, dim=DIM)
+        text = repr(model)
+        assert "entities=8" in text
+        assert "parameters=" in text
+
+    def test_default_parameter_count_zero(self):
+        class Minimal(KGEModel):
+            num_entities = 1
+            num_relations = 1
+
+            def score_triples(self, heads, tails, relations):
+                return np.zeros(len(heads))
+
+            def score_all_tails(self, heads, relations):
+                return np.zeros((len(heads), 1))
+
+            def score_all_heads(self, tails, relations):
+                return np.zeros((len(tails), 1))
+
+            def train_step(self, positives, negatives, optimizer):
+                return 0.0
+
+        assert Minimal().parameter_count() == 0

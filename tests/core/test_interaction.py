@@ -1,0 +1,155 @@
+"""Unit tests for :class:`repro.core.interaction.MultiEmbeddingModel`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import weights as W
+from repro.core.interaction import MultiEmbeddingModel
+from repro.core.models import make_model
+from repro.errors import ConfigError, ModelError
+from repro.nn.optimizers import Adam
+
+NE, NR, DIM = 15, 3, 6
+
+
+@pytest.fixture
+def model(rng):
+    return make_model(W.COMPLEX, NE, NR, rng, dim=DIM, initializer="normal")
+
+
+class TestConstruction:
+    def test_table_shapes(self, model):
+        assert model.entity_embeddings.shape == (NE, 2, DIM)
+        assert model.relation_embeddings.shape == (NR, 2, DIM)
+
+    def test_quaternion_table_shapes(self, rng):
+        quat = make_model(W.QUATERNION, NE, NR, rng, dim=DIM)
+        assert quat.entity_embeddings.shape == (NE, 4, DIM)
+
+    def test_parameter_count(self, model):
+        assert model.parameter_count() == NE * 2 * DIM + NR * 2 * DIM
+
+    def test_name_comes_from_weights(self, model):
+        assert model.name == "ComplEx"
+
+    def test_bad_sizes_raise(self, rng):
+        with pytest.raises(ConfigError):
+            MultiEmbeddingModel(0, 1, 4, W.COMPLEX, rng)
+        with pytest.raises(ConfigError):
+            MultiEmbeddingModel(5, 1, 0, W.COMPLEX, rng)
+
+    def test_unit_norm_initialization(self, rng):
+        m = make_model(W.COMPLEX, NE, NR, rng, dim=DIM, initializer="unit_normalized")
+        norms = np.linalg.norm(m.entity_embeddings, axis=-1)
+        assert np.allclose(norms, 1.0)
+
+
+class TestScoring:
+    def test_score_shape(self, model, rng):
+        heads = rng.integers(0, NE, 7)
+        tails = rng.integers(0, NE, 7)
+        rels = rng.integers(0, NR, 7)
+        assert model.score_triples(heads, tails, rels).shape == (7,)
+
+    def test_lattice_definition(self, model, rng):
+        """Score must equal the brute-force Eq. 8 double sum."""
+        heads = rng.integers(0, NE, 5)
+        tails = rng.integers(0, NE, 5)
+        rels = rng.integers(0, NR, 5)
+        scores = model.score_triples(heads, tails, rels)
+        for b in range(5):
+            h = model.entity_embeddings[heads[b]]
+            t = model.entity_embeddings[tails[b]]
+            r = model.relation_embeddings[rels[b]]
+            brute = sum(
+                model.omega[i, j, k] * float(np.sum(h[i] * t[j] * r[k]))
+                for i in range(2)
+                for j in range(2)
+                for k in range(2)
+            )
+            assert scores[b] == pytest.approx(brute)
+
+    def test_score_all_tails_consistent_with_triples(self, model, rng):
+        heads = rng.integers(0, NE, 4)
+        rels = rng.integers(0, NR, 4)
+        matrix = model.score_all_tails(heads, rels)
+        assert matrix.shape == (4, NE)
+        for candidate in range(NE):
+            expected = model.score_triples(heads, np.full(4, candidate), rels)
+            assert np.allclose(matrix[:, candidate], expected)
+
+    def test_score_all_heads_consistent_with_triples(self, model, rng):
+        tails = rng.integers(0, NE, 4)
+        rels = rng.integers(0, NR, 4)
+        matrix = model.score_all_heads(tails, rels)
+        for candidate in range(NE):
+            expected = model.score_triples(np.full(4, candidate), tails, rels)
+            assert np.allclose(matrix[:, candidate], expected)
+
+    def test_mismatched_batch_raises(self, model):
+        with pytest.raises(ModelError):
+            model.score_triples(np.zeros(2, int), np.zeros(3, int), np.zeros(3, int))
+
+
+class TestTraining:
+    def test_train_step_reduces_loss_on_fixed_batch(self, model):
+        positives = np.array([[0, 1, 0], [2, 3, 1], [4, 5, 2]])
+        negatives = np.array([[0, 9, 0], [2, 10, 1], [11, 5, 2]])
+        optimizer = Adam(learning_rate=0.05)
+        first = model.train_step(positives, negatives, optimizer)
+        for _ in range(30):
+            last = model.train_step(positives, negatives, optimizer)
+        assert last < first
+
+    def test_unit_norm_constraint_enforced_after_step(self, rng):
+        m = make_model(W.COMPLEX, NE, NR, rng, dim=DIM)
+        positives = np.array([[0, 1, 0]])
+        negatives = np.array([[0, 2, 0]])
+        m.train_step(positives, negatives, Adam(learning_rate=0.5))
+        touched = np.linalg.norm(m.entity_embeddings[[0, 1, 2]], axis=-1)
+        assert np.allclose(touched, 1.0)
+
+    def test_constraint_can_be_disabled(self, rng):
+        m = make_model(W.COMPLEX, NE, NR, rng, dim=DIM, unit_norm_entities=False)
+        positives = np.array([[0, 1, 0]])
+        negatives = np.array([[0, 2, 0]])
+        m.train_step(positives, negatives, Adam(learning_rate=0.5))
+        touched = np.linalg.norm(m.entity_embeddings[[0, 1]], axis=-1)
+        assert not np.allclose(touched, 1.0)
+
+    def test_untouched_rows_not_updated(self, model):
+        before = model.entity_embeddings[7].copy()
+        model.train_step(
+            np.array([[0, 1, 0]]), np.array([[0, 2, 0]]), Adam(learning_rate=0.1)
+        )
+        assert np.array_equal(model.entity_embeddings[7], before)
+
+    def test_regularization_increases_reported_loss(self, rng):
+        plain = make_model(W.COMPLEX, NE, NR, rng, dim=DIM, initializer="normal")
+        reg = make_model(W.COMPLEX, NE, NR, np.random.default_rng(12345), dim=DIM,
+                         regularization=1.0, initializer="normal")
+        reg.entity_embeddings = plain.entity_embeddings.copy()
+        reg.relation_embeddings = plain.relation_embeddings.copy()
+        positives = np.array([[0, 1, 0]])
+        negatives = np.array([[0, 2, 0]])
+        loss_plain = plain.train_step(positives, negatives, Adam(1e-9))
+        loss_reg = reg.train_step(positives, negatives, Adam(1e-9))
+        assert loss_reg > loss_plain
+
+
+class TestFeatureExport:
+    def test_entity_features_concatenated(self, model):
+        features = model.entity_features()
+        assert features.shape == (NE, 2 * DIM)
+        assert np.array_equal(features[0, :DIM], model.entity_embeddings[0, 0])
+        assert np.array_equal(features[0, DIM:], model.entity_embeddings[0, 1])
+
+    def test_relation_features(self, model):
+        assert model.relation_features().shape == (NR, 2 * DIM)
+
+    def test_features_are_copies(self, model):
+        features = model.entity_features()
+        features[:] = 0.0
+        assert not np.allclose(model.entity_embeddings, 0.0)

@@ -1,0 +1,149 @@
+"""Unit tests for the learned-ω model (§3.3, Table 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.learned import (
+    LearnedWeightModel,
+    SigmoidTransform,
+    SoftmaxTransform,
+    TanhTransform,
+    WeightTransform,
+    make_transform,
+)
+from repro.core.models import make_learned_weight_model
+from repro.errors import ConfigError
+from repro.nn.autodiff import numeric_gradient
+from repro.nn.optimizers import Adam
+from repro.nn.regularizers import DirichletSparsityRegularizer
+
+NE, NR, DIM = 12, 3, 4
+
+
+class TestTransforms:
+    @pytest.mark.parametrize("name,cls", [
+        ("identity", WeightTransform),
+        ("tanh", TanhTransform),
+        ("sigmoid", SigmoidTransform),
+        ("softmax", SoftmaxTransform),
+    ])
+    def test_registry(self, name, cls):
+        assert isinstance(make_transform(name), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            make_transform("relu")
+
+    def test_tanh_range(self, rng):
+        omega = TanhTransform().forward(rng.normal(size=(2, 2, 2)) * 10)
+        assert np.all(omega > -1.0) and np.all(omega < 1.0)
+
+    def test_sigmoid_range(self, rng):
+        omega = SigmoidTransform().forward(rng.normal(size=(2, 2, 2)) * 10)
+        assert np.all(omega > 0.0) and np.all(omega < 1.0)
+
+    def test_softmax_simplex(self, rng):
+        omega = SoftmaxTransform().forward(rng.normal(size=(2, 2, 2)))
+        assert np.all(omega > 0.0)
+        assert omega.sum() == pytest.approx(1.0)
+
+    def test_softmax_shift_invariant(self, rng):
+        rho = rng.normal(size=(2, 2, 2))
+        t = SoftmaxTransform()
+        assert np.allclose(t.forward(rho), t.forward(rho + 100.0))
+
+    @pytest.mark.parametrize("name", ["identity", "tanh", "sigmoid", "softmax"])
+    def test_backward_matches_finite_differences(self, name, rng):
+        transform = make_transform(name)
+        rho = rng.normal(size=(2, 2, 2))
+        downstream = rng.normal(size=(2, 2, 2))
+
+        def scalar(r):
+            return float(np.sum(transform.forward(r) * downstream))
+
+        omega = transform.forward(rho)
+        analytic = transform.backward(rho, omega, downstream)
+        numeric = numeric_gradient(scalar, rho.copy())
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+
+class TestLearnedWeightModel:
+    def test_omega_tracks_rho(self, rng):
+        model = LearnedWeightModel(NE, NR, DIM, rng, transform="sigmoid")
+        assert np.allclose(model.omega, SigmoidTransform().forward(model.rho))
+
+    def test_initial_omega_near_uniform(self, rng):
+        model = LearnedWeightModel(NE, NR, DIM, rng, transform="identity", init_scale=0.01)
+        assert np.allclose(model.omega, 1.0, atol=0.05)
+
+    def test_train_step_updates_rho(self, rng):
+        model = LearnedWeightModel(NE, NR, DIM, rng)
+        before = model.rho.copy()
+        model.train_step(
+            np.array([[0, 1, 0]]), np.array([[0, 2, 0]]), Adam(learning_rate=0.1)
+        )
+        assert not np.allclose(model.rho, before)
+
+    def test_omega_cache_refreshed_after_step(self, rng):
+        model = LearnedWeightModel(NE, NR, DIM, rng, transform="tanh")
+        model.train_step(
+            np.array([[0, 1, 0]]), np.array([[0, 2, 0]]), Adam(learning_rate=0.1)
+        )
+        assert np.allclose(model.omega, np.tanh(model.rho))
+
+    def test_sparsity_changes_updates(self, rng):
+        dense = LearnedWeightModel(NE, NR, DIM, np.random.default_rng(3))
+        sparse = LearnedWeightModel(
+            NE, NR, DIM, np.random.default_rng(3),
+            sparsity=DirichletSparsityRegularizer(alpha=1 / 16, strength=0.5),
+        )
+        positives = np.array([[0, 1, 0]])
+        negatives = np.array([[0, 2, 0]])
+        # SGD rather than Adam: Adam's first step is sign-normalised, which
+        # would mask the magnitude difference the sparsity term introduces.
+        from repro.nn.optimizers import SGD
+
+        dense.train_step(positives, negatives, SGD(learning_rate=0.1))
+        sparse.train_step(positives, negatives, SGD(learning_rate=0.1))
+        assert not np.allclose(dense.rho, sparse.rho)
+
+    def test_name_reflects_configuration(self, rng):
+        plain = LearnedWeightModel(NE, NR, DIM, rng, transform="softmax")
+        assert "softmax" in plain.name
+        sparse = LearnedWeightModel(
+            NE, NR, DIM, rng, sparsity=DirichletSparsityRegularizer()
+        )
+        assert "sparse" in sparse.name
+
+    def test_parameter_count_includes_rho(self, rng):
+        model = LearnedWeightModel(NE, NR, DIM, rng)
+        base = NE * 2 * DIM + NR * 2 * DIM
+        assert model.parameter_count() == base + 8
+
+    def test_current_weight_vector_snapshot(self, rng):
+        model = LearnedWeightModel(NE, NR, DIM, rng)
+        snapshot = model.current_weight_vector()
+        assert np.allclose(snapshot.tensor, model.omega)
+
+    def test_bad_init_scale_raises(self, rng):
+        with pytest.raises(ConfigError):
+            LearnedWeightModel(NE, NR, DIM, rng, init_scale=0.0)
+
+
+class TestFactory:
+    def test_make_learned_model(self, rng):
+        model = make_learned_weight_model(NE, NR, total_dim=8, rng=rng, transform="tanh")
+        assert model.dim == 4
+        assert isinstance(model.transform, TanhTransform)
+
+    def test_sparse_flag(self, rng):
+        model = make_learned_weight_model(NE, NR, total_dim=8, rng=rng, sparse=True)
+        assert model.sparsity is not None
+        assert model.sparsity.alpha == pytest.approx(1 / 16)
+        assert model.sparsity.strength == pytest.approx(1e-2)
+
+    def test_odd_total_dim_raises(self, rng):
+        with pytest.raises(ConfigError):
+            make_learned_weight_model(NE, NR, total_dim=9, rng=rng)

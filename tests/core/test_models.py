@@ -1,0 +1,112 @@
+"""Unit tests for the model factory (:mod:`repro.core.models`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import weights as W
+from repro.core.models import (
+    MODEL_FACTORIES,
+    make_complex,
+    make_cp,
+    make_cph,
+    make_distmult,
+    make_model,
+    make_quaternion,
+    parity_dim,
+)
+from repro.errors import ConfigError
+
+NE, NR = 10, 3
+
+
+class TestParityDim:
+    def test_paper_budgets(self):
+        # §5.3: 400 total -> 400 one-emb, 200 two-emb, 100 four-emb.
+        assert parity_dim(400, W.DISTMULT_N1) == 400
+        assert parity_dim(400, W.COMPLEX) == 200
+        assert parity_dim(400, W.QUATERNION) == 100
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ConfigError):
+            parity_dim(30, W.QUATERNION)
+
+
+class TestMakeModel:
+    def test_by_preset_name(self, rng):
+        model = make_model("complex", NE, NR, rng, dim=8)
+        assert model.name == "ComplEx"
+
+    def test_by_weight_vector(self, rng):
+        model = make_model(W.GOOD_EXAMPLE_2, NE, NR, rng, dim=8)
+        assert model.name == "Good example 2"
+
+    def test_total_dim_split(self, rng):
+        model = make_model("complex", NE, NR, rng, total_dim=16)
+        assert model.dim == 8
+
+    def test_dim_and_total_dim_exclusive(self, rng):
+        with pytest.raises(ConfigError):
+            make_model("complex", NE, NR, rng, dim=4, total_dim=8)
+        with pytest.raises(ConfigError):
+            make_model("complex", NE, NR, rng)
+
+
+class TestParameterParity:
+    """§5.3: all models must have comparable parameter counts at one budget."""
+
+    def test_entity_parameters_equal_across_families(self, rng):
+        budget = 32
+        distmult = make_distmult(NE, NR, budget, rng)
+        cplx = make_complex(NE, NR, budget, rng)
+        quat = make_quaternion(NE, NR, budget, rng)
+        assert (
+            distmult.entity_embeddings.size
+            == cplx.entity_embeddings.size
+            == quat.entity_embeddings.size
+        )
+
+    def test_factories_registry(self, rng):
+        for name, factory in MODEL_FACTORIES.items():
+            model = factory(NE, NR, total_dim=16, rng=rng)
+            assert model.num_entities == NE, name
+
+
+class TestNamedFactories:
+    def test_distmult_is_one_embedding(self, rng):
+        model = make_distmult(NE, NR, 16, rng)
+        assert model.entity_embeddings.shape == (NE, 1, 16)
+        assert model.name == "DistMult"
+
+    def test_cp_role_vectors(self, rng):
+        model = make_cp(NE, NR, 16, rng)
+        assert model.entity_embeddings.shape == (NE, 2, 8)
+        assert model.weights == W.CP
+
+    def test_cph_weights(self, rng):
+        assert make_cph(NE, NR, 16, rng).weights == W.CPH
+
+    def test_quaternion_four_vectors(self, rng):
+        model = make_quaternion(NE, NR, 16, rng)
+        assert model.entity_embeddings.shape == (NE, 4, 4)
+        assert "Quaternion" in model.name
+
+    def test_regularization_forwarded(self, rng):
+        model = make_complex(NE, NR, 16, rng, regularization=0.5)
+        assert model.regularizer.strength == 0.5
+
+    def test_distmult_n2_equals_distmult_n1_scores(self, rng):
+        """The Table 1 two-embedding DistMult row scores identically to the
+        native one-embedding DistMult when the active vectors coincide."""
+        n1 = make_distmult(NE, NR, 8, np.random.default_rng(5), initializer="normal")
+        n2 = make_model(W.DISTMULT, NE, NR, np.random.default_rng(6), dim=8,
+                        initializer="normal")
+        n2.entity_embeddings[:, 0, :] = n1.entity_embeddings[:, 0, :]
+        n2.relation_embeddings[:, 0, :] = n1.relation_embeddings[:, 0, :]
+        heads = np.arange(5)
+        tails = np.arange(5, 10)
+        rels = np.zeros(5, dtype=int)
+        assert np.allclose(
+            n1.score_triples(heads, tails, rels), n2.score_triples(heads, tails, rels)
+        )

@@ -1,0 +1,95 @@
+"""Tests for the §6.1.2 weight-vector properties.
+
+The paper's presets must classify exactly as the paper's empirical
+results suggest: ComplEx/CPh/good examples 'good', DistMult(n=1)/bad
+example 2/uniform 'symmetric', CP/bad example 1 'poor'.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import weights as W
+from repro.core.properties import (
+    analyze_weight_vector,
+    dead_slots,
+    is_complete,
+    is_distinguishable,
+    is_stable,
+)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize(
+        "preset", [W.COMPLEX, W.CPH, W.CPH_EQUIV, W.GOOD_EXAMPLE_1, W.GOOD_EXAMPLE_2,
+                   W.QUATERNION, W.UNIFORM, W.BAD_EXAMPLE_1, W.BAD_EXAMPLE_2]
+    )
+    def test_complete_presets(self, preset):
+        assert is_complete(preset)
+
+    @pytest.mark.parametrize("preset", [W.CP, W.DISTMULT])
+    def test_incomplete_presets(self, preset):
+        assert not is_complete(preset)
+
+    def test_cp_dead_slots(self):
+        # CP uses only h1, t2, r1.
+        assert set(dead_slots(W.CP)) == {"head[2]", "tail[1]", "relation[2]"}
+
+    def test_distmult_n1_complete(self):
+        assert is_complete(W.DISTMULT_N1)
+
+
+class TestStability:
+    @pytest.mark.parametrize(
+        "preset", [W.COMPLEX, W.COMPLEX_EQUIV_1, W.CPH, W.GOOD_EXAMPLE_1,
+                   W.GOOD_EXAMPLE_2, W.QUATERNION, W.UNIFORM]
+    )
+    def test_stable_presets(self, preset):
+        assert is_stable(preset)
+
+    @pytest.mark.parametrize("preset", [W.CP, W.DISTMULT, W.BAD_EXAMPLE_1])
+    def test_unstable_presets(self, preset):
+        assert not is_stable(preset)
+
+    def test_bad_example_1_unbalanced_masses(self):
+        # (0,0,20,0,0,1,0,0): head slot 1 carries 20, slot 2 carries 1.
+        report = analyze_weight_vector(W.BAD_EXAMPLE_1)
+        assert report.slot_masses["head"] == (20.0, 1.0)
+
+
+class TestDistinguishability:
+    @pytest.mark.parametrize(
+        "preset", [W.COMPLEX, W.CP, W.CPH, W.GOOD_EXAMPLE_1, W.GOOD_EXAMPLE_2,
+                   W.QUATERNION, W.BAD_EXAMPLE_1]
+    )
+    def test_asymmetric_presets(self, preset):
+        assert is_distinguishable(preset)
+
+    @pytest.mark.parametrize("preset", [W.DISTMULT, W.UNIFORM, W.BAD_EXAMPLE_2,
+                                        W.DISTMULT_N1])
+    def test_symmetric_presets(self, preset):
+        assert not is_distinguishable(preset)
+
+
+class TestPredictedQuality:
+    """The headline classification matching Tables 2-3 outcomes."""
+
+    @pytest.mark.parametrize(
+        "preset", [W.COMPLEX, W.COMPLEX_EQUIV_1, W.COMPLEX_EQUIV_2, W.COMPLEX_EQUIV_3,
+                   W.CPH, W.CPH_EQUIV, W.GOOD_EXAMPLE_1, W.GOOD_EXAMPLE_2, W.QUATERNION]
+    )
+    def test_good(self, preset):
+        report = analyze_weight_vector(preset)
+        assert report.satisfies_all
+        assert report.predicted_quality() == "good"
+
+    @pytest.mark.parametrize("preset", [W.UNIFORM, W.BAD_EXAMPLE_2, W.DISTMULT_N1])
+    def test_symmetric(self, preset):
+        assert analyze_weight_vector(preset).predicted_quality() == "symmetric"
+
+    @pytest.mark.parametrize("preset", [W.CP, W.BAD_EXAMPLE_1])
+    def test_poor(self, preset):
+        assert analyze_weight_vector(preset).predicted_quality() == "poor"
+
+    def test_report_carries_name(self):
+        assert analyze_weight_vector(W.COMPLEX).name == "ComplEx"

@@ -1,0 +1,172 @@
+"""Unit + property tests for the quaternion algebra substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra.quaternion import (
+    conjugate,
+    hamilton_product,
+    norm,
+    normalize,
+    quaternion_score,
+    quaternion_score_expanded,
+    quaternion_trilinear,
+    quaternion_weight_tensor,
+    real_part,
+)
+from repro.errors import ModelError
+
+quat_components = st.lists(st.floats(-3, 3, allow_nan=False), min_size=4, max_size=4)
+
+
+def q(a, b, c, d):
+    return np.array([[a], [b], [c], [d]], dtype=np.float64)
+
+
+def random_quat(rng, trailing=()):
+    return rng.normal(size=(4,) + tuple(trailing))
+
+
+class TestHamiltonProduct:
+    def test_fundamental_units(self):
+        i, j, k = q(0, 1, 0, 0), q(0, 0, 1, 0), q(0, 0, 0, 1)
+        minus_one = q(-1, 0, 0, 0)
+        assert np.allclose(hamilton_product(i, i), minus_one)
+        assert np.allclose(hamilton_product(j, j), minus_one)
+        assert np.allclose(hamilton_product(k, k), minus_one)
+        assert np.allclose(hamilton_product(i, j), k)
+        assert np.allclose(hamilton_product(j, k), i)
+        assert np.allclose(hamilton_product(k, i), j)
+
+    def test_noncommutative(self):
+        i, j = q(0, 1, 0, 0), q(0, 0, 1, 0)
+        assert np.allclose(hamilton_product(i, j), -hamilton_product(j, i))
+
+    def test_identity(self, rng):
+        one = q(1, 0, 0, 0)
+        p = random_quat(rng, (1,))
+        assert np.allclose(hamilton_product(one, p), p)
+        assert np.allclose(hamilton_product(p, one), p)
+
+    def test_associativity(self, rng):
+        p, r, s = (random_quat(rng, (3,)) for _ in range(3))
+        left = hamilton_product(hamilton_product(p, r), s)
+        right = hamilton_product(p, hamilton_product(r, s))
+        assert np.allclose(left, right)
+
+    def test_norm_multiplicative(self, rng):
+        p, r = (random_quat(rng, (5,)) for _ in range(2))
+        assert np.allclose(norm(hamilton_product(p, r)), norm(p) * norm(r))
+
+    def test_bad_leading_axis_raises(self):
+        with pytest.raises(ModelError):
+            hamilton_product(np.ones((3, 1)), np.ones((4, 1)))
+
+    @settings(max_examples=50)
+    @given(quat_components, quat_components, quat_components)
+    def test_property_associativity(self, a, b, c):
+        p = np.asarray(a).reshape(4, 1)
+        r = np.asarray(b).reshape(4, 1)
+        s = np.asarray(c).reshape(4, 1)
+        left = hamilton_product(hamilton_product(p, r), s)
+        right = hamilton_product(p, hamilton_product(r, s))
+        assert np.allclose(left, right, atol=1e-9)
+
+
+class TestConjugateAndNorm:
+    def test_conjugate_negates_imaginary(self):
+        p = q(1, 2, 3, 4)
+        assert conjugate(p).ravel().tolist() == [1, -2, -3, -4]
+
+    def test_conjugate_involution(self, rng):
+        p = random_quat(rng, (4,))
+        assert np.allclose(conjugate(conjugate(p)), p)
+
+    def test_conjugate_antihomomorphism(self, rng):
+        # conj(pq) = conj(q) conj(p)
+        p, r = (random_quat(rng, (2,)) for _ in range(2))
+        assert np.allclose(
+            conjugate(hamilton_product(p, r)),
+            hamilton_product(conjugate(r), conjugate(p)),
+        )
+
+    def test_q_times_conjugate_is_norm_squared(self, rng):
+        p = random_quat(rng, (3,))
+        product = hamilton_product(p, conjugate(p))
+        assert np.allclose(real_part(product), norm(p) ** 2)
+        assert np.allclose(product[1:], 0.0)
+
+    def test_normalize(self, rng):
+        p = random_quat(rng, (6,)) * 3.0
+        assert np.allclose(norm(normalize(p)), 1.0)
+
+    def test_normalize_zero_left_alone(self):
+        z = np.zeros((4, 2))
+        assert np.allclose(normalize(z), 0.0)
+
+
+class TestEq14Expansion:
+    """Paper Eq. 14: the 16-term expansion equals Re(<h, conj(t), r>)."""
+
+    def test_identity_fixed(self, rng):
+        h, t, r = (random_quat(rng, (9,)) for _ in range(3))
+        assert np.allclose(
+            quaternion_score(h[:, None], t[:, None], r[:, None]),
+            quaternion_score_expanded(h[:, None], t[:, None], r[:, None]),
+        )
+
+    def test_identity_batched(self, rng):
+        h, t, r = (random_quat(rng, (5, 7)) for _ in range(3))
+        assert np.allclose(quaternion_score(h, t, r), quaternion_score_expanded(h, t, r))
+
+    @settings(max_examples=50)
+    @given(quat_components, quat_components, quat_components)
+    def test_property_identity(self, a, b, c):
+        h = np.asarray(a).reshape(4, 1, 1)
+        t = np.asarray(b).reshape(4, 1, 1)
+        r = np.asarray(c).reshape(4, 1, 1)
+        assert quaternion_score(h, t, r) == pytest.approx(
+            quaternion_score_expanded(h, t, r), abs=1e-9
+        )
+
+    def test_reduces_to_complex_when_jk_zero(self, rng):
+        """Setting the j,k components to zero recovers the ComplEx score."""
+        from repro.core.algebra.complex_ops import complex_score, pack_complex
+
+        a, b = rng.normal(size=(2, 8)), rng.normal(size=(2, 8))
+        c = rng.normal(size=(2, 8))
+        h = np.stack([a[0], a[1], np.zeros(8), np.zeros(8)])
+        t = np.stack([b[0], b[1], np.zeros(8), np.zeros(8)])
+        r = np.stack([c[0], c[1], np.zeros(8), np.zeros(8)])
+        expected = complex_score(
+            pack_complex(a[0], a[1]), pack_complex(b[0], b[1]), pack_complex(c[0], c[1])
+        )
+        assert quaternion_score(h, t, r) == pytest.approx(expected)
+
+    def test_asymmetric_for_generic_inputs(self, rng):
+        h, t, r = (random_quat(rng, (8,)) for _ in range(3))
+        assert quaternion_score(h, t, r) != pytest.approx(quaternion_score(t, h, r))
+
+
+class TestWeightTensor:
+    def test_sixteen_nonzero_terms(self):
+        omega = quaternion_weight_tensor()
+        assert omega.shape == (4, 4, 4)
+        assert int(np.count_nonzero(omega)) == 16
+        assert set(np.unique(omega)) == {-1.0, 0.0, 1.0}
+
+    def test_tensor_realises_eq14(self, rng):
+        omega = quaternion_weight_tensor()
+        h, t, r = (random_quat(rng, (6,)) for _ in range(3))
+        # lattice sum with the tensor == the expanded score
+        lattice = np.einsum("ijk,id,jd,kd->", omega, h, t, r)
+        assert lattice == pytest.approx(float(quaternion_score(h, t, r)))
+
+    def test_r1_block_is_diagonal(self):
+        # Eq. 14 row 1: relation slot 1 pairs h and t components diagonally.
+        omega = quaternion_weight_tensor()
+        assert np.array_equal(omega[:, :, 0], np.eye(4))

@@ -1,0 +1,74 @@
+"""Tests for the model-level regularizer options (L2 vs N3) and the
+paper's claim that standard regularisation does not rescue CP (§6.1.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import weights as W
+from repro.core.models import make_cp, make_distmult, make_model
+from repro.errors import ConfigError
+from repro.eval.evaluator import LinkPredictionEvaluator
+from repro.nn.optimizers import SGD
+from repro.nn.regularizers import L2Regularizer, N3Regularizer
+from repro.training.trainer import Trainer, TrainingConfig
+
+NE, NR, DIM = 12, 3, 4
+
+
+class TestRegularizerKinds:
+    def test_default_is_l2(self, rng):
+        model = make_model(W.COMPLEX, NE, NR, rng, dim=DIM, regularization=0.1)
+        assert isinstance(model.regularizer, L2Regularizer)
+
+    def test_n3_selected(self, rng):
+        model = make_model(W.COMPLEX, NE, NR, rng, dim=DIM, regularization=0.1,
+                           regularizer_kind="n3")
+        assert isinstance(model.regularizer, N3Regularizer)
+
+    def test_unknown_kind_raises(self, rng):
+        with pytest.raises(ConfigError, match="regularizer_kind"):
+            make_model(W.COMPLEX, NE, NR, rng, dim=DIM, regularizer_kind="dropout")
+
+    def test_n3_training_step_finite(self, rng):
+        model = make_model(W.COMPLEX, NE, NR, rng, dim=DIM, regularization=0.1,
+                           regularizer_kind="n3")
+        loss = model.train_step(np.array([[0, 1, 0]]), np.array([[0, 2, 0]]),
+                                SGD(learning_rate=0.01))
+        assert np.isfinite(loss)
+
+    def test_n3_loss_higher_than_unregularized(self, rng):
+        plain = make_model(W.COMPLEX, NE, NR, rng, dim=DIM, initializer="normal",
+                           unit_norm_entities=False)
+        reg = make_model(W.COMPLEX, NE, NR, np.random.default_rng(12345), dim=DIM,
+                         regularization=1.0, regularizer_kind="n3",
+                         initializer="normal", unit_norm_entities=False)
+        reg.entity_embeddings = plain.entity_embeddings.copy()
+        reg.relation_embeddings = plain.relation_embeddings.copy()
+        p = np.array([[0, 1, 0]])
+        n = np.array([[0, 2, 0]])
+        assert reg.train_step(p, n, SGD(1e-12)) > plain.train_step(p, n, SGD(1e-12))
+
+
+class TestL2DoesNotRescueCP:
+    """§6.1.1: 'standard regularization techniques such as L2
+    regularization did not appear to help' CP's generalisation."""
+
+    @pytest.mark.parametrize("strength", [0.0, 3e-3, 3e-2])
+    def test_cp_stays_poor_at_any_l2_strength(self, tiny_dataset, strength):
+        config = TrainingConfig(epochs=120, batch_size=256, learning_rate=0.02,
+                                validate_every=1000, patience=1000, seed=0)
+        evaluator = LinkPredictionEvaluator(tiny_dataset)
+
+        cp = make_cp(tiny_dataset.num_entities, tiny_dataset.num_relations,
+                     16, np.random.default_rng(0), regularization=strength)
+        Trainer(tiny_dataset, config).train(cp)
+        cp_mrr = evaluator.evaluate(cp, "test").overall.mrr
+
+        distmult = make_distmult(tiny_dataset.num_entities, tiny_dataset.num_relations,
+                                 16, np.random.default_rng(0))
+        Trainer(tiny_dataset, config).train(distmult)
+        distmult_mrr = evaluator.evaluate(distmult, "test").overall.mrr
+        assert cp_mrr < 0.6 * distmult_mrr

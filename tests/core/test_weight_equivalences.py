@@ -1,0 +1,174 @@
+"""Table 1 certification: the ω presets reproduce each original model.
+
+These tests are the heart of the reproduction: for shared random
+embedding tables, the Eq. 8 lattice score under each Table 1 weight
+vector must equal the *original* model's score computed with its native
+formulation (complex algebra for ComplEx, role-based embeddings for
+CP/CPh, quaternion algebra for the four-embedding model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.weight_space import are_equivalent
+from repro.core import weights as W
+from repro.core.direct import (
+    complex_score_direct,
+    cp_score_direct,
+    cph_score_direct,
+    distmult_score_direct,
+    quaternion_score_direct,
+)
+from repro.core.models import make_model
+
+NUM_ENTITIES, NUM_RELATIONS, DIM, BATCH = 20, 4, 8, 16
+
+
+@pytest.fixture
+def batch(rng):
+    heads = rng.integers(0, NUM_ENTITIES, BATCH)
+    tails = rng.integers(0, NUM_ENTITIES, BATCH)
+    rels = rng.integers(0, NUM_RELATIONS, BATCH)
+    return heads, tails, rels
+
+
+def _model(weights, rng, initializer="normal"):
+    return make_model(
+        weights, NUM_ENTITIES, NUM_RELATIONS, rng, dim=DIM, initializer=initializer
+    )
+
+
+class TestDerivations:
+    def test_distmult_preset_equals_direct(self, rng, batch):
+        model = _model(W.DISTMULT, rng)
+        assert np.allclose(
+            model.score_triples(*batch), distmult_score_direct(model, *batch)
+        )
+
+    def test_distmult_n1_equals_direct(self, rng, batch):
+        model = _model(W.DISTMULT_N1, rng)
+        assert np.allclose(
+            model.score_triples(*batch), distmult_score_direct(model, *batch)
+        )
+
+    def test_complex_preset_equals_complex_algebra(self, rng, batch):
+        """Eq. 10 == Eq. 5: the central ComplEx derivation."""
+        model = _model(W.COMPLEX, rng)
+        assert np.allclose(
+            model.score_triples(*batch), complex_score_direct(model, *batch)
+        )
+
+    def test_cp_preset_equals_role_based(self, rng, batch):
+        model = _model(W.CP, rng)
+        assert np.allclose(model.score_triples(*batch), cp_score_direct(model, *batch))
+
+    def test_cph_preset_equals_eq11(self, rng, batch):
+        """ω = (0,0,1,0,0,1,0,0) == CP(h,t,r) + CP(t,h,r_a) with r_a = r^(2)."""
+        model = _model(W.CPH, rng)
+        assert np.allclose(model.score_triples(*batch), cph_score_direct(model, *batch))
+
+    def test_quaternion_preset_equals_quaternion_algebra(self, rng, batch):
+        """Eq. 14 == Eq. 13: the four-embedding quaternion derivation."""
+        model = _model(W.QUATERNION, rng)
+        assert np.allclose(
+            model.score_triples(*batch), quaternion_score_direct(model, *batch)
+        )
+
+
+class TestEquivalenceOrbits:
+    """Table 1's "equiv." columns are symmetry-orbit relabelings."""
+
+    @pytest.mark.parametrize("equiv", [W.COMPLEX_EQUIV_1, W.COMPLEX_EQUIV_2, W.COMPLEX_EQUIV_3])
+    def test_complex_equivalents_in_orbit(self, equiv):
+        assert are_equivalent(W.COMPLEX, equiv)
+
+    def test_cph_equivalent_in_orbit(self):
+        assert are_equivalent(W.CPH, W.CPH_EQUIV)
+
+    def test_cp_not_equivalent_to_cph(self):
+        assert not are_equivalent(W.CP, W.CPH)
+
+    def test_distmult_not_equivalent_to_complex(self):
+        assert not are_equivalent(W.DISTMULT, W.COMPLEX)
+
+    def test_complex_equiv_1_is_head_tail_swap(self, rng, batch):
+        """ComplEx equiv. 1 scores (h, t) like ComplEx scores (t, h)."""
+        model = _model(W.COMPLEX, rng)
+        equiv_model = _model(W.COMPLEX_EQUIV_1, np.random.default_rng(0))
+        equiv_model.entity_embeddings = model.entity_embeddings
+        equiv_model.relation_embeddings = model.relation_embeddings
+        heads, tails, rels = batch
+        assert np.allclose(
+            equiv_model.score_triples(heads, tails, rels),
+            model.score_triples(tails, heads, rels),
+        )
+
+    def test_complex_equiv_via_conjugation(self, rng, batch):
+        """Negating the imaginary entity parts maps ComplEx onto equiv. 1.
+
+        This is the parameter relabelling that makes the two weight
+        vectors the same model family.
+        """
+        model = _model(W.COMPLEX, rng)
+        equiv_model = _model(W.COMPLEX_EQUIV_1, np.random.default_rng(0))
+        conjugated = model.entity_embeddings.copy()
+        conjugated[:, 1, :] *= -1.0
+        equiv_model.entity_embeddings = conjugated
+        equiv_model.relation_embeddings = model.relation_embeddings
+        assert np.allclose(
+            equiv_model.score_triples(*batch), model.score_triples(*batch)
+        )
+
+
+class TestSymmetryBehaviour:
+    def test_distmult_score_symmetric(self, rng, batch):
+        model = _model(W.DISTMULT, rng)
+        heads, tails, rels = batch
+        assert np.allclose(
+            model.score_triples(heads, tails, rels),
+            model.score_triples(tails, heads, rels),
+        )
+
+    def test_uniform_score_symmetric(self, rng, batch):
+        model = _model(W.UNIFORM, rng)
+        heads, tails, rels = batch
+        assert np.allclose(
+            model.score_triples(heads, tails, rels),
+            model.score_triples(tails, heads, rels),
+        )
+
+    @pytest.mark.parametrize("weights", [W.COMPLEX, W.CP, W.CPH, W.QUATERNION])
+    def test_asymmetric_models_not_symmetric(self, weights, rng, batch):
+        model = _model(weights, rng)
+        heads, tails, rels = batch
+        forward = model.score_triples(heads, tails, rels)
+        backward = model.score_triples(tails, heads, rels)
+        assert not np.allclose(forward, backward)
+
+
+class TestCphDataAugmentationView:
+    """Eq. 11: the CPh weight vector equals CP over an augmented dataset.
+
+    Scoring (h, t, r) with CPh's ω on tables (E, R) is identical to
+    CP-scoring (h, t, r) plus CP-scoring (t, h, r_aug) when the augmented
+    relation's first vector is set to r's second vector.
+    """
+
+    def test_score_equivalence(self, rng, batch):
+        cph_model = _model(W.CPH, rng)
+        cp_model = _model(W.CP, np.random.default_rng(0))
+        cp_model.entity_embeddings = cph_model.entity_embeddings
+        # Augmented relation table: [r^(1) ... ; r^(2) ...] stacked.
+        stacked = np.concatenate(
+            [cph_model.relation_embeddings, cph_model.relation_embeddings[:, ::-1, :]],
+            axis=0,
+        )
+        cp_model.relation_embeddings = stacked
+        cp_model.num_relations = 2 * NUM_RELATIONS
+        heads, tails, rels = batch
+        expected = cp_model.score_triples(heads, tails, rels) + cp_model.score_triples(
+            tails, heads, rels + NUM_RELATIONS
+        )
+        assert np.allclose(cph_model.score_triples(heads, tails, rels), expected)

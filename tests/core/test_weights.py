@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.core.weights` — the Table 1 presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import weights as W
+from repro.core.weights import WeightVector, get_preset
+from repro.errors import ConfigError
+
+
+class TestWeightVector:
+    def test_flatten_row_major_table1_order(self):
+        wv = WeightVector.from_flat("x", (1, 2, 3, 4, 5, 6, 7, 8))
+        # (i, j, k) row-major: position 2 is (h1, t2, r1)
+        assert wv.tensor[0, 1, 0] == 3.0
+        assert wv.tensor[1, 0, 1] == 6.0
+        assert wv.flatten() == (1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_tensor_immutable(self):
+        wv = W.COMPLEX
+        with pytest.raises(ValueError):
+            wv.tensor[0, 0, 0] = 5.0
+
+    def test_vector_counts(self):
+        assert W.COMPLEX.num_entity_vectors == 2
+        assert W.COMPLEX.num_relation_vectors == 2
+        assert W.QUATERNION.num_entity_vectors == 4
+        assert W.DISTMULT_N1.num_entity_vectors == 1
+
+    def test_wrong_size_raises(self):
+        with pytest.raises(ConfigError):
+            WeightVector.from_flat("x", (1, 2, 3))
+
+    def test_non_3d_raises(self):
+        with pytest.raises(ConfigError):
+            WeightVector("x", np.ones((2, 2)))
+
+    def test_scaled(self):
+        doubled = W.CP.scaled(2.0)
+        assert doubled.flatten() == (0, 0, 2, 0, 0, 0, 0, 0)
+
+    def test_renamed(self):
+        assert W.CP.renamed("other").name == "other"
+        assert W.CP.renamed("other").flatten() == W.CP.flatten()
+
+    def test_head_tail_swapped(self):
+        swapped = W.CPH.head_tail_swapped()
+        # (h1,t2,r1)+(h2,t1,r2)  ->  (h2,t1,r1)+(h1,t2,r2)
+        assert swapped.flatten() == (0, 0, 0, 1, 1, 0, 0, 0)
+        assert swapped.flatten() == W.CPH_EQUIV.flatten()
+
+    def test_nonzero_terms(self):
+        terms = W.CPH.nonzero_terms()
+        assert terms == [(0, 1, 0, 1.0), (1, 0, 1, 1.0)]
+
+    def test_equality_and_hash(self):
+        a = WeightVector.from_flat("x", (1, 0, 0, 0, 0, 0, 0, 0))
+        b = WeightVector.from_flat("x", (1, 0, 0, 0, 0, 0, 0, 0))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != a.renamed("y")
+
+
+class TestTable1Presets:
+    """The exact 8-tuples from Table 1 of the paper."""
+
+    @pytest.mark.parametrize(
+        "preset,expected",
+        [
+            (W.DISTMULT, (1, 0, 0, 0, 0, 0, 0, 0)),
+            (W.COMPLEX, (1, 0, 0, 1, 0, -1, 1, 0)),
+            (W.COMPLEX_EQUIV_1, (1, 0, 0, -1, 0, 1, 1, 0)),
+            (W.COMPLEX_EQUIV_2, (0, 1, -1, 0, 1, 0, 0, 1)),
+            (W.COMPLEX_EQUIV_3, (0, 1, 1, 0, -1, 0, 0, 1)),
+            (W.CP, (0, 0, 1, 0, 0, 0, 0, 0)),
+            (W.CPH, (0, 0, 1, 0, 0, 1, 0, 0)),
+            (W.CPH_EQUIV, (0, 0, 0, 1, 1, 0, 0, 0)),
+        ],
+    )
+    def test_table1_values(self, preset, expected):
+        assert preset.flatten() == tuple(float(v) for v in expected)
+
+    @pytest.mark.parametrize(
+        "preset,expected",
+        [
+            (W.BAD_EXAMPLE_1, (0, 0, 20, 0, 0, 1, 0, 0)),
+            (W.BAD_EXAMPLE_2, (0, 0, 1, 1, 1, 1, 0, 0)),
+            (W.GOOD_EXAMPLE_1, (0, 0, 20, 1, 1, 20, 0, 0)),
+            (W.GOOD_EXAMPLE_2, (1, 1, -1, 1, 1, -1, 1, 1)),
+            (W.UNIFORM, (1, 1, 1, 1, 1, 1, 1, 1)),
+        ],
+    )
+    def test_table2_and_3_values(self, preset, expected):
+        assert preset.flatten() == tuple(float(v) for v in expected)
+
+    def test_quaternion_matches_algebra_tensor(self):
+        from repro.core.algebra.quaternion import quaternion_weight_tensor
+
+        assert np.array_equal(W.QUATERNION.tensor, quaternion_weight_tensor())
+
+
+class TestRegistry:
+    def test_all_presets_resolvable(self):
+        for key in W.PRESETS:
+            assert get_preset(key).name
+
+    def test_case_insensitive(self):
+        assert get_preset("ComplEx") == W.COMPLEX
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError, match="unknown weight preset"):
+            get_preset("transformer")
+
+    def test_equivalent_families(self):
+        assert len(W.complex_equivalents()) == 4
+        assert len(W.cph_equivalents()) == 2

@@ -1,0 +1,111 @@
+"""Unit tests for the link-prediction evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import KGEModel
+from repro.errors import EvaluationError
+from repro.eval.evaluator import LinkPredictionEvaluator
+
+
+class OracleModel(KGEModel):
+    """Scores a fixed set of triples 1.0 and everything else 0.0."""
+
+    name = "oracle"
+
+    def __init__(self, true_triples, num_entities, num_relations):
+        self.true = {tuple(t) for t in true_triples}
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+
+    def score_triples(self, heads, tails, relations):
+        return np.array(
+            [1.0 if (h, t, r) in self.true else 0.0
+             for h, t, r in zip(heads, tails, relations)]
+        )
+
+    def score_all_tails(self, heads, relations):
+        return np.stack([
+            np.array([1.0 if (h, e, r) in self.true else 0.0
+                      for e in range(self.num_entities)])
+            for h, r in zip(heads, relations)
+        ])
+
+    def score_all_heads(self, tails, relations):
+        return np.stack([
+            np.array([1.0 if (e, t, r) in self.true else 0.0
+                      for e in range(self.num_entities)])
+            for t, r in zip(tails, relations)
+        ])
+
+    def train_step(self, positives, negatives, optimizer):
+        return 0.0
+
+
+class TestOracleEvaluation:
+    def test_oracle_with_filtering_gets_perfect_mrr(self, toy_dataset):
+        all_triples = [tuple(t) for t in toy_dataset.all_triples()]
+        model = OracleModel(all_triples, toy_dataset.num_entities, toy_dataset.num_relations)
+        result = LinkPredictionEvaluator(toy_dataset).evaluate(model, "test")
+        assert result.overall.mrr == pytest.approx(1.0)
+        assert result.overall.hits[1] == pytest.approx(1.0)
+
+    def test_raw_protocol_scores_lower_when_known_triples_compete(self, toy_dataset):
+        """alice likes {bob, eve, dave-married}, so without filtering the
+        oracle's competing true triples can push ranks down."""
+        all_triples = [tuple(t) for t in toy_dataset.all_triples()]
+        model = OracleModel(all_triples, toy_dataset.num_entities, toy_dataset.num_relations)
+        filtered = LinkPredictionEvaluator(toy_dataset, filtered=True).evaluate(model, "valid")
+        raw = LinkPredictionEvaluator(toy_dataset, filtered=False).evaluate(model, "valid")
+        assert raw.overall.mrr <= filtered.overall.mrr
+
+    def test_head_and_tail_sides_reported(self, toy_dataset):
+        all_triples = [tuple(t) for t in toy_dataset.all_triples()]
+        model = OracleModel(all_triples, toy_dataset.num_entities, toy_dataset.num_relations)
+        result = LinkPredictionEvaluator(toy_dataset).evaluate(model, "test")
+        assert result.tail_side.num_ranks == len(toy_dataset.test)
+        assert result.head_side.num_ranks == len(toy_dataset.test)
+        assert result.overall.num_ranks == 2 * len(toy_dataset.test)
+
+
+class TestEvaluatorMechanics:
+    def test_unknown_split_raises(self, toy_dataset):
+        model = OracleModel([], toy_dataset.num_entities, toy_dataset.num_relations)
+        with pytest.raises(EvaluationError, match="unknown split"):
+            LinkPredictionEvaluator(toy_dataset).evaluate(model, "dev")
+
+    def test_empty_triples_raise(self, toy_dataset):
+        from repro.kg.triples import TripleSet
+
+        model = OracleModel([], toy_dataset.num_entities, toy_dataset.num_relations)
+        evaluator = LinkPredictionEvaluator(toy_dataset)
+        with pytest.raises(EvaluationError, match="empty"):
+            evaluator.evaluate_triples(
+                model, TripleSet.empty(toy_dataset.num_entities, toy_dataset.num_relations)
+            )
+
+    def test_max_triples_caps_workload(self, toy_dataset):
+        all_triples = [tuple(t) for t in toy_dataset.all_triples()]
+        model = OracleModel(all_triples, toy_dataset.num_entities, toy_dataset.num_relations)
+        evaluator = LinkPredictionEvaluator(toy_dataset)
+        result = evaluator.evaluate_triples(model, toy_dataset.train, max_triples=3)
+        assert result.overall.num_ranks == 6  # 3 triples x 2 sides
+
+    def test_batch_size_does_not_change_result(self, toy_dataset):
+        all_triples = [tuple(t) for t in toy_dataset.all_triples()]
+        model = OracleModel(all_triples, toy_dataset.num_entities, toy_dataset.num_relations)
+        big = LinkPredictionEvaluator(toy_dataset, batch_size=512).evaluate(model, "test")
+        tiny = LinkPredictionEvaluator(toy_dataset, batch_size=1).evaluate(model, "test")
+        assert big.overall.mrr == pytest.approx(tiny.overall.mrr)
+
+    def test_bad_batch_size_raises(self, toy_dataset):
+        with pytest.raises(EvaluationError):
+            LinkPredictionEvaluator(toy_dataset, batch_size=0)
+
+    def test_split_name_recorded(self, toy_dataset):
+        all_triples = [tuple(t) for t in toy_dataset.all_triples()]
+        model = OracleModel(all_triples, toy_dataset.num_entities, toy_dataset.num_relations)
+        result = LinkPredictionEvaluator(toy_dataset).evaluate(model, "valid")
+        assert result.split == "valid"

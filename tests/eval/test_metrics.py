@@ -1,0 +1,106 @@
+"""Unit + property tests for :mod:`repro.eval.metrics`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import RankingMetrics, compute_metrics, merge_metrics
+
+rank_lists = st.lists(st.integers(1, 1000), min_size=1, max_size=100)
+
+
+class TestComputeMetrics:
+    def test_perfect_ranks(self):
+        metrics = compute_metrics(np.ones(10))
+        assert metrics.mrr == 1.0
+        assert metrics.mr == 1.0
+        assert metrics.hits[1] == 1.0
+        assert metrics.hits[10] == 1.0
+
+    def test_known_values(self):
+        metrics = compute_metrics(np.array([1.0, 2.0, 4.0]))
+        assert metrics.mrr == pytest.approx((1 + 0.5 + 0.25) / 3)
+        assert metrics.mr == pytest.approx(7 / 3)
+        assert metrics.hits[1] == pytest.approx(1 / 3)
+        assert metrics.hits[3] == pytest.approx(2 / 3)
+        assert metrics.hits[10] == pytest.approx(1.0)
+
+    def test_fractional_ranks_from_tie_averaging(self):
+        metrics = compute_metrics(np.array([1.5, 2.5]))
+        assert metrics.hits[1] == 0.0
+        assert metrics.hits[3] == 1.0
+
+    def test_custom_hits_cutoffs(self):
+        metrics = compute_metrics(np.array([4.0]), hits_at=(5,))
+        assert metrics.hits_at(5) == 1.0
+        with pytest.raises(EvaluationError):
+            metrics.hits_at(10)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(EvaluationError):
+            compute_metrics(np.array([]))
+        with pytest.raises(EvaluationError):
+            compute_metrics(np.array([0.5]))
+        with pytest.raises(EvaluationError):
+            compute_metrics(np.array([[1.0]]))
+        with pytest.raises(EvaluationError):
+            compute_metrics(np.array([1.0]), hits_at=(0,))
+
+    @given(rank_lists)
+    def test_property_mrr_in_unit_interval(self, ranks):
+        metrics = compute_metrics(np.asarray(ranks, dtype=float))
+        assert 0.0 < metrics.mrr <= 1.0
+
+    @given(rank_lists)
+    def test_property_hits_monotone_in_k(self, ranks):
+        metrics = compute_metrics(np.asarray(ranks, dtype=float))
+        assert metrics.hits[1] <= metrics.hits[3] <= metrics.hits[10]
+
+    @given(rank_lists)
+    def test_property_mrr_bounded_by_hits1_and_1(self, ranks):
+        metrics = compute_metrics(np.asarray(ranks, dtype=float))
+        assert metrics.hits[1] <= metrics.mrr
+
+
+class TestMergeMetrics:
+    def test_weighted_average(self):
+        a = compute_metrics(np.array([1.0]))
+        b = compute_metrics(np.array([2.0, 2.0, 2.0]))
+        merged = merge_metrics(a, b)
+        assert merged.num_ranks == 4
+        assert merged.mrr == pytest.approx((1.0 + 3 * 0.5) / 4)
+
+    def test_merge_equals_joint_computation(self, rng):
+        ranks = rng.integers(1, 50, size=20).astype(float)
+        joint = compute_metrics(ranks)
+        merged = merge_metrics(compute_metrics(ranks[:7]), compute_metrics(ranks[7:]))
+        assert merged.mrr == pytest.approx(joint.mrr)
+        assert merged.mr == pytest.approx(joint.mr)
+        for k in joint.hits:
+            assert merged.hits[k] == pytest.approx(joint.hits[k])
+
+    def test_mismatched_cutoffs_raise(self):
+        a = compute_metrics(np.array([1.0]), hits_at=(1,))
+        b = compute_metrics(np.array([1.0]), hits_at=(3,))
+        with pytest.raises(EvaluationError):
+            merge_metrics(a, b)
+
+
+class TestFormatting:
+    def test_row_contains_values(self):
+        metrics = compute_metrics(np.array([1.0, 2.0]))
+        row = metrics.format_row("MyModel")
+        assert "MyModel" in row
+        assert f"{metrics.mrr:6.3f}" in row
+
+    def test_header_aligns_with_row(self):
+        metrics = RankingMetrics(mrr=0.5, mr=2.0, hits={1: 0.3, 3: 0.5, 10: 0.9})
+        header = RankingMetrics.header_row()
+        row = metrics.format_row("x")
+        assert "MRR" in header
+        assert "Hit@10" in header
+        assert len(header.split()) == len(row.split()) + 1  # label vs 2-word label

@@ -1,0 +1,71 @@
+"""Property-based tests of the ranking protocol's defining invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.ranking import rank_of_true
+
+score_vectors = st.lists(
+    st.floats(-50, 50, allow_nan=False), min_size=3, max_size=25
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(score_vectors, st.data())
+def test_filtering_never_worsens_rank(scores, data):
+    """Removing competitors can only improve (lower) the rank."""
+    scores = np.asarray(scores)
+    true_index = data.draw(st.integers(0, len(scores) - 1))
+    candidates = [i for i in range(len(scores)) if i != true_index]
+    filter_size = data.draw(st.integers(0, len(candidates)))
+    filter_out = np.asarray(candidates[:filter_size], dtype=np.int64)
+    raw = rank_of_true(scores, true_index)
+    filtered = rank_of_true(scores, true_index, filter_out=filter_out)
+    assert filtered <= raw
+
+
+@settings(max_examples=60, deadline=None)
+@given(score_vectors, st.data())
+def test_filtering_everything_gives_rank_one(scores, data):
+    scores = np.asarray(scores)
+    true_index = data.draw(st.integers(0, len(scores) - 1))
+    everyone_else = np.asarray(
+        [i for i in range(len(scores)) if i != true_index], dtype=np.int64
+    )
+    assert rank_of_true(scores, true_index, filter_out=everyone_else) == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(score_vectors, st.data())
+def test_rank_is_score_monotone(scores, data):
+    """A candidate with a strictly higher score never ranks worse."""
+    scores = np.asarray(scores)
+    i = data.draw(st.integers(0, len(scores) - 1))
+    j = data.draw(st.integers(0, len(scores) - 1))
+    rank_i = rank_of_true(scores, i)
+    rank_j = rank_of_true(scores, j)
+    if scores[i] > scores[j]:
+        assert rank_i <= rank_j
+    elif scores[i] == scores[j]:
+        assert rank_i == pytest.approx(rank_j)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    # Quantised scores: well-separated values so the affine transform
+    # cannot create new floating-point ties (e.g. 1e-304 + 3.0 == 3.0).
+    st.lists(st.integers(-200, 200), min_size=3, max_size=25),
+    st.floats(0.1, 10, allow_nan=False),
+    st.data(),
+)
+def test_rank_invariant_to_monotone_score_transform(scores, scale, data):
+    """Ranks depend only on score order, not magnitude."""
+    scores = np.asarray(scores, dtype=np.float64) * 0.25
+    true_index = data.draw(st.integers(0, len(scores) - 1))
+    original = rank_of_true(scores, true_index)
+    transformed = rank_of_true(scale * scores + 3.0, true_index)
+    assert transformed == pytest.approx(original)

@@ -1,0 +1,90 @@
+"""Unit + property tests for :mod:`repro.eval.ranking`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval.ranking import rank_of_true, ranks_from_score_matrix
+
+
+class TestRankOfTrue:
+    def test_best_candidate_rank_one(self):
+        assert rank_of_true(np.array([1.0, 5.0, 2.0]), 1) == 1.0
+
+    def test_worst_candidate(self):
+        assert rank_of_true(np.array([1.0, 5.0, 2.0]), 0) == 3.0
+
+    def test_tie_policies(self):
+        scores = np.array([2.0, 2.0, 2.0, 1.0])
+        assert rank_of_true(scores, 0, tie_policy="optimistic") == 1.0
+        assert rank_of_true(scores, 0, tie_policy="pessimistic") == 3.0
+        assert rank_of_true(scores, 0, tie_policy="average") == 2.0
+
+    def test_filtering_removes_candidates(self):
+        scores = np.array([1.0, 5.0, 4.0, 3.0])
+        # without filtering, rank of index 3 is 3; filtering out 1 and 2 -> 1
+        assert rank_of_true(scores, 3) == 3.0
+        assert rank_of_true(scores, 3, filter_out=np.array([1, 2])) == 1.0
+
+    def test_true_index_never_filtered(self):
+        scores = np.array([1.0, 5.0])
+        assert rank_of_true(scores, 1, filter_out=np.array([1])) == 1.0
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(EvaluationError):
+            rank_of_true(np.array([1.0]), 0, tie_policy="hopeful")
+
+    def test_bad_index_raises(self):
+        with pytest.raises(EvaluationError):
+            rank_of_true(np.array([1.0]), 5)
+
+    def test_non_1d_raises(self):
+        with pytest.raises(EvaluationError):
+            rank_of_true(np.ones((2, 2)), 0)
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=30),
+           st.integers(0, 29))
+    def test_property_rank_within_bounds(self, scores, index):
+        scores = np.asarray(scores)
+        index = index % len(scores)
+        rank = rank_of_true(scores, index)
+        assert 1.0 <= rank <= len(scores)
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=30),
+           st.integers(0, 29))
+    def test_property_policy_ordering(self, scores, index):
+        scores = np.asarray(scores)
+        index = index % len(scores)
+        opt = rank_of_true(scores, index, tie_policy="optimistic")
+        avg = rank_of_true(scores, index, tie_policy="average")
+        pes = rank_of_true(scores, index, tie_policy="pessimistic")
+        assert opt <= avg <= pes
+        assert avg == pytest.approx((opt + pes) / 2.0)
+
+
+class TestRankMatrix:
+    def test_batched_matches_single(self, rng):
+        matrix = rng.normal(size=(6, 20))
+        true_indices = rng.integers(0, 20, size=6)
+        ranks = ranks_from_score_matrix(matrix, true_indices)
+        for row in range(6):
+            assert ranks[row] == rank_of_true(matrix[row], int(true_indices[row]))
+
+    def test_with_filters(self, rng):
+        matrix = rng.normal(size=(2, 10))
+        true_indices = np.array([0, 1])
+        filters = [np.array([5, 6]), np.array([], dtype=np.int64)]
+        ranks = ranks_from_score_matrix(matrix, true_indices, filters)
+        assert ranks[0] == rank_of_true(matrix[0], 0, filters[0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            ranks_from_score_matrix(np.ones((2, 5)), np.zeros(3, dtype=int))
+
+    def test_filters_length_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            ranks_from_score_matrix(np.ones((2, 5)), np.zeros(2, dtype=int), filters=[])

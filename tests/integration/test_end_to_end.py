@@ -1,0 +1,115 @@
+"""Integration tests: every model family through the full pipeline.
+
+Each test trains briefly on the tiny dataset and checks that the filtered
+MRR beats the random-ranking baseline by a wide margin — certifying that
+scoring, gradients, sampling, optimisation, constraint projection and
+evaluation compose correctly for that family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ERMLP, RESCAL, TransE
+from repro.core.models import (
+    make_complex,
+    make_cp,
+    make_cph,
+    make_distmult,
+    make_learned_weight_model,
+    make_quaternion,
+)
+from repro.eval.evaluator import LinkPredictionEvaluator
+from repro.kg.augment import augment_with_inverses
+from repro.training.trainer import Trainer, TrainingConfig
+
+
+def _random_mrr(num_entities: int) -> float:
+    """Expected MRR of uniform random ranking ~ H(n)/n."""
+    return float(np.mean(1.0 / np.arange(1, num_entities + 1)))
+
+
+CONFIG = TrainingConfig(epochs=200, batch_size=256, learning_rate=0.02, seed=0,
+                        validate_every=1000, patience=1000)
+
+
+def _train_and_mrr(model, dataset):
+    Trainer(dataset, CONFIG).train(model)
+    result = LinkPredictionEvaluator(dataset).evaluate(model, "test")
+    return result.overall.mrr
+
+
+class TestTrilinearFamily:
+    @pytest.mark.parametrize("factory", [make_distmult, make_complex, make_cph,
+                                         make_quaternion])
+    def test_model_learns(self, factory, tiny_dataset):
+        model = factory(
+            tiny_dataset.num_entities, tiny_dataset.num_relations,
+            total_dim=16, rng=np.random.default_rng(0),
+        )
+        mrr = _train_and_mrr(model, tiny_dataset)
+        assert mrr > 5 * _random_mrr(tiny_dataset.num_entities)
+        assert mrr > 0.35
+
+    def test_cp_trains_but_generalizes_poorly(self, tiny_dataset):
+        """CP must train (loss falls) yet stay far below CPh on test."""
+        cp = make_cp(tiny_dataset.num_entities, tiny_dataset.num_relations,
+                     total_dim=16, rng=np.random.default_rng(0))
+        result = Trainer(tiny_dataset, CONFIG).train(cp)
+        assert result.history.losses[-1] < result.history.losses[0]
+        cp_mrr = LinkPredictionEvaluator(tiny_dataset).evaluate(cp, "test").overall.mrr
+
+        cph = make_cph(tiny_dataset.num_entities, tiny_dataset.num_relations,
+                       total_dim=16, rng=np.random.default_rng(0))
+        cph_mrr = _train_and_mrr(cph, tiny_dataset)
+        assert cph_mrr > 2 * cp_mrr
+
+    def test_learned_weight_model_trains(self, tiny_dataset):
+        model = make_learned_weight_model(
+            tiny_dataset.num_entities, tiny_dataset.num_relations,
+            total_dim=16, rng=np.random.default_rng(0), transform="softmax",
+        )
+        mrr = _train_and_mrr(model, tiny_dataset)
+        assert mrr > 3 * _random_mrr(tiny_dataset.num_entities)
+
+
+class TestBaselines:
+    def test_transe_learns(self, tiny_dataset):
+        model = TransE(tiny_dataset.num_entities, tiny_dataset.num_relations,
+                       dim=16, rng=np.random.default_rng(0))
+        mrr = _train_and_mrr(model, tiny_dataset)
+        assert mrr > 3 * _random_mrr(tiny_dataset.num_entities)
+
+    def test_rescal_learns(self, tiny_dataset):
+        model = RESCAL(tiny_dataset.num_entities, tiny_dataset.num_relations,
+                       dim=16, rng=np.random.default_rng(0))
+        mrr = _train_and_mrr(model, tiny_dataset)
+        assert mrr > 3 * _random_mrr(tiny_dataset.num_entities)
+
+    def test_er_mlp_learns(self, tiny_dataset):
+        model = ERMLP(tiny_dataset.num_entities, tiny_dataset.num_relations,
+                      dim=8, rng=np.random.default_rng(0), hidden=16)
+        config = TrainingConfig(epochs=60, batch_size=256, learning_rate=0.01,
+                                seed=0, validate_every=1000, patience=1000)
+        Trainer(tiny_dataset, config).train(model)
+        result = LinkPredictionEvaluator(tiny_dataset, batch_size=64).evaluate(model, "test")
+        # ER-MLP is a famously weak link predictor (the paper's §2.2.2
+        # criticism); the bar here is only "clearly above random".
+        assert result.overall.mrr > 1.5 * _random_mrr(tiny_dataset.num_entities)
+
+
+class TestAugmentedCP:
+    def test_literal_augmentation_rescues_cp(self, tiny_dataset):
+        """The original Lacroix formulation: CP trained on the dataset with
+        explicit inverse triples must far exceed plain CP."""
+        plain_cp = make_cp(tiny_dataset.num_entities, tiny_dataset.num_relations,
+                           total_dim=16, rng=np.random.default_rng(0))
+        plain_mrr = _train_and_mrr(plain_cp, tiny_dataset)
+
+        augmented = augment_with_inverses(tiny_dataset)
+        aug_cp = make_cp(augmented.num_entities, augmented.num_relations,
+                         total_dim=16, rng=np.random.default_rng(0))
+        Trainer(augmented, CONFIG).train(aug_cp)
+        aug_mrr = LinkPredictionEvaluator(augmented).evaluate(aug_cp, "test").overall.mrr
+        assert aug_mrr > 2 * plain_mrr

@@ -1,0 +1,61 @@
+"""Unit tests for the CPh inverse augmentation (:mod:`repro.kg.augment`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kg.augment import (
+    augment_with_inverses,
+    augmented_relation_name,
+    is_augmented_relation_name,
+)
+
+
+@pytest.fixture
+def augmented(toy_dataset):
+    return augment_with_inverses(toy_dataset)
+
+
+class TestAugmentation:
+    def test_relation_vocab_doubles(self, toy_dataset, augmented):
+        assert augmented.num_relations == 2 * toy_dataset.num_relations
+
+    def test_train_doubles(self, toy_dataset, augmented):
+        assert len(augmented.train) == 2 * len(toy_dataset.train)
+
+    def test_eval_splits_unchanged(self, toy_dataset, augmented):
+        assert augmented.valid.array.tolist() == toy_dataset.valid.array.tolist()
+        assert augmented.test.array.tolist() == toy_dataset.test.array.tolist()
+
+    def test_inverse_triples_present(self, toy_dataset, augmented):
+        offset = toy_dataset.num_relations
+        for h, t, r in toy_dataset.train:
+            assert (t, h, r + offset) in augmented.train
+
+    def test_original_triples_preserved(self, toy_dataset, augmented):
+        for triple in toy_dataset.train:
+            assert triple in augmented.train
+
+    def test_augmented_names(self, toy_dataset, augmented):
+        original = toy_dataset.relations.name(0)
+        assert augmented.relations.name(toy_dataset.num_relations) == augmented_relation_name(
+            original
+        )
+
+    def test_entity_vocab_shared(self, toy_dataset, augmented):
+        assert augmented.entities is toy_dataset.entities
+
+    def test_dataset_name_tagged(self, augmented):
+        assert augmented.name.endswith("+inv")
+
+    def test_double_augmentation_quadruples_relations(self, toy_dataset):
+        twice = augment_with_inverses(augment_with_inverses(toy_dataset))
+        assert twice.num_relations == 4 * toy_dataset.num_relations
+
+
+class TestNames:
+    def test_name_round_trip(self):
+        assert is_augmented_relation_name(augmented_relation_name("hypernym"))
+
+    def test_plain_name_not_flagged(self):
+        assert not is_augmented_relation_name("hypernym")

@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.kg.io`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.kg.io import (
+    load_dataset_directory,
+    load_dataset_with_sidecar,
+    load_vocabularies,
+    read_labeled_triples,
+    save_dataset_directory,
+    write_labeled_triples,
+)
+
+
+class TestTripleFiles:
+    def test_round_trip(self, tmp_path):
+        triples = [("a", "b", "r1"), ("b", "c", "r2")]
+        path = tmp_path / "triples.txt"
+        write_labeled_triples(path, triples)
+        assert read_labeled_triples(path) == triples
+
+    def test_file_format_is_head_relation_tail(self, tmp_path):
+        path = tmp_path / "t.txt"
+        write_labeled_triples(path, [("h", "t", "r")])
+        assert path.read_text().strip() == "h\tr\tt"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("a\tr\tb\n\n\nc\tr\td\n")
+        assert len(read_labeled_triples(path)) == 2
+
+    def test_space_separated_accepted(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("a r b\n")
+        assert read_labeled_triples(path) == [("a", "b", "r")]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("a\tr\tb\nbroken line here extra\n")
+        with pytest.raises(DatasetError, match=":2:"):
+            read_labeled_triples(path)
+
+
+class TestDatasetDirectories:
+    def test_save_load_round_trip(self, tmp_path, toy_dataset):
+        save_dataset_directory(toy_dataset, tmp_path / "toy")
+        loaded = load_dataset_directory(tmp_path / "toy")
+        assert loaded.num_entities == toy_dataset.num_entities
+        assert loaded.num_relations == toy_dataset.num_relations
+        assert len(loaded.train) == len(toy_dataset.train)
+
+    def test_sidecar_preserves_exact_ids(self, tmp_path, toy_dataset):
+        save_dataset_directory(toy_dataset, tmp_path / "toy")
+        loaded = load_dataset_with_sidecar(tmp_path / "toy")
+        assert loaded.entities.to_list() == toy_dataset.entities.to_list()
+        assert loaded.train.array.tolist() == toy_dataset.train.array.tolist()
+        assert loaded.name == "toy"
+
+    def test_load_vocabularies(self, tmp_path, toy_dataset):
+        save_dataset_directory(toy_dataset, tmp_path / "toy")
+        entities, relations = load_vocabularies(tmp_path / "toy")
+        assert entities == toy_dataset.entities
+        assert relations == toy_dataset.relations
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(DatasetError, match="not a dataset directory"):
+            load_dataset_directory(tmp_path / "missing")
+
+    def test_missing_split_raises(self, tmp_path):
+        directory = tmp_path / "incomplete"
+        directory.mkdir()
+        (directory / "train.txt").write_text("a\tr\tb\n")
+        with pytest.raises(DatasetError, match="missing split"):
+            load_dataset_directory(directory)
+
+    def test_missing_sidecar_raises(self, tmp_path):
+        (tmp_path / "d").mkdir()
+        with pytest.raises(DatasetError, match="sidecar"):
+            load_vocabularies(tmp_path / "d")

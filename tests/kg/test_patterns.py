@@ -1,0 +1,97 @@
+"""Unit tests for :mod:`repro.kg.patterns`."""
+
+from __future__ import annotations
+
+from repro.kg.graph import KGDataset
+from repro.kg.patterns import (
+    analyze_relations,
+    find_inverse_partner,
+    inverse_leakage,
+    relation_symmetry,
+)
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+
+
+def _ts(rows, ne=6, nr=3) -> TripleSet:
+    return TripleSet(rows, ne, nr)
+
+
+class TestSymmetry:
+    def test_fully_symmetric(self):
+        ts = _ts([[0, 1, 0], [1, 0, 0], [2, 3, 0], [3, 2, 0]])
+        assert relation_symmetry(ts, 0) == 1.0
+
+    def test_fully_antisymmetric(self):
+        ts = _ts([[0, 1, 0], [1, 2, 0], [2, 3, 0]])
+        assert relation_symmetry(ts, 0) == 0.0
+
+    def test_half_symmetric(self):
+        ts = _ts([[0, 1, 0], [1, 0, 0], [2, 3, 0], [3, 4, 0]])
+        assert relation_symmetry(ts, 0) == 0.5
+
+    def test_empty_relation(self):
+        assert relation_symmetry(_ts([[0, 1, 0]]), 2) == 0.0
+
+
+class TestInversePartner:
+    def test_perfect_inverse_pair(self):
+        ts = _ts([[0, 1, 0], [1, 0, 1], [2, 3, 0], [3, 2, 1]])
+        partner, score = find_inverse_partner(ts, 0)
+        assert partner == 1
+        assert score == 1.0
+
+    def test_no_partner(self):
+        ts = _ts([[0, 1, 0], [2, 3, 1]])
+        partner, score = find_inverse_partner(ts, 0)
+        assert partner is None
+        assert score == 0.0
+
+    def test_self_symmetry_excluded(self):
+        # relation 0 is symmetric; it must not be its own inverse partner
+        ts = _ts([[0, 1, 0], [1, 0, 0]])
+        partner, _score = find_inverse_partner(ts, 0)
+        assert partner != 0
+
+    def test_empty_relation(self):
+        partner, score = find_inverse_partner(_ts([[0, 1, 0]]), 1)
+        assert partner is None and score == 0.0
+
+
+class TestAnalyzeRelations:
+    def test_reports_for_all_relations(self):
+        ts = _ts([[0, 1, 0], [1, 0, 1], [2, 3, 2], [3, 2, 2]])
+        reports = analyze_relations(ts)
+        assert len(reports) == 3
+        assert reports[2].symmetry == 1.0
+        assert reports[0].inverse_partner == 1
+
+    def test_counts(self):
+        ts = _ts([[0, 1, 0], [1, 2, 0], [2, 3, 1]])
+        reports = analyze_relations(ts)
+        assert reports[0].count == 2
+        assert reports[1].count == 1
+
+
+class TestInverseLeakage:
+    def _dataset(self, train, test):
+        ne, nr = 6, 2
+        return KGDataset(
+            entities=Vocabulary(f"e{i}" for i in range(ne)),
+            relations=Vocabulary(f"r{i}" for i in range(nr)),
+            train=TripleSet(train, ne, nr),
+            valid=TripleSet.empty(ne, nr),
+            test=TripleSet(test, ne, nr),
+        )
+
+    def test_full_leakage(self):
+        ds = self._dataset(train=[[1, 0, 1], [3, 2, 1]], test=[[0, 1, 0], [2, 3, 0]])
+        assert inverse_leakage(ds, "test") == 1.0
+
+    def test_no_leakage(self):
+        ds = self._dataset(train=[[0, 1, 0]], test=[[2, 3, 0]])
+        assert inverse_leakage(ds, "test") == 0.0
+
+    def test_empty_split(self):
+        ds = self._dataset(train=[[0, 1, 0]], test=[[2, 3, 0]])
+        assert inverse_leakage(ds, "valid") == 0.0

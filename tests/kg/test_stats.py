@@ -1,0 +1,40 @@
+"""Unit tests for :mod:`repro.kg.stats`."""
+
+from __future__ import annotations
+
+from repro.kg.stats import compute_stats
+
+
+class TestComputeStats:
+    def test_counts(self, toy_dataset):
+        stats = compute_stats(toy_dataset)
+        assert stats.num_entities == 6
+        assert stats.num_relations == 2
+        assert stats.num_train == 10
+        assert stats.num_valid == 1
+        assert stats.num_test == 1
+
+    def test_degree_statistics(self, toy_dataset):
+        stats = compute_stats(toy_dataset)
+        # 10 train triples => total degree 20 over 6 entities
+        assert abs(stats.mean_entity_degree - 20 / 6) < 1e-12
+        assert stats.max_entity_degree >= stats.median_entity_degree
+
+    def test_relation_frequencies_sum_to_train(self, toy_dataset):
+        stats = compute_stats(toy_dataset)
+        assert sum(stats.relation_frequencies) == stats.num_train
+
+    def test_isolated_entities_zero_for_toy(self, toy_dataset):
+        assert compute_stats(toy_dataset).isolated_entities == 0
+
+    def test_format_table_mentions_name_and_counts(self, toy_dataset):
+        table = compute_stats(toy_dataset).format_table()
+        assert "toy" in table
+        assert "train triples" in table
+        assert "10" in table
+
+    def test_synthetic_dataset_stats(self, tiny_dataset):
+        stats = compute_stats(tiny_dataset)
+        assert stats.num_entities == 100
+        assert stats.isolated_entities == 0
+        assert stats.mean_entity_degree > 1.0

@@ -1,0 +1,124 @@
+"""Tests for the synthetic WN18-like generator.
+
+These certify the *scientific* properties the experiments depend on:
+determinism, split hygiene, coverage, and — crucially — WN18-style
+structure (inverse pairs, symmetric relations, inverse leakage into the
+eval splits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kg.patterns import find_inverse_partner, inverse_leakage, relation_symmetry
+from repro.kg.synthetic import (
+    SyntheticKGConfig,
+    generate_synthetic_kg,
+    inverse_relation_pairs,
+    symmetric_relation_names,
+)
+
+
+class TestConfigValidation:
+    def test_too_few_entities_raises(self):
+        with pytest.raises(ConfigError):
+            SyntheticKGConfig(num_entities=5)
+
+    def test_bad_cluster_count_raises(self):
+        with pytest.raises(ConfigError):
+            SyntheticKGConfig(num_entities=100, num_clusters=0)
+        with pytest.raises(ConfigError):
+            SyntheticKGConfig(num_entities=100, num_clusters=200)
+
+    def test_bad_eval_fractions_raise(self):
+        with pytest.raises(ConfigError):
+            SyntheticKGConfig(valid_fraction=0.3, test_fraction=0.3)
+        with pytest.raises(ConfigError):
+            SyntheticKGConfig(valid_fraction=-0.1)
+
+    def test_bad_domains_raise(self):
+        with pytest.raises(ConfigError):
+            SyntheticKGConfig(num_entities=100, num_domains=0)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        config = SyntheticKGConfig(num_entities=120, num_clusters=10, num_domains=4, seed=5)
+        a = generate_synthetic_kg(config)
+        b = generate_synthetic_kg(config)
+        assert a.train.array.tolist() == b.train.array.tolist()
+        assert a.test.array.tolist() == b.test.array.tolist()
+
+    def test_different_seeds_differ(self):
+        base = dict(num_entities=120, num_clusters=10, num_domains=4)
+        a = generate_synthetic_kg(SyntheticKGConfig(seed=1, **base))
+        b = generate_synthetic_kg(SyntheticKGConfig(seed=2, **base))
+        assert a.train.array.tolist() != b.train.array.tolist()
+
+    def test_splits_disjoint(self, tiny_dataset):
+        train = tiny_dataset.train.as_set()
+        assert not train & tiny_dataset.valid.as_set()
+        assert not train & tiny_dataset.test.as_set()
+
+    def test_no_self_loops(self, tiny_dataset):
+        arr = tiny_dataset.all_triples().array
+        assert (arr[:, 0] != arr[:, 1]).all()
+
+    def test_no_duplicate_triples(self, tiny_dataset):
+        arr = tiny_dataset.all_triples().array
+        assert len(np.unique(arr, axis=0)) == len(arr)
+
+    def test_every_entity_in_train(self, tiny_dataset):
+        degree = tiny_dataset.train.entity_degree()
+        assert (degree > 0).all()
+
+    def test_every_relation_in_train(self, tiny_dataset):
+        freq = tiny_dataset.train.relation_frequency()
+        assert (freq > 0).all()
+
+    def test_eval_split_sizes_roughly_requested(self):
+        config = SyntheticKGConfig(
+            num_entities=400, num_clusters=20, num_domains=5,
+            valid_fraction=0.05, test_fraction=0.05, seed=0,
+        )
+        ds = generate_synthetic_kg(config)
+        total = len(ds.all_triples())
+        # Coverage fix-up moves some eval triples to train, so sizes are
+        # close to but at most the requested fraction.
+        assert 0.02 * total < len(ds.valid) <= 0.055 * total
+        assert 0.02 * total < len(ds.test) <= 0.055 * total
+
+
+class TestWN18Structure:
+    """The properties that make the paper's findings reproducible."""
+
+    def test_inverse_leakage_matches_wn18(self, small_dataset):
+        # WN18's test-inverse-in-train rate is ~0.94.
+        leakage = inverse_leakage(small_dataset, "test")
+        assert leakage > 0.85
+
+    def test_symmetric_relations_are_symmetric(self, small_dataset):
+        all_triples = small_dataset.all_triples()
+        for name in symmetric_relation_names():
+            rel = small_dataset.relations.index(name)
+            assert relation_symmetry(all_triples, rel) == 1.0
+
+    def test_inverse_pairs_detected(self, small_dataset):
+        all_triples = small_dataset.all_triples()
+        for fwd_name, inv_name in inverse_relation_pairs():
+            fwd = small_dataset.relations.index(fwd_name)
+            inv = small_dataset.relations.index(inv_name)
+            partner, score = find_inverse_partner(all_triples, fwd)
+            assert partner == inv
+            assert score == 1.0
+
+    def test_hierarchy_relation_is_antisymmetric(self, small_dataset):
+        all_triples = small_dataset.all_triples()
+        hypernym = small_dataset.relations.index("hypernym")
+        assert relation_symmetry(all_triples, hypernym) < 0.05
+
+    def test_relation_frequency_is_skewed(self, small_dataset):
+        freq = small_dataset.train.relation_frequency()
+        assert freq.max() > 3 * max(1, freq.min())

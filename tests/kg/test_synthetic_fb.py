@@ -1,0 +1,68 @@
+"""Tests for the FB15k-flavoured synthetic generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kg.patterns import inverse_leakage
+from repro.kg.synthetic_fb import SyntheticFBConfig, generate_synthetic_fb15k
+
+
+@pytest.fixture(scope="module")
+def fb_dataset():
+    return generate_synthetic_fb15k(
+        SyntheticFBConfig(num_entities=400, seed=1, name="fb-test")
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_entities": 10},
+        {"num_types": 0},
+        {"num_types": 500, "num_entities": 100},
+        {"relation_templates": 0},
+        {"fanout": 0.0},
+        {"valid_fraction": 0.3, "test_fraction": 0.3},
+    ])
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            SyntheticFBConfig(**kwargs)
+
+
+class TestStructure:
+    def test_deterministic(self):
+        config = SyntheticFBConfig(num_entities=200, seed=3)
+        a = generate_synthetic_fb15k(config)
+        b = generate_synthetic_fb15k(config)
+        assert a.train.array.tolist() == b.train.array.tolist()
+
+    def test_many_relations(self, fb_dataset):
+        # templates x instances (+ inverse twins) -> far more than WN18's 13
+        assert fb_dataset.num_relations > 40
+
+    def test_every_entity_and_relation_in_train(self, fb_dataset):
+        assert (fb_dataset.train.entity_degree() > 0).all()
+        assert (fb_dataset.train.relation_frequency() > 0).all()
+
+    def test_splits_disjoint(self, fb_dataset):
+        assert not fb_dataset.train.as_set() & fb_dataset.test.as_set()
+
+    def test_no_self_loops(self, fb_dataset):
+        arr = fb_dataset.all_triples().array
+        assert (arr[:, 0] != arr[:, 1]).all()
+
+    def test_inverse_leakage_present(self, fb_dataset):
+        # about half the relation instances have inverse twins, so leakage
+        # sits well above zero but below the WN18-like generator's ~0.9
+        leakage = inverse_leakage(fb_dataset, "test")
+        assert 0.3 < leakage < 0.9
+
+    def test_n_to_n_structure(self, fb_dataset):
+        """Mean out-degree per (head, relation) must exceed 1 — the
+        hub/fanout structure distinguishing this generator from the
+        near-tree WordNet-like one."""
+        arr = fb_dataset.train.array
+        pairs, counts = np.unique(arr[:, [0, 2]], axis=0, return_counts=True)
+        assert counts.mean() > 1.1

@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.kg.vocab`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import VocabularyError
+from repro.kg.vocab import Vocabulary
+
+
+class TestBasics:
+    def test_ids_follow_insertion_order(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert [vocab.index(n) for n in "abc"] == [0, 1, 2]
+
+    def test_name_round_trip(self):
+        vocab = Vocabulary(["x", "y"])
+        assert vocab.name(vocab.index("y")) == "y"
+
+    def test_len_and_contains(self):
+        vocab = Vocabulary(["a"])
+        assert len(vocab) == 1
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_iteration_yields_names_in_id_order(self):
+        names = ["n2", "n0", "n1"]
+        assert list(Vocabulary(names)) == names
+
+    def test_add_returns_new_id(self):
+        vocab = Vocabulary()
+        assert vocab.add("first") == 0
+        assert vocab.add("second") == 1
+
+    def test_get_or_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.get_or_add("x")
+        second = vocab.get_or_add("x")
+        assert first == second
+        assert len(vocab) == 1
+
+    def test_all_names_snapshot(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.all_names == ("a", "b")
+
+    def test_indices_and_names_vectorised(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert vocab.indices(["c", "a"]) == [2, 0]
+        assert vocab.names([1, 2]) == ["b", "c"]
+
+
+class TestErrors:
+    def test_duplicate_add_raises(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(VocabularyError, match="duplicate"):
+            vocab.add("a")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(VocabularyError, match="unknown"):
+            Vocabulary(["a"]).index("zzz")
+
+    def test_out_of_range_id_raises(self):
+        with pytest.raises(VocabularyError, match="out of range"):
+            Vocabulary(["a"]).name(5)
+
+    def test_negative_id_raises(self):
+        with pytest.raises(VocabularyError, match="out of range"):
+            Vocabulary(["a"]).name(-1)
+
+    def test_non_string_name_raises(self):
+        with pytest.raises(VocabularyError, match="must be str"):
+            Vocabulary().add(42)  # type: ignore[arg-type]
+
+    def test_duplicate_in_constructor_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(["a", "a"])
+
+
+class TestSerialisation:
+    def test_to_from_list_round_trip(self):
+        vocab = Vocabulary(["z", "y", "x"])
+        assert Vocabulary.from_list(vocab.to_list()) == vocab
+
+    def test_equality_respects_order(self):
+        assert Vocabulary(["a", "b"]) != Vocabulary(["b", "a"])
+
+    def test_equality_other_type(self):
+        assert Vocabulary(["a"]).__eq__(42) is NotImplemented
+
+    def test_repr_mentions_size(self):
+        assert "size=2" in repr(Vocabulary(["a", "b"]))
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), unique=True, max_size=40))
+def test_property_round_trip_any_unique_names(names):
+    vocab = Vocabulary(names)
+    for i, name in enumerate(names):
+        assert vocab.index(name) == i
+        assert vocab.name(i) == name
+    assert vocab.to_list() == names

@@ -1,0 +1,189 @@
+"""Unit tests for the reverse-mode autodiff engine.
+
+Every op's backward pass is checked against central finite differences;
+the engine is the reference implementation that certifies the analytic
+gradients used on the training hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.nn.autodiff import Tensor, numeric_gradient
+
+
+def check_unary(op, x, atol=1e-6):
+    """Finite-difference check for a scalar-valued composite y = op(x).sum()."""
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = op(tensor).sum()
+    out.backward()
+
+    def scalar_fn(values):
+        return float(op(Tensor(values)).sum().data)
+
+    numeric = numeric_gradient(scalar_fn, x.copy())
+    assert np.allclose(tensor.grad, numeric, atol=atol), (tensor.grad, numeric)
+
+
+class TestElementwiseOps:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda t: t * t,
+            lambda t: t + 2.0,
+            lambda t: 3.0 - t,
+            lambda t: t / 2.5,
+            lambda t: -t,
+            lambda t: t.exp(),
+            lambda t: t.tanh(),
+            lambda t: t.sigmoid(),
+            lambda t: t.softplus(),
+            lambda t: t.relu(),
+            lambda t: t.abs(),
+            lambda t: t**3,
+        ],
+    )
+    def test_backward_matches_finite_differences(self, op, rng):
+        x = rng.normal(size=(4, 3)) + 0.1  # offset keeps |x|>0 a.s. for abs/relu
+        check_unary(op, x)
+
+    def test_log_backward(self, rng):
+        x = np.abs(rng.normal(size=(5,))) + 0.5
+        check_unary(lambda t: t.log(), x)
+
+    def test_division_by_tensor(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(np.abs(rng.normal(size=(3,))) + 1.0, requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, 1.0 / b.data)
+        assert np.allclose(b.grad, -a.data / b.data**2)
+
+
+class TestBroadcasting:
+    def test_broadcast_add_sums_gradient(self):
+        a = Tensor(np.zeros((3, 2)), requires_grad=True)
+        b = Tensor(np.zeros(2), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.all(a.grad == 1.0)
+        assert np.all(b.grad == 3.0)
+
+    def test_broadcast_mul(self):
+        a = Tensor(np.ones((4, 1)), requires_grad=True)
+        b = Tensor(2.0 * np.ones((1, 5)), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.all(a.grad == 10.0)
+        assert np.all(b.grad == 4.0)
+
+    def test_scalar_lift(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (2.0 * a).sum().backward()
+        assert np.all(a.grad == 2.0)
+
+
+class TestMatmulAndStructure:
+    def test_matmul_gradients(self, rng):
+        a_val = rng.normal(size=(3, 4))
+        b_val = rng.normal(size=(4, 2))
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 2)) @ b_val.T)
+        assert np.allclose(b.grad, a_val.T @ np.ones((3, 2)))
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ModelError):
+            Tensor(np.ones(3)) @ Tensor(np.ones(3))
+
+    def test_reshape_round_trip_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        x.reshape(3, 4).sum().backward()
+        assert x.grad.shape == (2, 6)
+        assert np.all(x.grad == 1.0)
+
+    def test_take_rows_accumulates_duplicates(self):
+        table = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True)
+        gathered = table.take_rows(np.array([0, 0, 2]))
+        gathered.sum().backward()
+        assert table.grad.tolist() == [[2.0, 2.0], [0.0, 0.0], [1.0, 1.0]]
+
+    def test_concat_splits_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        joined = a.concat(b, axis=-1)
+        (joined * joined).sum().backward()
+        assert np.allclose(a.grad, 2 * a.data)
+        assert np.allclose(b.grad, 2 * b.data)
+
+    def test_sum_with_axis_and_mean(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        x.sum(axis=1).sum().backward()
+        assert np.all(x.grad == 1.0)
+        y = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        y.mean().backward()
+        assert np.allclose(y.grad, 1.0 / 12.0)
+
+
+class TestEngineSemantics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x * x + x).sum().backward()  # d/dx (x² + x) = 2x + 1
+        assert x.grad[0] == pytest.approx(5.0)
+
+    def test_no_grad_for_non_required(self):
+        x = Tensor(np.array([1.0]))
+        y = Tensor(np.array([1.0]), requires_grad=True)
+        (x * y).sum().backward()
+        assert x.grad is None
+        assert y.grad is not None
+
+    def test_backward_requires_scalar_without_seed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ModelError, match="scalar"):
+            (x * 2).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 3.0).backward(np.array([1.0, 2.0, 3.0]))
+        assert x.grad.tolist() == [3.0, 6.0, 9.0]
+
+    def test_gradient_shape_mismatch_raises(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ModelError, match="shape"):
+            (x * 1.0).backward(np.ones(4))
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * x).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        # z = a*b with a = x+1 and b = x*2: dz/dx = b + 2a
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x + 1.0
+        b = x * 2.0
+        (a * b).sum().backward()
+        assert x.grad[0] == pytest.approx(b.data[0] + 2 * a.data[0])
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.lists(st.floats(-3, 3, allow_nan=False), min_size=2, max_size=6),
+)
+def test_property_mlp_composite_gradient(values):
+    """A small MLP-like composite agrees with finite differences."""
+    x = np.asarray(values)
+    w = np.linspace(-1, 1, len(values))
+
+    def forward(x_arr):
+        t = Tensor(x_arr, requires_grad=False)
+        return float(((t * Tensor(w)).tanh().sum()).data)
+
+    tensor = Tensor(x.copy(), requires_grad=True)
+    (tensor * Tensor(w)).tanh().sum().backward()
+    numeric = numeric_gradient(forward, x.copy())
+    assert np.allclose(tensor.grad, numeric, atol=1e-5)

@@ -1,0 +1,65 @@
+"""Unit tests for :mod:`repro.nn.constraints`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.constraints import MaxNormConstraint, UnitNormConstraint
+
+
+class TestUnitNorm:
+    def test_normalises_all_rows(self, rng):
+        table = rng.normal(size=(10, 3, 4)) * 5.0
+        UnitNormConstraint().apply(table)
+        assert np.allclose(np.linalg.norm(table, axis=-1), 1.0)
+
+    def test_normalises_only_selected_rows(self, rng):
+        table = rng.normal(size=(5, 4)) * 5.0
+        before = table.copy()
+        UnitNormConstraint().apply(table, rows=np.array([1, 3]))
+        assert np.allclose(np.linalg.norm(table[[1, 3]], axis=-1), 1.0)
+        assert np.array_equal(table[[0, 2, 4]], before[[0, 2, 4]])
+
+    def test_zero_vectors_left_alone(self):
+        table = np.zeros((2, 3))
+        UnitNormConstraint().apply(table)
+        assert np.all(table == 0.0)
+
+    def test_violation_metric(self):
+        table = np.array([[3.0, 4.0]])  # norm 5
+        assert UnitNormConstraint().violation(table) == pytest.approx(4.0)
+        UnitNormConstraint().apply(table)
+        assert UnitNormConstraint().violation(table) == pytest.approx(0.0)
+
+    def test_idempotent(self, rng):
+        table = rng.normal(size=(6, 8))
+        constraint = UnitNormConstraint()
+        constraint.apply(table)
+        once = table.copy()
+        constraint.apply(table)
+        assert np.allclose(table, once)
+
+    def test_bad_eps_raises(self):
+        with pytest.raises(ConfigError):
+            UnitNormConstraint(eps=0.0)
+
+
+class TestMaxNorm:
+    def test_long_vectors_clipped(self):
+        table = np.array([[3.0, 4.0], [0.1, 0.0]])
+        MaxNormConstraint(max_norm=1.0).apply(table)
+        assert np.linalg.norm(table[0]) == pytest.approx(1.0)
+        # short vectors unchanged
+        assert np.allclose(table[1], [0.1, 0.0])
+
+    def test_row_restriction(self):
+        table = np.array([[10.0, 0.0], [10.0, 0.0]])
+        MaxNormConstraint(max_norm=1.0).apply(table, rows=np.array([0]))
+        assert np.linalg.norm(table[0]) == pytest.approx(1.0)
+        assert np.linalg.norm(table[1]) == pytest.approx(10.0)
+
+    def test_bad_max_norm_raises(self):
+        with pytest.raises(ConfigError):
+            MaxNormConstraint(max_norm=0.0)

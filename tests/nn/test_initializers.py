@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.nn.initializers`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.initializers import (
+    get_initializer,
+    normal,
+    uniform,
+    unit_normalized,
+    xavier_uniform,
+)
+
+
+class TestXavierUniform:
+    def test_shape(self, rng):
+        assert xavier_uniform((10, 2, 8), rng).shape == (10, 2, 8)
+
+    def test_bound_respected(self, rng):
+        table = xavier_uniform((1000, 16), rng)
+        bound = np.sqrt(3.0 / 16)
+        assert np.abs(table).max() <= bound
+
+    def test_empty_shape_raises(self, rng):
+        with pytest.raises(ConfigError):
+            xavier_uniform((), rng)
+
+    def test_deterministic_given_seed(self):
+        a = xavier_uniform((5, 4), np.random.default_rng(1))
+        b = xavier_uniform((5, 4), np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+
+class TestNormal:
+    def test_std_approximately_respected(self, rng):
+        table = normal((20000,), rng, std=0.5)
+        assert abs(table.std() - 0.5) < 0.02
+
+    def test_bad_std_raises(self, rng):
+        with pytest.raises(ConfigError):
+            normal((3,), rng, std=0.0)
+
+
+class TestUniform:
+    def test_range(self, rng):
+        table = uniform((1000,), rng, low=-2.0, high=3.0)
+        assert table.min() >= -2.0
+        assert table.max() < 3.0
+
+    def test_bad_range_raises(self, rng):
+        with pytest.raises(ConfigError):
+            uniform((3,), rng, low=1.0, high=1.0)
+
+
+class TestUnitNormalized:
+    def test_last_axis_unit_norm(self, rng):
+        table = unit_normalized((50, 3, 7), rng)
+        norms = np.linalg.norm(table, axis=-1)
+        assert np.allclose(norms, 1.0)
+
+    def test_matches_paper_constraint_at_init(self, rng):
+        # Entity embeddings start on the unit-norm manifold of §5.3.
+        table = unit_normalized((10, 4), rng)
+        assert np.allclose(np.linalg.norm(table, axis=-1), 1.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["xavier_uniform", "normal", "uniform", "unit_normalized"]
+    )
+    def test_lookup(self, name, rng):
+        init = get_initializer(name)
+        assert init((3, 2), rng).shape == (3, 2)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError, match="unknown initializer"):
+            get_initializer("nope")

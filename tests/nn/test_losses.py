@@ -1,0 +1,136 @@
+"""Unit tests for :mod:`repro.nn.losses`, incl. gradient finite-difference checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.nn.autodiff import numeric_gradient
+from repro.nn.losses import (
+    LogisticLoss,
+    MarginRankingLoss,
+    binary_cross_entropy_from_logits,
+    sigmoid,
+    softplus,
+)
+
+finite_floats = st.floats(-30, 30, allow_nan=False)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_symmetry(self):
+        x = np.linspace(-10, 10, 21)
+        assert np.allclose(sigmoid(x) + sigmoid(-x), 1.0)
+
+    def test_extreme_values_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=20))
+    def test_property_range(self, values):
+        out = sigmoid(np.asarray(values))
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+class TestSoftplus:
+    def test_matches_naive_formula_in_safe_range(self):
+        x = np.linspace(-10, 10, 41)
+        assert np.allclose(softplus(x), np.log1p(np.exp(x)))
+
+    def test_large_input_linear(self):
+        assert softplus(np.array([800.0]))[0] == pytest.approx(800.0)
+
+    def test_large_negative_is_zero(self):
+        assert softplus(np.array([-800.0]))[0] == pytest.approx(0.0)
+
+
+class TestLogisticLoss:
+    def test_perfect_positive_small_loss(self):
+        loss = LogisticLoss()
+        assert loss.value(np.array([20.0]), np.array([1.0])) < 1e-6
+
+    def test_wrong_positive_large_loss(self):
+        loss = LogisticLoss()
+        assert loss.value(np.array([-20.0]), np.array([1.0])) > 19.0
+
+    def test_symmetric_in_label_sign(self):
+        loss = LogisticLoss()
+        assert loss.value(np.array([3.0]), np.array([1.0])) == pytest.approx(
+            loss.value(np.array([-3.0]), np.array([-1.0]))
+        )
+
+    def test_gradient_matches_finite_differences(self):
+        loss = LogisticLoss()
+        scores = np.array([0.5, -1.2, 3.0, 0.0])
+        labels = np.array([1.0, -1.0, 1.0, -1.0])
+        analytic = loss.grad_score(scores, labels)
+        numeric = numeric_gradient(lambda s: loss.value(s, labels), scores.copy())
+        assert np.allclose(analytic, numeric, atol=1e-7)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            LogisticLoss().value(np.zeros(3), np.ones(2))
+
+    def test_bad_labels_raise(self):
+        with pytest.raises(ConfigError, match=r"\+/-1"):
+            LogisticLoss().value(np.zeros(2), np.array([0.0, 1.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            LogisticLoss().value(np.array([]), np.array([]))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=10))
+    def test_property_loss_nonnegative(self, values):
+        scores = np.asarray(values)
+        labels = np.where(scores >= 0, 1.0, -1.0)
+        assert LogisticLoss().value(scores, labels) >= 0.0
+
+
+class TestMarginRankingLoss:
+    def test_satisfied_margin_zero_loss(self):
+        loss = MarginRankingLoss(margin=1.0)
+        assert loss.value(np.array([5.0]), np.array([0.0])) == 0.0
+
+    def test_violated_margin_positive_loss(self):
+        loss = MarginRankingLoss(margin=1.0)
+        assert loss.value(np.array([0.0]), np.array([0.0])) == pytest.approx(1.0)
+
+    def test_gradients_match_finite_differences(self):
+        loss = MarginRankingLoss(margin=1.0)
+        pos = np.array([0.2, 2.0, -0.5])
+        neg = np.array([0.1, -3.0, 0.5])
+        grad_pos, grad_neg = loss.grad_pair(pos, neg)
+        num_pos = numeric_gradient(lambda p: loss.value(p, neg), pos.copy())
+        num_neg = numeric_gradient(lambda n: loss.value(pos, n), neg.copy())
+        assert np.allclose(grad_pos, num_pos, atol=1e-7)
+        assert np.allclose(grad_neg, num_neg, atol=1e-7)
+
+    def test_bad_margin_raises(self):
+        with pytest.raises(ConfigError):
+            MarginRankingLoss(margin=0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            MarginRankingLoss().value(np.zeros(2), np.zeros(3))
+
+
+class TestBCE:
+    def test_equivalent_to_logistic_loss(self):
+        scores = np.array([0.3, -1.5, 2.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        labels = 2.0 * targets - 1.0
+        assert binary_cross_entropy_from_logits(scores, targets) == pytest.approx(
+            LogisticLoss().value(scores, labels)
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            binary_cross_entropy_from_logits(np.zeros(2), np.zeros(3))

@@ -1,0 +1,141 @@
+"""Unit tests for :mod:`repro.nn.optimizers`.
+
+The key property: the sparse path must produce the same result as the
+dense path restricted to the touched rows (lazy semantics), and Adam's
+per-row bias correction must track per-row step counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TrainingError
+from repro.nn.optimizers import SGD, Adagrad, Adam, aggregate_rows, make_optimizer
+
+
+class TestAggregateRows:
+    def test_unique_rows_pass_through(self):
+        rows, grads = aggregate_rows(np.array([2, 0]), np.array([[1.0], [2.0]]))
+        assert rows.tolist() == [0, 2]
+        assert grads.tolist() == [[2.0], [1.0]]
+
+    def test_duplicates_summed(self):
+        rows, grads = aggregate_rows(
+            np.array([1, 1, 3]), np.array([[1.0, 2.0], [10.0, 20.0], [5.0, 5.0]])
+        )
+        assert rows.tolist() == [1, 3]
+        assert grads.tolist() == [[11.0, 22.0], [5.0, 5.0]]
+
+    def test_multiaxis_grads(self):
+        rows, grads = aggregate_rows(np.array([0, 0]), np.ones((2, 3, 4)))
+        assert grads.shape == (1, 3, 4)
+        assert np.all(grads == 2.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(TrainingError):
+            aggregate_rows(np.array([0]), np.ones((2, 3)))
+
+
+class TestSGD:
+    def test_dense_step(self):
+        opt = SGD(learning_rate=0.5)
+        theta = np.array([1.0, 2.0])
+        opt.step_dense("p", theta, np.array([1.0, -2.0]))
+        assert theta.tolist() == [0.5, 3.0]
+
+    def test_sparse_step_touches_only_rows(self):
+        opt = SGD(learning_rate=1.0)
+        theta = np.zeros((4, 2))
+        opt.step_sparse("p", theta, np.array([1, 3]), np.ones((2, 2)))
+        assert np.all(theta[[0, 2]] == 0.0)
+        assert np.all(theta[[1, 3]] == -1.0)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ConfigError):
+            SGD(learning_rate=0.0)
+
+
+class TestAdagrad:
+    def test_accumulates(self):
+        opt = Adagrad(learning_rate=1.0)
+        theta = np.array([0.0])
+        opt.step_dense("p", theta, np.array([2.0]))
+        first = theta.copy()
+        opt.step_dense("p", theta, np.array([2.0]))
+        # second step must be smaller in magnitude than the first
+        assert abs(theta[0] - first[0]) < abs(first[0])
+
+    def test_sparse_matches_dense_on_touched_rows(self):
+        grads = np.array([[0.5, -1.0], [2.0, 0.1]])
+        dense_theta = np.ones((5, 2))
+        sparse_theta = np.ones((5, 2))
+        dense_opt = Adagrad(learning_rate=0.1)
+        sparse_opt = Adagrad(learning_rate=0.1)
+        full_grad = np.zeros((5, 2))
+        full_grad[[1, 3]] = grads
+        dense_opt.step_dense("p", dense_theta, full_grad)
+        sparse_opt.step_sparse("p", sparse_theta, np.array([1, 3]), grads)
+        assert np.allclose(dense_theta[[1, 3]], sparse_theta[[1, 3]])
+        # untouched rows identical to init
+        assert np.all(sparse_theta[[0, 2, 4]] == 1.0)
+
+
+class TestAdam:
+    def test_first_dense_step_is_lr_sized(self):
+        opt = Adam(learning_rate=0.1)
+        theta = np.array([0.0])
+        opt.step_dense("p", theta, np.array([3.0]))
+        # bias-corrected first Adam step ~ lr * sign(grad)
+        assert theta[0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_sparse_first_step_matches_dense(self):
+        grads = np.array([[1.0, -2.0]])
+        a = np.zeros((3, 2))
+        b = np.zeros((3, 2))
+        Adam(learning_rate=0.01).step_dense("p", a, np.vstack([np.zeros((1, 2)), grads, np.zeros((1, 2))]))
+        Adam(learning_rate=0.01).step_sparse("p", b, np.array([1]), grads)
+        assert np.allclose(a[1], b[1], atol=1e-12)
+
+    def test_lazy_rows_keep_own_step_counts(self):
+        opt = Adam(learning_rate=0.1)
+        theta = np.zeros((2, 1))
+        # row 0 updated twice, row 1 once; if bias correction used a global
+        # step, row 1's first update would be wrongly scaled.
+        opt.step_sparse("p", theta, np.array([0]), np.array([[1.0]]))
+        opt.step_sparse("p", theta, np.array([0, 1]), np.array([[1.0], [1.0]]))
+        fresh = np.zeros((1, 1))
+        Adam(learning_rate=0.1).step_sparse("q", fresh, np.array([0]), np.array([[1.0]]))
+        assert theta[1, 0] == pytest.approx(fresh[0, 0])
+
+    def test_converges_on_quadratic(self):
+        opt = Adam(learning_rate=0.05)
+        theta = np.array([5.0])
+        for _ in range(800):
+            opt.step_dense("p", theta, 2.0 * theta)
+        assert abs(theta[0]) < 1e-2
+
+    def test_bad_betas_raise(self):
+        with pytest.raises(ConfigError):
+            Adam(beta1=1.0)
+        with pytest.raises(ConfigError):
+            Adam(beta2=-0.1)
+
+    def test_reset_clears_state(self):
+        opt = Adam(learning_rate=0.1)
+        theta = np.array([0.0])
+        opt.step_dense("p", theta, np.array([1.0]))
+        opt.reset()
+        assert opt._state == {}
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("sgd", SGD), ("adagrad", Adagrad), ("adam", Adam)])
+    def test_make(self, name, cls):
+        opt = make_optimizer(name, 0.01)
+        assert isinstance(opt, cls)
+        assert opt.learning_rate == 0.01
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError, match="unknown optimizer"):
+            make_optimizer("rmsprop", 0.1)

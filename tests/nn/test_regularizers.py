@@ -1,0 +1,94 @@
+"""Unit tests for :mod:`repro.nn.regularizers` with finite-difference checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.autodiff import numeric_gradient
+from repro.nn.regularizers import (
+    DirichletSparsityRegularizer,
+    L2Regularizer,
+    N3Regularizer,
+)
+
+
+class TestL2:
+    def test_value(self):
+        reg = L2Regularizer(strength=0.5, scale=2.0)
+        assert reg.value(np.array([1.0, 2.0])) == pytest.approx(0.25 * 5.0)
+
+    def test_grad_matches_finite_differences(self):
+        reg = L2Regularizer(strength=0.3, scale=4.0)
+        theta = np.array([0.5, -1.5, 2.0])
+        numeric = numeric_gradient(lambda t: reg.value(t), theta.copy())
+        assert np.allclose(reg.grad(theta), numeric, atol=1e-7)
+
+    def test_zero_strength_zero_grad(self):
+        reg = L2Regularizer(strength=0.0)
+        assert np.all(reg.grad(np.ones(3)) == 0.0)
+
+    def test_negative_strength_raises(self):
+        with pytest.raises(ConfigError):
+            L2Regularizer(strength=-1.0)
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ConfigError):
+            L2Regularizer(strength=1.0, scale=0.0)
+
+
+class TestN3:
+    def test_value_cubic(self):
+        reg = N3Regularizer(strength=1.0)
+        assert reg.value(np.array([-2.0])) == pytest.approx(8.0)
+
+    def test_grad_matches_finite_differences(self):
+        reg = N3Regularizer(strength=0.7, scale=3.0)
+        theta = np.array([0.5, -1.5, 2.0])
+        numeric = numeric_gradient(lambda t: reg.value(t), theta.copy())
+        assert np.allclose(reg.grad(theta), numeric, atol=1e-6)
+
+
+class TestDirichletSparsity:
+    def test_sparser_omega_has_lower_loss_when_alpha_below_one(self):
+        reg = DirichletSparsityRegularizer(alpha=1.0 / 16.0, strength=1.0)
+        uniform = np.full(8, 0.25)
+        sparse = np.array([0.9, 0.9, 0.05, 0.05, 0.05, 0.02, 0.02, 0.01])
+        assert reg.value(sparse) < reg.value(uniform)
+
+    def test_scale_invariance_of_value(self):
+        # L depends on |ω|/||ω||_1 only, so rescaling ω leaves it unchanged.
+        reg = DirichletSparsityRegularizer(alpha=0.1, strength=1.0, eps=0.0)
+        omega = np.array([0.5, -1.0, 2.0])
+        assert reg.value(omega) == pytest.approx(reg.value(10.0 * omega))
+
+    def test_grad_matches_finite_differences(self):
+        reg = DirichletSparsityRegularizer(alpha=1.0 / 16.0, strength=1e-2, eps=1e-12)
+        omega = np.array([0.8, -0.5, 1.2, 0.3])
+        numeric = numeric_gradient(lambda w: reg.value(w), omega.copy(), eps=1e-7)
+        assert np.allclose(reg.grad(omega), numeric, rtol=1e-4)
+
+    def test_grad_shape_preserved(self):
+        reg = DirichletSparsityRegularizer()
+        omega = np.ones((2, 2, 2))
+        assert reg.grad(omega).shape == (2, 2, 2)
+
+    def test_zero_entry_gets_finite_gradient(self):
+        reg = DirichletSparsityRegularizer(eps=1e-8)
+        grad = reg.grad(np.array([0.0, 1.0]))
+        assert np.all(np.isfinite(grad))
+
+    def test_bad_alpha_raises(self):
+        with pytest.raises(ConfigError):
+            DirichletSparsityRegularizer(alpha=0.0)
+
+    def test_negative_strength_raises(self):
+        with pytest.raises(ConfigError):
+            DirichletSparsityRegularizer(strength=-0.1)
+
+    def test_paper_hyperparameters_accepted(self):
+        # §6.2: alpha tuned to 1/16, lambda_dir to 1e-2.
+        reg = DirichletSparsityRegularizer(alpha=1.0 / 16.0, strength=1e-2)
+        assert reg.alpha == pytest.approx(1.0 / 16.0)
+        assert reg.strength == pytest.approx(1e-2)

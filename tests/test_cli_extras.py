@@ -1,0 +1,36 @@
+"""Tests for the CLI's --save and --per-relation options."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cli import main
+from repro.core.serialization import load_model
+
+
+class TestSaveOption:
+    def test_checkpoint_written_and_loadable(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        code = main([
+            "train", "cph", "--entities", "100", "--total-dim", "8",
+            "--epochs", "2", "--batch-size", "256", "--quiet",
+            "--save", str(ckpt),
+        ])
+        assert code == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        model = load_model(ckpt)
+        assert model.name == "CPh"
+        scores = model.score_triples(np.array([0]), np.array([1]), np.array([0]))
+        assert np.isfinite(scores).all()
+
+
+class TestPerRelationOption:
+    def test_per_relation_table_printed(self, capsys):
+        code = main([
+            "train", "distmult", "--entities", "100", "--total-dim", "8",
+            "--epochs", "2", "--batch-size", "256", "--quiet", "--per-relation",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "relation" in out
+        assert "hypernym" in out

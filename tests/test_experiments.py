@@ -1,0 +1,96 @@
+"""Unit tests for the shared experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import make_complex
+from repro.errors import ConfigError
+from repro.experiments import (
+    ExperimentRow,
+    ExperimentSettings,
+    build_dataset,
+    format_table,
+    run_experiment_row,
+    seeded_rng,
+)
+from repro.eval.metrics import RankingMetrics
+from repro.kg.synthetic import SyntheticKGConfig
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(
+        dataset_config=SyntheticKGConfig(
+            num_entities=120, num_clusters=10, num_domains=4, seed=3
+        ),
+        total_dim=8,
+        epochs=3,
+        batch_size=256,
+    )
+
+
+class TestSettings:
+    def test_training_config_mirrors_settings(self, settings):
+        config = settings.training_config()
+        assert config.epochs == 3
+        assert config.batch_size == 256
+        assert config.num_negatives == settings.num_negatives
+
+    def test_build_dataset_deterministic(self, settings):
+        a = build_dataset(settings)
+        b = build_dataset(settings)
+        assert a.train.array.tolist() == b.train.array.tolist()
+
+    def test_seeded_rng_offsets_differ(self, settings):
+        a = seeded_rng(settings, 0).normal()
+        b = seeded_rng(settings, 1).normal()
+        assert a != b
+
+
+class TestRunRow:
+    def test_produces_metrics(self, settings):
+        dataset = build_dataset(settings)
+        model = make_complex(
+            dataset.num_entities, dataset.num_relations,
+            total_dim=settings.total_dim, rng=seeded_rng(settings),
+        )
+        row = run_experiment_row(model, dataset, settings, evaluate_train=True)
+        assert 0.0 <= row.test_metrics.mrr <= 1.0
+        assert row.train_metrics is not None
+        assert row.epochs_run == 3
+        assert row.label == "ComplEx"
+
+    def test_custom_label(self, settings):
+        dataset = build_dataset(settings)
+        model = make_complex(
+            dataset.num_entities, dataset.num_relations,
+            total_dim=settings.total_dim, rng=seeded_rng(settings),
+        )
+        row = run_experiment_row(model, dataset, settings, label="Row A")
+        assert row.label == "Row A"
+
+
+class TestFormatTable:
+    def _row(self, label, with_train=False):
+        metrics = RankingMetrics(mrr=0.9, mr=2.0, hits={1: 0.8, 3: 0.9, 10: 1.0}, num_ranks=5)
+        return ExperimentRow(
+            label=label,
+            test_metrics=metrics,
+            train_metrics=metrics if with_train else None,
+        )
+
+    def test_contains_labels_and_header(self):
+        table = format_table("Table 2", [self._row("DistMult"), self._row("CP")])
+        assert "Table 2" in table
+        assert "DistMult" in table
+        assert "MRR" in table
+
+    def test_train_section_appended(self):
+        table = format_table("T", [self._row("ComplEx", with_train=True)])
+        assert "ComplEx on train" in table
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            format_table("T", [])

@@ -1,0 +1,94 @@
+"""Unit tests for :mod:`repro.paper_tables` (at toy scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSettings, build_dataset
+from repro.kg.synthetic import SyntheticKGConfig
+from repro.paper_tables import (
+    TABLE2_ROWS,
+    TABLE3_ROWS,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(
+        dataset_config=SyntheticKGConfig(
+            num_entities=100, num_clusters=8, num_domains=3, seed=5
+        ),
+        total_dim=8,
+        epochs=3,
+        batch_size=256,
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset(settings):
+    return build_dataset(settings)
+
+
+class TestRowDefinitions:
+    def test_table2_has_eight_rows(self):
+        assert len(TABLE2_ROWS) == 8
+
+    def test_table2_first_four_evaluate_train(self):
+        assert all(with_train for _, _, with_train in TABLE2_ROWS[:4])
+        assert not any(with_train for _, _, with_train in TABLE2_ROWS[4:])
+
+    def test_table3_has_nine_rows(self):
+        assert len(TABLE3_ROWS) == 9
+
+    def test_table3_sparse_flags(self):
+        sparse_count = sum(1 for _, _, sparse in TABLE3_ROWS if sparse)
+        assert sparse_count == 4
+
+
+class TestRunners:
+    def test_run_table2_produces_all_rows(self, dataset, settings):
+        rows = run_table2(dataset, settings)
+        assert len(rows) == 8
+        assert rows[0].label.startswith("DistMult")
+        assert rows[0].train_metrics is not None
+        assert rows[4].train_metrics is None
+        assert all(0.0 <= row.test_metrics.mrr <= 1.0 for row in rows)
+
+    def test_run_table3_returns_omega_snapshots(self, dataset, settings):
+        rows, learned = run_table3(dataset, settings)
+        assert len(rows) == 9
+        # eight learned variants (uniform row is fixed)
+        assert len(learned) == 8
+        for omega in learned.values():
+            assert omega.tensor.shape == (2, 2, 2)
+
+    def test_run_table4_pair(self, dataset, settings):
+        quaternion_row, complex_row = run_table4(dataset, settings)
+        assert "Quaternion" in quaternion_row.label
+        assert quaternion_row.train_metrics is not None
+        assert complex_row.train_metrics is None
+
+
+class TestCLITableCommand:
+    def test_table_2_fast(self, capsys):
+        from repro.cli import main
+
+        code = main(["table", "2", "--entities", "100", "--total-dim", "8",
+                     "--epochs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "CPh" in out
+        assert "on train" in out
+
+    def test_table_3_fast(self, capsys):
+        from repro.cli import main
+
+        code = main(["table", "3", "--entities", "100", "--total-dim", "8",
+                     "--epochs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "learned omega snapshots" in out

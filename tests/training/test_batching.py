@@ -1,0 +1,65 @@
+"""Unit tests for :mod:`repro.training.batching`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kg.triples import TripleSet
+from repro.training.batching import iterate_batches, num_batches
+
+
+@pytest.fixture
+def triples():
+    rows = [[i % 7, (i + 1) % 7, i % 2] for i in range(25)]
+    return TripleSet(rows, 7, 2)
+
+
+class TestIterateBatches:
+    def test_covers_all_triples_once(self, triples, rng):
+        seen = np.concatenate(list(iterate_batches(triples, 8, rng)))
+        assert len(seen) == 25
+        assert sorted(map(tuple, seen.tolist())) == sorted(
+            map(tuple, triples.array.tolist())
+        )
+
+    def test_batch_sizes(self, triples, rng):
+        sizes = [len(b) for b in iterate_batches(triples, 8, rng)]
+        assert sizes == [8, 8, 8, 1]
+
+    def test_drop_last(self, triples, rng):
+        sizes = [len(b) for b in iterate_batches(triples, 8, rng, drop_last=True)]
+        assert sizes == [8, 8, 8]
+
+    def test_no_shuffle_preserves_order(self, triples, rng):
+        batches = list(iterate_batches(triples, 100, rng, shuffle=False))
+        assert np.array_equal(batches[0], triples.array)
+
+    def test_shuffle_changes_order(self, triples):
+        rng = np.random.default_rng(1)
+        shuffled = np.concatenate(list(iterate_batches(triples, 100, rng)))
+        assert not np.array_equal(shuffled, triples.array)
+
+    def test_bad_batch_size_raises(self, triples, rng):
+        with pytest.raises(ConfigError):
+            list(iterate_batches(triples, 0, rng))
+
+
+class TestNumBatches:
+    @pytest.mark.parametrize("n,bs,drop,expected", [
+        (25, 8, False, 4),
+        (25, 8, True, 3),
+        (24, 8, False, 3),
+        (0, 8, False, 0),
+        (1, 8, False, 1),
+    ])
+    def test_counts(self, n, bs, drop, expected):
+        assert num_batches(n, bs, drop) == expected
+
+    def test_matches_iterator(self, triples, rng):
+        assert num_batches(len(triples), 8) == len(list(iterate_batches(triples, 8, rng)))
+
+    def test_bad_batch_size_raises(self):
+        with pytest.raises(ConfigError):
+            num_batches(10, 0)

@@ -1,0 +1,97 @@
+"""Unit tests for :mod:`repro.training.callbacks`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.training.callbacks import (
+    ConsoleLogger,
+    EarlyStopping,
+    EpochRecord,
+    TrainingHistory,
+)
+
+
+class TestTrainingHistory:
+    def test_accumulates_records(self):
+        history = TrainingHistory()
+        history.append(EpochRecord(epoch=1, loss=0.5))
+        history.append(EpochRecord(epoch=2, loss=0.4, validation_mrr=0.7))
+        assert len(history) == 2
+        assert history.losses == [0.5, 0.4]
+
+    def test_validation_mrrs_only_evaluated_epochs(self):
+        history = TrainingHistory()
+        history.append(EpochRecord(1, 0.5))
+        history.append(EpochRecord(2, 0.4, validation_mrr=0.6))
+        history.append(EpochRecord(3, 0.3, validation_mrr=0.8))
+        assert history.validation_mrrs == [(2, 0.6), (3, 0.8)]
+        assert history.best_validation_mrr == 0.8
+
+    def test_best_none_when_never_validated(self):
+        history = TrainingHistory()
+        history.append(EpochRecord(1, 0.5))
+        assert history.best_validation_mrr is None
+
+
+class TestEarlyStopping:
+    def test_paper_schedule(self):
+        """§5.3: check every 50 epochs, 100 epochs patience."""
+        stopper = EarlyStopping(check_every=50, patience=100)
+        assert stopper.should_validate(50)
+        assert not stopper.should_validate(49)
+        assert not stopper.update(50, 0.5)
+        assert not stopper.update(100, 0.5)   # 50 epochs since best, keep going
+        assert stopper.update(150, 0.5)       # 100 epochs since best -> stop
+
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(check_every=10, patience=20)
+        assert not stopper.update(10, 0.5)
+        assert not stopper.update(20, 0.6)  # improved
+        assert not stopper.update(30, 0.6)
+        assert stopper.update(40, 0.6)
+
+    def test_min_improvement_threshold(self):
+        stopper = EarlyStopping(check_every=10, patience=10, min_improvement=0.1)
+        assert not stopper.update(10, 0.5)
+        # +0.05 < min_improvement, counts as no improvement
+        assert stopper.update(20, 0.55)
+
+    def test_best_epoch_tracked(self):
+        stopper = EarlyStopping(check_every=10, patience=30)
+        stopper.update(10, 0.5)
+        stopper.update(20, 0.7)
+        stopper.update(30, 0.6)
+        assert stopper.best_epoch == 20
+        assert stopper.best_mrr == 0.7
+
+    def test_bad_config_raises(self):
+        with pytest.raises(ConfigError):
+            EarlyStopping(check_every=0)
+        with pytest.raises(ConfigError):
+            EarlyStopping(check_every=50, patience=10)
+        with pytest.raises(ConfigError):
+            EarlyStopping(min_improvement=-1.0)
+
+
+class TestConsoleLogger:
+    def test_prints_when_due(self, capsys):
+        logger = ConsoleLogger(every=2, enabled=True)
+        logger.on_epoch(EpochRecord(2, 0.5, validation_mrr=0.9), "m")
+        out = capsys.readouterr().out
+        assert "epoch" in out and "0.9" in out
+
+    def test_silent_when_disabled(self, capsys):
+        logger = ConsoleLogger(every=1, enabled=False)
+        logger.on_epoch(EpochRecord(1, 0.5), "m")
+        assert capsys.readouterr().out == ""
+
+    def test_silent_when_not_due(self, capsys):
+        logger = ConsoleLogger(every=10, enabled=True)
+        logger.on_epoch(EpochRecord(3, 0.5), "m")
+        assert capsys.readouterr().out == ""
+
+    def test_bad_every_raises(self):
+        with pytest.raises(ConfigError):
+            ConsoleLogger(every=0)

@@ -1,0 +1,106 @@
+"""Unit + property tests for negative sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.kg.triples import TripleSet
+from repro.training.negatives import BernoulliNegativeSampler, UniformNegativeSampler
+
+
+@pytest.fixture
+def positives(rng):
+    return np.column_stack([
+        rng.integers(0, 50, 40), rng.integers(0, 50, 40), rng.integers(0, 4, 40)
+    ])
+
+
+class TestUniformSampler:
+    def test_output_shape(self, positives, rng):
+        sampler = UniformNegativeSampler(num_entities=50, num_negatives=3)
+        negatives = sampler.corrupt(positives, rng)
+        assert negatives.shape == (120, 3)
+
+    def test_exactly_one_slot_corrupted(self, positives, rng):
+        sampler = UniformNegativeSampler(num_entities=50)
+        negatives = sampler.corrupt(positives, rng)
+        same_head = negatives[:, 0] == positives[:, 0]
+        same_tail = negatives[:, 1] == positives[:, 1]
+        # relation never corrupted
+        assert np.array_equal(negatives[:, 2], positives[:, 2])
+        # exactly one of head/tail differs per row
+        assert np.all(same_head ^ same_tail)
+
+    def test_avoid_identity(self, rng):
+        positives = np.array([[0, 1, 0]] * 200)
+        sampler = UniformNegativeSampler(num_entities=2, avoid_identity=True)
+        negatives = sampler.corrupt(positives, rng)
+        # with 2 entities the replacement must always be "the other" entity
+        changed_heads = negatives[negatives[:, 0] != 0]
+        assert np.all(changed_heads[:, 0] == 1)
+
+    def test_negatives_differ_from_positive_triple(self, positives, rng):
+        sampler = UniformNegativeSampler(num_entities=50)
+        negatives = sampler.corrupt(positives, rng)
+        assert not np.any(np.all(negatives == positives, axis=1))
+
+    def test_head_tail_corruption_balanced(self, rng):
+        positives = np.tile(np.array([[3, 7, 0]]), (4000, 1))
+        sampler = UniformNegativeSampler(num_entities=100)
+        negatives = sampler.corrupt(positives, rng)
+        head_rate = np.mean(negatives[:, 0] != 3)
+        assert 0.45 < head_rate < 0.55
+
+    def test_bad_config_raises(self):
+        with pytest.raises(ConfigError):
+            UniformNegativeSampler(num_entities=1)
+        with pytest.raises(ConfigError):
+            UniformNegativeSampler(num_entities=5, num_negatives=0)
+
+    def test_bad_positive_shape_raises(self, rng):
+        with pytest.raises(ConfigError):
+            UniformNegativeSampler(num_entities=5).corrupt(np.zeros((3, 2), int), rng)
+
+    @settings(max_examples=20)
+    @given(st.integers(2, 30), st.integers(1, 4))
+    def test_property_entities_in_range(self, num_entities, num_negatives):
+        rng = np.random.default_rng(0)
+        positives = np.array([[0, 1, 0], [1, 0, 0]])
+        sampler = UniformNegativeSampler(num_entities, num_negatives)
+        negatives = sampler.corrupt(positives, rng)
+        assert negatives[:, :2].max() < num_entities
+        assert negatives[:, :2].min() >= 0
+
+
+class TestBernoulliSampler:
+    def test_head_probabilities_reflect_cardinality(self):
+        # relation 0: one head with many tails (1-to-N) => corrupt head often
+        rows = [[0, t, 0] for t in range(1, 9)] + [[h, 9, 1] for h in range(8)]
+        train = TripleSet(rows, 10, 2)
+        sampler = BernoulliNegativeSampler(train)
+        assert sampler.head_probability[0] > 0.8
+        assert sampler.head_probability[1] < 0.2
+
+    def test_corruption_follows_probabilities(self, rng):
+        rows = [[0, t, 0] for t in range(1, 9)]
+        train = TripleSet(rows, 10, 1)
+        sampler = BernoulliNegativeSampler(train)
+        positives = np.tile(np.array([[0, 1, 0]]), (2000, 1))
+        negatives = sampler.corrupt(positives, rng)
+        head_rate = np.mean(negatives[:, 0] != 0)
+        assert head_rate > 0.8
+
+    def test_unseen_relation_defaults_to_half(self):
+        train = TripleSet([[0, 1, 0]], 5, 3)
+        sampler = BernoulliNegativeSampler(train)
+        assert sampler.head_probability[2] == pytest.approx(0.5)
+
+    def test_output_shape(self, rng):
+        train = TripleSet([[0, 1, 0], [1, 2, 0]], 5, 1)
+        sampler = BernoulliNegativeSampler(train, num_negatives=2)
+        negatives = sampler.corrupt(np.array([[0, 1, 0]]), rng)
+        assert negatives.shape == (2, 3)

@@ -1,0 +1,90 @@
+"""Unit tests for the training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import make_complex
+from repro.errors import ConfigError, TrainingError
+from repro.training.trainer import Trainer, TrainingConfig, train_model
+
+
+def _model(dataset, seed=0, **kwargs):
+    return make_complex(
+        dataset.num_entities, dataset.num_relations, total_dim=8,
+        rng=np.random.default_rng(seed), **kwargs,
+    )
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        config = TrainingConfig()
+        assert config.num_negatives == 1  # the paper fixes 1 negative
+
+    @pytest.mark.parametrize("kwargs", [
+        {"epochs": 0}, {"batch_size": 0}, {"num_negatives": 0},
+    ])
+    def test_invalid_raises(self, kwargs):
+        with pytest.raises(ConfigError):
+            TrainingConfig(**kwargs)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_dataset):
+        config = TrainingConfig(epochs=15, batch_size=256, learning_rate=0.02, seed=1)
+        result = Trainer(tiny_dataset, config).train(_model(tiny_dataset))
+        losses = result.history.losses
+        assert losses[-1] < losses[0]
+
+    def test_history_length_matches_epochs(self, tiny_dataset):
+        config = TrainingConfig(epochs=5, batch_size=256)
+        result = Trainer(tiny_dataset, config).train(_model(tiny_dataset))
+        assert len(result.history) == 5
+        assert result.epochs_run == 5
+        assert not result.stopped_early
+
+    def test_validation_runs_on_schedule(self, tiny_dataset):
+        config = TrainingConfig(epochs=6, batch_size=256, validate_every=3, patience=100)
+        result = Trainer(tiny_dataset, config).train(_model(tiny_dataset))
+        evaluated = [epoch for epoch, _ in result.history.validation_mrrs]
+        assert evaluated == [3, 6]
+
+    def test_early_stopping_triggers(self, tiny_dataset):
+        # Tiny LR so the model cannot improve: the stopper must fire after
+        # patience expires rather than running all epochs.
+        config = TrainingConfig(
+            epochs=50, batch_size=256, learning_rate=1e-9,
+            validate_every=2, patience=4, seed=0,
+        )
+        result = Trainer(tiny_dataset, config).train(_model(tiny_dataset))
+        assert result.stopped_early
+        assert result.epochs_run <= 8
+
+    def test_reproducible_given_seed(self, tiny_dataset):
+        config = TrainingConfig(epochs=3, batch_size=256, seed=9)
+        first = Trainer(tiny_dataset, config).train(_model(tiny_dataset, seed=4))
+        second = Trainer(tiny_dataset, config).train(_model(tiny_dataset, seed=4))
+        assert first.history.losses == second.history.losses
+
+    def test_divergence_detected(self, tiny_dataset):
+        class ExplodingModel:
+            name = "boom"
+
+            def train_step(self, positives, negatives, optimizer):
+                return float("nan")
+
+        config = TrainingConfig(epochs=2, batch_size=256)
+        with pytest.raises(TrainingError, match="diverged"):
+            Trainer(tiny_dataset, config).train(ExplodingModel())
+
+    def test_train_model_convenience(self, tiny_dataset):
+        result = train_model(
+            _model(tiny_dataset), tiny_dataset, TrainingConfig(epochs=2, batch_size=256)
+        )
+        assert result.epochs_run == 2
+
+    def test_more_negatives_supported(self, tiny_dataset):
+        config = TrainingConfig(epochs=2, batch_size=256, num_negatives=4)
+        result = Trainer(tiny_dataset, config).train(_model(tiny_dataset))
+        assert len(result.history) == 2
