@@ -45,18 +45,22 @@ from repro.kg import (
     augment_with_inverses,
     generate_synthetic_kg,
 )
+from repro.serving import BatchedScorer, LinkPredictor, TopKResult
 from repro.training import Trainer, TrainingConfig, TrainingResult, train_model
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchedScorer",
     "EvaluationResult",
     "KGDataset",
     "KGEModel",
     "LearnedWeightModel",
     "LinkPredictionEvaluator",
+    "LinkPredictor",
     "MultiEmbeddingModel",
     "RankingMetrics",
+    "TopKResult",
     "ReproError",
     "SyntheticKGConfig",
     "Trainer",

@@ -98,6 +98,25 @@ class ERMLP(KGEModel):
         r = self.relation_embeddings[np.asarray(relations, dtype=np.int64)]
         return self._score_all(t, r, side="head")
 
+    def score_candidates(self, anchors, relations, candidates, side="tail") -> np.ndarray:
+        """Run the MLP on ``b · c`` candidate feature rows in one pass."""
+        anchors, relations, candidates = self._validate_candidate_query(
+            anchors, relations, candidates, side
+        )
+        b, c = candidates.shape
+        anchor_vecs = np.broadcast_to(
+            self.entity_embeddings[anchors][:, None, :], (b, c, self.dim)
+        )
+        rel_vecs = np.broadcast_to(
+            self.relation_embeddings[relations][:, None, :], (b, c, self.dim)
+        )
+        cand_vecs = self.entity_embeddings[candidates]
+        if side == "tail":
+            features = np.concatenate([anchor_vecs, cand_vecs, rel_vecs], axis=-1)
+        else:
+            features = np.concatenate([cand_vecs, anchor_vecs, rel_vecs], axis=-1)
+        return self._score_features(features.reshape(b * c, -1)).reshape(b, c)
+
     # --------------------------------------------------------------- training
     def train_step(
         self, positives: np.ndarray, negatives: np.ndarray, optimizer: Optimizer
@@ -130,6 +149,7 @@ class ERMLP(KGEModel):
         optimizer.step_dense("b1", self.b1, b1.grad)
         optimizer.step_dense("w2", self.w2, w2.grad)
         optimizer.step_dense("b2", self.b2, b2.grad)
+        self._bump_scoring_version()
         return float(loss.data)
 
     def parameter_count(self) -> int:

@@ -64,6 +64,21 @@ class RESCAL(KGEModel):
         projected = np.einsum("bij,bj->bi", w, t, optimize=True)
         return projected @ self.entity_embeddings.T
 
+    def score_candidates(self, anchors, relations, candidates, side="tail") -> np.ndarray:
+        """Project the anchor through ``W_r`` once, then dot only candidates."""
+        anchors, relations, candidates = self._validate_candidate_query(
+            anchors, relations, candidates, side
+        )
+        anchor_vecs = self.entity_embeddings[anchors]
+        w = self.relation_matrices[relations]
+        if side == "tail":
+            projected = np.einsum("bi,bij->bj", anchor_vecs, w, optimize=True)
+        else:
+            projected = np.einsum("bij,bj->bi", w, anchor_vecs, optimize=True)
+        return np.einsum(
+            "bd,bcd->bc", projected, self.entity_embeddings[candidates], optimize=True
+        )
+
     # --------------------------------------------------------------- training
     def train_step(
         self, positives: np.ndarray, negatives: np.ndarray, optimizer: Optimizer
@@ -102,6 +117,7 @@ class RESCAL(KGEModel):
             self.constraint.apply(self.entity_embeddings, rows)
         rel_rows, rel_grads = aggregate_rows(relations, grad_w)
         optimizer.step_sparse("relations", self.relation_matrices, rel_rows, rel_grads)
+        self._bump_scoring_version()
         return float(loss_value)
 
     def parameter_count(self) -> int:

@@ -99,6 +99,25 @@ class TransE(KGEModel):
         )
         return self._score_against_all(anchor, sign=1.0)
 
+    def score_candidates(self, anchors, relations, candidates, side="tail") -> np.ndarray:
+        """Distance to the candidate entities only, skipping the full sweep.
+
+        Tail side evaluates ``-||(h + r) - t'||`` per candidate ``t'``;
+        head side ``-||h' + (r - t)||`` per candidate ``h'``.
+        """
+        anchors, relations, candidates = self._validate_candidate_query(
+            anchors, relations, candidates, side
+        )
+        anchor_vecs = self.entity_embeddings[anchors]
+        rel_vecs = self.relation_embeddings[relations]
+        if side == "tail":
+            residual = (anchor_vecs + rel_vecs)[:, None, :] - self.entity_embeddings[candidates]
+        else:
+            residual = self.entity_embeddings[candidates] + (rel_vecs - anchor_vecs)[:, None, :]
+        if self.norm == 1:
+            return -np.sum(np.abs(residual), axis=-1)
+        return -np.linalg.norm(residual, axis=-1)
+
     # --------------------------------------------------------------- training
     def train_step(
         self, positives: np.ndarray, negatives: np.ndarray, optimizer: Optimizer
@@ -148,6 +167,7 @@ class TransE(KGEModel):
             np.concatenate([d_pos, d_neg], axis=0),
         )
         optimizer.step_sparse("relations", self.relation_embeddings, rel_rows, rel_grads)
+        self._bump_scoring_version()
         return float(loss_value)
 
     def parameter_count(self) -> int:

@@ -5,6 +5,7 @@ Commands
 * ``generate`` — write a synthetic WN18-like dataset directory.
 * ``inspect``  — dataset statistics and relation-pattern report.
 * ``train``    — train a model (preset name) and report link-prediction metrics.
+* ``predict``  — top-k link prediction from a saved checkpoint.
 * ``table``    — regenerate paper Table 2, 3 or 4 end-to-end.
 * ``weights``  — list ω presets with their §6.1.2 property analysis.
 """
@@ -62,6 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--save", help="directory to write the trained model checkpoint")
     train.add_argument("--per-relation", action="store_true",
                        help="also print per-relation test metrics")
+
+    pred = sub.add_parser("predict", help="top-k link prediction from a saved checkpoint")
+    pred.add_argument("checkpoint", help="model checkpoint directory (written by train --save)")
+    pred.add_argument("--dataset", required=True,
+                      help="dataset directory supplying vocabularies and the filter index")
+    pred.add_argument("--head", help="head entity name (omit to predict heads)")
+    pred.add_argument("--relation", help="relation name (omit to predict relations)")
+    pred.add_argument("--tail", help="tail entity name (omit to predict tails)")
+    pred.add_argument("-k", "--top", type=int, default=10, dest="top",
+                      help="number of candidates to return")
+    pred.add_argument("--raw", action="store_true",
+                      help="rank known true triples too instead of filtering them out "
+                           "(entity prediction only; relation prediction is always raw)")
 
     sub.add_parser("weights", help="list weight-vector presets and their properties")
 
@@ -156,6 +170,40 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_model
+    from repro.errors import ServingError
+    from repro.serving import LinkPredictor
+
+    model = load_model(args.checkpoint)
+    dataset = load_dataset_directory(args.dataset)
+    if model.num_entities != dataset.num_entities or (
+        model.num_relations != dataset.num_relations
+    ):
+        raise ServingError(
+            f"checkpoint id spaces ({model.num_entities} entities / "
+            f"{model.num_relations} relations) do not match dataset "
+            f"({dataset.num_entities} / {dataset.num_relations})"
+        )
+    predictor = LinkPredictor(model, dataset)
+    predictions = predictor.predict(
+        head=args.head,
+        relation=args.relation,
+        tail=args.tail,
+        k=args.top,
+        filtered=not args.raw,
+    )
+    missing = "relation" if args.relation is None else ("tail" if args.tail is None else "head")
+    query = (args.head or "?", args.relation or "?", args.tail or "?")
+    print(f"{model.name}: top-{len(predictions)} {missing} candidates for "
+          f"({query[0]}, {query[1]}, {query[2]})")
+    print(f"{'rank':>4} {'candidate':<28} {'score':>10}")
+    for rank, (name, score) in enumerate(predictions, start=1):
+        shown = f"{score:>10.4f}" if np.isfinite(score) else "  filtered"
+        print(f"{rank:>4} {name:<28} {shown}")
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentSettings, build_dataset, format_table
     from repro.paper_tables import run_table2, run_table3, run_table4
@@ -208,6 +256,7 @@ def _cmd_weights(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
+    "predict": _cmd_predict,
     "table": _cmd_table,
     "train": _cmd_train,
     "weights": _cmd_weights,

@@ -12,7 +12,11 @@ import abc
 
 import numpy as np
 
+from repro.errors import ModelError
 from repro.nn.optimizers import Optimizer
+
+#: Valid values for the ``side`` argument of candidate scoring.
+CANDIDATE_SIDES = ("tail", "head")
 
 
 class KGEModel(abc.ABC):
@@ -27,6 +31,21 @@ class KGEModel(abc.ABC):
     #: Id-space sizes; set by concrete constructors.
     num_entities: int
     num_relations: int
+    #: Monotonic counter bumped by every parameter update (``train_step``
+    #: implementations call :meth:`_bump_scoring_version`).  The serving
+    #: layer keys its caches and precomputed tensors on this value, so
+    #: stale scores are never served after training.  Code that mutates
+    #: embedding tables directly (outside ``train_step``) must bump the
+    #: version itself or clear any caches explicitly.
+    _scoring_version: int = 0
+
+    @property
+    def scoring_version(self) -> int:
+        """Current parameter version; changes whenever training updates weights."""
+        return self._scoring_version
+
+    def _bump_scoring_version(self) -> None:
+        self._scoring_version += 1
 
     @abc.abstractmethod
     def score_triples(
@@ -41,6 +60,63 @@ class KGEModel(abc.ABC):
     @abc.abstractmethod
     def score_all_heads(self, tails: np.ndarray, relations: np.ndarray) -> np.ndarray:
         """Scores of every entity as head: shape ``(b, num_entities)``."""
+
+    def score_candidates(
+        self,
+        anchors: np.ndarray,
+        relations: np.ndarray,
+        candidates: np.ndarray,
+        side: str = "tail",
+    ) -> np.ndarray:
+        """Scores of an explicit candidate set per query: shape ``(b, c)``.
+
+        ``anchors`` are heads when ``side="tail"`` (candidates replace the
+        tail) and tails when ``side="head"``.  ``candidates`` is either a
+        shared ``(c,)`` id array or a per-query ``(b, c)`` array.
+
+        This default computes one ``score_triples`` call per candidate
+        column, which is correct for any model; subclasses override it
+        with vectorised fast paths that avoid the full 1-vs-all sweep.
+        """
+        anchors, relations, candidates = self._validate_candidate_query(
+            anchors, relations, candidates, side
+        )
+        out = np.empty(candidates.shape, dtype=np.float64)
+        for col in range(candidates.shape[1]):
+            column = candidates[:, col]
+            if side == "tail":
+                out[:, col] = self.score_triples(anchors, column, relations)
+            else:
+                out[:, col] = self.score_triples(column, anchors, relations)
+        return out
+
+    def _validate_candidate_query(
+        self,
+        anchors: np.ndarray,
+        relations: np.ndarray,
+        candidates: np.ndarray,
+        side: str,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared input checking for :meth:`score_candidates` implementations.
+
+        Returns int64 arrays with ``candidates`` broadcast to ``(b, c)``.
+        """
+        if side not in CANDIDATE_SIDES:
+            raise ModelError(f"unknown side {side!r}; known: {CANDIDATE_SIDES}")
+        anchors = np.asarray(anchors, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if anchors.ndim != 1 or anchors.shape != relations.shape:
+            raise ModelError("anchors and relations must be 1-D arrays of equal length")
+        if candidates.ndim == 1:
+            candidates = np.broadcast_to(candidates, (len(anchors), len(candidates)))
+        if candidates.ndim != 2 or len(candidates) != len(anchors):
+            raise ModelError("candidates must be (c,) or (b, c) matching the queries")
+        if candidates.size and (
+            candidates.min() < 0 or candidates.max() >= self.num_entities
+        ):
+            raise ModelError("candidate ids out of range")
+        return anchors, relations, candidates
 
     @abc.abstractmethod
     def train_step(

@@ -70,6 +70,37 @@ def cph_score_direct(model: MultiEmbeddingModel, heads, tails, relations) -> np.
     return forward + inverse
 
 
+def score_candidates_direct(
+    model, anchors, relations, candidates, side: str = "tail"
+) -> np.ndarray:
+    """Brute-force reference for ``KGEModel.score_candidates``.
+
+    Scores each ``(query, candidate)`` pair with an independent
+    single-triple ``score_triples`` call — maximally simple and obviously
+    correct, so the vectorised fast paths in the model classes and the
+    serving layer can be asserted against it.  Works for *any*
+    :class:`~repro.core.base.KGEModel`, not just the multi-embedding one.
+    """
+    if side not in ("tail", "head"):
+        raise ModelError(f"unknown side {side!r}")
+    anchors = np.asarray(anchors, dtype=np.int64)
+    relations = np.asarray(relations, dtype=np.int64)
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.ndim == 1:
+        candidates = np.broadcast_to(candidates, (len(anchors), len(candidates)))
+    out = np.empty(candidates.shape, dtype=np.float64)
+    for row in range(candidates.shape[0]):
+        for col in range(candidates.shape[1]):
+            anchor = np.array([anchors[row]])
+            cand = np.array([candidates[row, col]])
+            rel = np.array([relations[row]])
+            if side == "tail":
+                out[row, col] = model.score_triples(anchor, cand, rel)[0]
+            else:
+                out[row, col] = model.score_triples(cand, anchor, rel)[0]
+    return out
+
+
 def quaternion_score_direct(
     model: MultiEmbeddingModel, heads, tails, relations
 ) -> np.ndarray:

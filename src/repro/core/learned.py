@@ -154,6 +154,16 @@ class LearnedWeightModel(MultiEmbeddingModel):
         """The current transformed weight tensor ω = f(ρ)."""
         return self._omega_cache
 
+    def refresh_omega(self) -> None:
+        """Recompute ω = f(ρ) after ρ was replaced outside ``train_step``.
+
+        Checkpoint loading assigns ρ directly; calling this keeps the
+        cached ω consistent and bumps :attr:`scoring_version` so serving
+        caches and folded tensors built from the old ω are invalidated.
+        """
+        self._omega_cache = self.transform.forward(self.rho)
+        self._bump_scoring_version()
+
     def _extra_updates(
         self, cache: _BatchCache, grad_scores: np.ndarray, optimizer: Optimizer
     ) -> None:

@@ -17,7 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.interaction import MultiEmbeddingModel
-from repro.core.learned import LearnedWeightModel, make_transform
+from repro.core.learned import LearnedWeightModel
 from repro.core.weights import WeightVector
 from repro.errors import ModelError
 
@@ -95,7 +95,7 @@ def load_model(directory: str | Path) -> MultiEmbeddingModel:
             regularization=meta["regularization"],
         )
         model.rho = arrays["rho"]
-        model._omega_cache = make_transform(meta["transform"]).forward(model.rho)
+        model.refresh_omega()
     elif meta["model_class"] == "MultiEmbeddingModel":
         weights = WeightVector(meta["weight_name"], arrays["omega"])
         model = MultiEmbeddingModel(

@@ -38,3 +38,7 @@ class TrainingError(ReproError):
 
 class EvaluationError(ReproError):
     """The evaluation protocol received inconsistent inputs."""
+
+
+class ServingError(ReproError):
+    """A serving-layer request was malformed or unserveable."""

@@ -4,6 +4,17 @@ Implements the protocol of §5.2: for every eval triple, corrupt the tail
 against all entities and the head against all entities, filter known true
 triples (the *filtered* setting), rank the true entity, and aggregate
 MRR / Hits@k over both sides.
+
+The 1-vs-all sweeps stream through the serving layer's
+:class:`~repro.serving.scorer.BatchedScorer` in memory-bounded chunks of
+``batch_size`` eval triples, so evaluation shares one scoring path with
+the :class:`~repro.serving.predictor.LinkPredictor` and never
+materialises more than one ``(batch_size, num_entities)`` score matrix.
+Ranking compares candidates *within* a row, where chunk boundaries
+cannot reorder scores or break exact ties, so metrics are bit-identical
+for any ``batch_size`` (the chunking regression test pins this down for
+sizes 1, 7 and full-batch).  Folding is left off so the evaluator runs
+the models' own einsum order unchanged.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from repro.eval.metrics import DEFAULT_HITS_AT, RankingMetrics, compute_metrics,
 from repro.eval.ranking import ranks_from_score_matrix
 from repro.kg.graph import FilterIndex, KGDataset
 from repro.kg.triples import TripleSet
+from repro.serving.scorer import BatchedScorer
 
 
 @dataclass(frozen=True)
@@ -38,7 +50,8 @@ class LinkPredictionEvaluator:
     dataset:
         Supplies the splits and the filter index over all known triples.
     batch_size:
-        Number of eval triples scored per 1-vs-all sweep.
+        Number of eval triples scored per 1-vs-all sweep; bounds peak
+        memory at one ``(batch_size, num_entities)`` float64 matrix.
     filtered:
         Use the filtered protocol (True, paper default) or raw ranking.
     hits_at:
@@ -112,33 +125,33 @@ class LinkPredictionEvaluator:
         filter_index: FilterIndex | None,
         side: str,
     ) -> np.ndarray:
+        """Ranks of the true entity for every triple, one side at a time.
+
+        Streams chunks of ``batch_size`` queries through a
+        :class:`BatchedScorer`; each chunk's ``(chunk, num_entities)``
+        score matrix is ranked and discarded before the next is computed.
+        """
+        scorer = BatchedScorer(model, folded=False, chunk_size=self.batch_size)
+        if side == "tail":
+            anchors, true_indices = triples[:, 0], triples[:, 1]
+            lookup = filter_index.true_tails if filter_index is not None else None
+        else:
+            anchors, true_indices = triples[:, 1], triples[:, 0]
+            lookup = filter_index.true_heads if filter_index is not None else None
+        relations = triples[:, 2]
         ranks: list[np.ndarray] = []
-        for start in range(0, len(triples), self.batch_size):
-            batch = triples[start : start + self.batch_size]
-            heads, tails, relations = batch[:, 0], batch[:, 1], batch[:, 2]
-            if side == "tail":
-                scores = model.score_all_tails(heads, relations)
-                true_indices = tails
-                filters = (
-                    [
-                        filter_index.true_tails(int(h), int(r))
-                        for h, r in zip(heads, relations)
-                    ]
-                    if filter_index is not None
-                    else None
-                )
-            else:
-                scores = model.score_all_heads(tails, relations)
-                true_indices = heads
-                filters = (
-                    [
-                        filter_index.true_heads(int(t), int(r))
-                        for t, r in zip(tails, relations)
-                    ]
-                    if filter_index is not None
-                    else None
-                )
+        for start, stop, scores in scorer.iter_all_scores(anchors, relations, side):
+            filters = (
+                [
+                    lookup(int(anchor), int(relation))
+                    for anchor, relation in zip(anchors[start:stop], relations[start:stop])
+                ]
+                if lookup is not None
+                else None
+            )
             ranks.append(
-                ranks_from_score_matrix(scores, true_indices, filters, self.tie_policy)
+                ranks_from_score_matrix(
+                    scores, true_indices[start:stop], filters, self.tie_policy
+                )
             )
         return np.concatenate(ranks)

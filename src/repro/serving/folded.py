@@ -1,0 +1,165 @@
+"""Relation-folded scoring for the multi-embedding model.
+
+Eq. 8 scores ``S(h, t, r) = Σ_{ijk} ω_ijk ⟨h^(i), t^(j), r^(k)⟩``.  The
+training-time einsum re-contracts ω with the relation embeddings on
+*every* call, even though a serving workload scores the same relations
+over and over.  Folding ω into a per-relation mixing tensor once,
+
+    W_r[i, j, d] = Σ_k ω_ijk · r^(k)_d             (shape R × n_e × n_e × D)
+
+removes the ``k`` axis from the per-query contraction — the same shape
+of fast path RESCAL gets natively from its per-relation matrix ``W_r``
+(diagonal in ``d`` here, so the cost stays linear in D).  For an
+``n``-embedding model this cuts the inner-contraction flops by roughly
+a factor ``n_r`` (4x for the quaternion model, 2x for ComplEx).
+
+Queries are processed in per-relation groups so each group contracts
+against one small ``(n_e, n_e, D)`` tensor; gathering ``folded[r]`` per
+row would copy a ``(b, n_e, n_e, D)`` block and give the win back to
+memory traffic.  Batches from a serving queue are heavily skewed toward
+few relations, which makes the grouping essentially free.
+
+The folded tensor is rebuilt lazily whenever the model's
+``scoring_version`` changes, so a train step between requests can never
+serve stale scores.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.interaction import MultiEmbeddingModel
+from repro.errors import ServingError
+
+
+class RelationFoldedScorer:
+    """Drop-in scorer over a :class:`MultiEmbeddingModel` with ω pre-folded.
+
+    Exposes the same scoring surface as the model (``score_triples``,
+    ``score_all_tails``, ``score_all_heads``, ``score_candidates``) and
+    produces scores equal to the model's up to float re-association.
+    """
+
+    def __init__(self, model: MultiEmbeddingModel) -> None:
+        if not isinstance(model, MultiEmbeddingModel):
+            raise ServingError(
+                "relation folding requires a MultiEmbeddingModel; got "
+                f"{type(model).__name__}"
+            )
+        self.model = model
+        self.num_entities = model.num_entities
+        self.num_relations = model.num_relations
+        self._folded: np.ndarray | None = None
+        self._version: int | None = None
+        self.refresh()
+
+    # ------------------------------------------------------------- folding
+    @property
+    def folded(self) -> np.ndarray:
+        """The per-relation mixing tensor, shape ``(R, n_e, n_e, D)``."""
+        self.refresh()
+        assert self._folded is not None
+        return self._folded
+
+    def refresh(self, force: bool = False) -> bool:
+        """Rebuild the folded tensor if the model's parameters changed.
+
+        Returns True when a rebuild happened.
+        """
+        version = self.model.scoring_version
+        if not force and self._folded is not None and version == self._version:
+            return False
+        self._folded = np.einsum(
+            "ijk,rkd->rijd",
+            self.model.omega,
+            self.model.relation_embeddings,
+            optimize=True,
+        )
+        self._version = version
+        return True
+
+    def _entity_flat(self) -> np.ndarray:
+        return self.model.entity_embeddings.reshape(self.num_entities, -1)
+
+    @staticmethod
+    def _relation_groups(relations: np.ndarray) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(relation id, row indices)`` per distinct relation."""
+        order = np.argsort(relations, kind="stable")
+        ordered = relations[order]
+        boundaries = np.flatnonzero(np.diff(ordered)) + 1
+        for rows in np.split(order, boundaries):
+            if len(rows):
+                yield int(relations[rows[0]]), rows
+
+    #: Below this mean rows-per-relation, the grouped loop's einsum setup
+    #: overhead outweighs the gather copy and the batched form wins.
+    _MIN_GROUP_ROWS = 8
+
+    def _combine(self, vecs: np.ndarray, relations: np.ndarray, axis_spec: str) -> np.ndarray:
+        """Contract anchor vectors with the folded tensor, grouped by relation.
+
+        ``axis_spec`` is ``"ijd,bid->bjd"`` (anchor = head, mixing toward
+        the tail slot) or ``"ijd,bjd->bid"`` (anchor = tail).  Batches too
+        diverse in relations to amortise the group loop fall back to one
+        gathered einsum over ``folded[relations]``.
+        """
+        folded = self.folded
+        num_unique = len(np.unique(relations))
+        if num_unique and len(relations) < self._MIN_GROUP_ROWS * num_unique:
+            return np.einsum("b" + axis_spec, folded[relations], vecs, optimize=True)
+        combined = np.empty_like(vecs)
+        for relation, rows in self._relation_groups(relations):
+            combined[rows] = np.einsum(
+                axis_spec, folded[relation], vecs[rows], optimize=True
+            )
+        return combined
+
+    # ------------------------------------------------------------- scoring
+    def score_triples(self, heads, tails, relations) -> np.ndarray:
+        """Eq. 8 scores via the folded tensor; shape ``(b,)``."""
+        heads = np.asarray(heads, dtype=np.int64)
+        tails = np.asarray(tails, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        entities = self.model.entity_embeddings
+        folded = self.folded
+        scores = np.empty(len(relations), dtype=np.float64)
+        for relation, rows in self._relation_groups(relations):
+            scores[rows] = np.einsum(
+                "ijd,bid,bjd->b",
+                folded[relation],
+                entities[heads[rows]],
+                entities[tails[rows]],
+                optimize=True,
+            )
+        return scores
+
+    def score_all_tails(self, heads, relations) -> np.ndarray:
+        """All-entity tail sweep; shape ``(b, num_entities)``."""
+        heads = np.asarray(heads, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        h_vecs = self.model.entity_embeddings[heads]
+        combined = self._combine(h_vecs, relations, "ijd,bid->bjd")
+        return combined.reshape(len(heads), -1) @ self._entity_flat().T
+
+    def score_all_heads(self, tails, relations) -> np.ndarray:
+        """All-entity head sweep; shape ``(b, num_entities)``."""
+        tails = np.asarray(tails, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        t_vecs = self.model.entity_embeddings[tails]
+        combined = self._combine(t_vecs, relations, "ijd,bjd->bid")
+        return combined.reshape(len(tails), -1) @ self._entity_flat().T
+
+    def score_candidates(self, anchors, relations, candidates, side="tail") -> np.ndarray:
+        """Candidate-set scores via the folded tensor; shape ``(b, c)``."""
+        anchors, relations, candidates = self.model._validate_candidate_query(
+            anchors, relations, candidates, side
+        )
+        anchor_vecs = self.model.entity_embeddings[anchors]
+        spec = "ijd,bid->bjd" if side == "tail" else "ijd,bjd->bid"
+        combined = self._combine(anchor_vecs, relations, spec)
+        flat = combined.reshape(len(anchors), -1)
+        return np.einsum(
+            "bf,bcf->bc", flat, self._entity_flat()[candidates], optimize=True
+        )

@@ -1,0 +1,335 @@
+"""Batched top-k link prediction over a trained model.
+
+:class:`LinkPredictor` is the serving entry point: given a trained
+:class:`~repro.core.base.KGEModel` it answers *"which tails complete
+(h, ?, r)?"*, *"which heads complete (?, t, r)?"* and *"which relations
+connect (h, t)?"* for whole batches of queries at once, with
+
+* the relation-folded einsum fast path for multi-embedding models,
+* an LRU cache of 1-vs-all score vectors keyed on
+  ``(entity, relation, side)``, invalidated automatically when the
+  model's parameters change,
+* optional filtered-candidate masking that pushes already-known true
+  triples out of the top-k (the serving twin of the evaluation
+  protocol's filtered setting), and
+* optional explicit candidate sets served through the models'
+  ``score_candidates`` fast paths.
+
+Ties are broken deterministically in favour of the lower entity id
+(stable sort on descending score), so repeated and batched calls always
+agree with a brute-force per-triple ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import KGEModel
+from repro.errors import ServingError
+from repro.kg.graph import FilterIndex, KGDataset
+from repro.serving.cache import CacheStats, LRUScoreCache
+from repro.serving.scorer import BatchedScorer
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Top-k candidate ids and scores for a batch of queries.
+
+    ``ids`` and ``scores`` both have shape ``(b, k)``; row ``i`` is
+    sorted by descending score (ties by ascending id).  Candidates masked
+    by filtering carry ``-inf`` scores and sort last.
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of candidates returned per query."""
+        return self.ids.shape[1]
+
+    def labeled(self, names) -> list[list[tuple[str, float]]]:
+        """Resolve ids through a vocabulary-like ``names(ids)`` callable
+        or :class:`~repro.kg.vocab.Vocabulary`; one list per query."""
+        resolve = names.names if hasattr(names, "names") else names
+        return [
+            list(zip(resolve(list(row_ids)), [float(s) for s in row_scores]))
+            for row_ids, row_scores in zip(self.ids, self.scores)
+        ]
+
+
+class LinkPredictor:
+    """Batched top-k tail/head/relation prediction with caching.
+
+    Parameters
+    ----------
+    model:
+        Any trained :class:`KGEModel`.
+    dataset:
+        Optional dataset; supplies the filter index for ``filtered=True``
+        queries and the vocabularies for name-based prediction.
+    filter_index:
+        Explicit filter index (overrides the dataset's).
+    folded:
+        Passed to :class:`BatchedScorer`: ``"auto"`` folds ω for
+        multi-embedding models.
+    cache_size:
+        Capacity of the LRU score cache; ``0`` disables caching.
+    chunk_size:
+        Max query rows per underlying sweep (memory bound); ``None``
+        derives it from the scorer's element budget.
+    """
+
+    def __init__(
+        self,
+        model: KGEModel,
+        dataset: KGDataset | None = None,
+        *,
+        filter_index: FilterIndex | None = None,
+        folded: bool | str = "auto",
+        cache_size: int = 4096,
+        chunk_size: int | None = None,
+    ) -> None:
+        if cache_size < 0:
+            raise ServingError("cache_size must be >= 0")
+        self.model = model
+        self.dataset = dataset
+        self.scorer = BatchedScorer(model, folded=folded, chunk_size=chunk_size)
+        self._filter_index = filter_index
+        self.cache = LRUScoreCache(cache_size) if cache_size else None
+        self._model_version = model.scoring_version
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def filter_index(self) -> FilterIndex:
+        if self._filter_index is not None:
+            return self._filter_index
+        if self.dataset is not None:
+            return self.dataset.filter_index
+        raise ServingError(
+            "filtered prediction needs a dataset or an explicit filter_index"
+        )
+
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        """LRU cache counters, or None when caching is disabled."""
+        return self.cache.stats if self.cache is not None else None
+
+    def clear_cache(self) -> None:
+        """Drop cached scores and folded tensors (e.g. after weight surgery).
+
+        Training invalidates both automatically via ``scoring_version``;
+        this is the recovery path for in-place parameter edits that
+        bypass ``train_step`` and therefore never bump the version.
+        """
+        if self.cache is not None:
+            self.cache.clear()
+        self.scorer.refresh()
+        self._model_version = self.model.scoring_version
+
+    def _sync_version(self) -> None:
+        version = self.model.scoring_version
+        if version != self._model_version:
+            if self.cache is not None:
+                self.cache.clear()
+            self._model_version = version
+
+    def _full_scores(self, anchors: np.ndarray, relations: np.ndarray, side: str) -> np.ndarray:
+        """(b, num_entities) sweep, served from the cache where possible.
+
+        Cached vectors are always the *raw* scores; filtering masks a
+        copy, so the same cache serves filtered and unfiltered queries.
+        """
+        if self.cache is None:
+            return self.scorer.all_scores(anchors, relations, side)
+        self._sync_version()
+        out = np.empty((len(anchors), self.model.num_entities), dtype=np.float64)
+        missing: dict[tuple[int, int, str], list[int]] = {}
+        for row in range(len(anchors)):
+            key = (int(anchors[row]), int(relations[row]), side)
+            hit = self.cache.get(key)
+            if hit is not None:
+                out[row] = hit
+            else:
+                missing.setdefault(key, []).append(row)
+        if missing:
+            keys = list(missing)
+            scores = self.scorer.all_scores(
+                np.array([key[0] for key in keys], dtype=np.int64),
+                np.array([key[1] for key in keys], dtype=np.int64),
+                side,
+            )
+            for key, vector in zip(keys, scores):
+                self.cache.put(key, vector)
+                out[missing[key]] = vector
+        return out
+
+    def _mask_known(
+        self,
+        scores: np.ndarray,
+        anchors: np.ndarray,
+        relations: np.ndarray,
+        side: str,
+        candidates: np.ndarray | None = None,
+    ) -> None:
+        """Set known-true entries of *scores* to ``-inf`` in place.
+
+        Columns are entity ids for full sweeps, or positions into the
+        per-row *candidates* array when one is given.
+        """
+        lookup = (
+            self.filter_index.true_tails if side == "tail" else self.filter_index.true_heads
+        )
+        for row in range(len(scores)):
+            known = lookup(int(anchors[row]), int(relations[row]))
+            if not len(known):
+                continue
+            if candidates is None:
+                scores[row, known] = -np.inf
+            else:
+                scores[row, np.isin(candidates[row], known)] = -np.inf
+
+    @staticmethod
+    def _select_top_k(scores: np.ndarray, k: int) -> TopKResult:
+        # Stable sort on the negated scores: descending score, ties by
+        # ascending candidate position — the documented tie policy.
+        order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+        return TopKResult(ids=order, scores=np.take_along_axis(scores, order, axis=1))
+
+    def _top_k_one_side(
+        self,
+        anchors,
+        relations,
+        k: int,
+        side: str,
+        filtered: bool,
+        candidates,
+    ) -> TopKResult:
+        if k < 1:
+            raise ServingError("k must be >= 1")
+        anchors = np.atleast_1d(np.asarray(anchors, dtype=np.int64))
+        relations = np.atleast_1d(np.asarray(relations, dtype=np.int64))
+        if anchors.shape != relations.shape or anchors.ndim != 1:
+            raise ServingError("anchors and relations must be 1-D arrays of equal length")
+        if candidates is not None:
+            candidates = np.asarray(candidates, dtype=np.int64)
+            scores = np.asarray(
+                self.scorer.score_candidates(anchors, relations, candidates, side),
+                dtype=np.float64,
+            )
+            if candidates.ndim == 1:
+                candidates = np.broadcast_to(candidates, scores.shape)
+            if filtered:
+                self._mask_known(scores, anchors, relations, side, candidates)
+            # Reorder each row by candidate id first so the stable sort in
+            # _select_top_k breaks ties toward the lower id, matching the
+            # full-sweep path regardless of the caller's candidate order.
+            by_id = np.argsort(candidates, axis=1, kind="stable")
+            candidates = np.take_along_axis(candidates, by_id, axis=1)
+            scores = np.take_along_axis(scores, by_id, axis=1)
+            picked = self._select_top_k(scores, min(k, scores.shape[1]))
+            return TopKResult(
+                ids=np.take_along_axis(candidates, picked.ids, axis=1),
+                scores=picked.scores,
+            )
+        # _full_scores always returns a fresh matrix (cached rows are
+        # copied into it), so masking in place is safe — no extra copy.
+        scores = self._full_scores(anchors, relations, side)
+        if filtered:
+            self._mask_known(scores, anchors, relations, side)
+        return self._select_top_k(scores, min(k, self.model.num_entities))
+
+    # --------------------------------------------------------------- queries
+    def top_k_tails(
+        self, heads, relations, k: int = 10, filtered: bool = False, candidates=None
+    ) -> TopKResult:
+        """Best tail completions of ``(h, ?, r)`` per query.
+
+        ``filtered=True`` pushes known true tails to the bottom (score
+        ``-inf``); ``candidates`` restricts scoring to an explicit
+        ``(c,)`` or ``(b, c)`` id set via the model's fast path.
+        """
+        return self._top_k_one_side(heads, relations, k, "tail", filtered, candidates)
+
+    def top_k_heads(
+        self, tails, relations, k: int = 10, filtered: bool = False, candidates=None
+    ) -> TopKResult:
+        """Best head completions of ``(?, t, r)`` per query."""
+        return self._top_k_one_side(tails, relations, k, "head", filtered, candidates)
+
+    def top_k_relations(self, heads, tails, k: int = 10) -> TopKResult:
+        """Best relation completions of ``(h, ?, t)`` per query pair.
+
+        Relation queries are always *raw*: the filter index is keyed on
+        entities, so known true relations are not masked.
+        """
+        if k < 1:
+            raise ServingError("k must be >= 1")
+        heads = np.atleast_1d(np.asarray(heads, dtype=np.int64))
+        tails = np.atleast_1d(np.asarray(tails, dtype=np.int64))
+        if heads.shape != tails.shape or heads.ndim != 1:
+            raise ServingError("heads and tails must be 1-D arrays of equal length")
+        num_relations = self.model.num_relations
+        all_relations = np.arange(num_relations, dtype=np.int64)
+        # One vectorised (rows * R) sweep per memory-bounded row chunk:
+        # the folded backend then sees R groups of `rows` triples each
+        # instead of degenerate single-row groups.
+        rows_per_chunk = max(1, self.scorer.max_chunk_elements // num_relations)
+        scores = np.empty((len(heads), num_relations), dtype=np.float64)
+        for start in range(0, len(heads), rows_per_chunk):
+            stop = min(start + rows_per_chunk, len(heads))
+            block = stop - start
+            scores[start:stop] = self.scorer.score_triples(
+                np.repeat(heads[start:stop], num_relations),
+                np.repeat(tails[start:stop], num_relations),
+                np.tile(all_relations, block),
+            ).reshape(block, num_relations)
+        return self._select_top_k(scores, min(k, num_relations))
+
+    def warm_cache(self, anchors, relations, side: str = "tail") -> None:
+        """Precompute and cache the sweeps for the given queries."""
+        if self.cache is None:
+            raise ServingError("warm_cache needs caching enabled (cache_size > 0)")
+        anchors = np.atleast_1d(np.asarray(anchors, dtype=np.int64))
+        relations = np.atleast_1d(np.asarray(relations, dtype=np.int64))
+        self._full_scores(anchors, relations, side)
+
+    # ---------------------------------------------------------- name queries
+    def _vocabs(self):
+        if self.dataset is None:
+            raise ServingError("name-based prediction needs a dataset with vocabularies")
+        return self.dataset.entities, self.dataset.relations
+
+    def predict(
+        self,
+        head: str | None = None,
+        relation: str | None = None,
+        tail: str | None = None,
+        k: int = 10,
+        filtered: bool = True,
+    ) -> list[tuple[str, float]]:
+        """Name-level prediction for exactly one missing triple slot.
+
+        Give two of ``head``/``relation``/``tail``; the missing one is
+        predicted and returned as ``[(name, score), ...]`` best-first.
+        ``filtered`` applies to entity prediction only — relation
+        queries are always raw (the filter index is entity-keyed).
+        """
+        entities, relations_vocab = self._vocabs()
+        given = [slot is not None for slot in (head, relation, tail)]
+        if sum(given) != 2:
+            raise ServingError(
+                "predict needs exactly two of head/relation/tail, got "
+                f"{sum(given)}"
+            )
+        if relation is None:
+            result = self.top_k_relations([entities.index(head)], [entities.index(tail)], k)
+            return result.labeled(relations_vocab)[0]
+        rel_id = relations_vocab.index(relation)
+        if tail is None:
+            result = self.top_k_tails([entities.index(head)], [rel_id], k, filtered=filtered)
+        else:
+            result = self.top_k_heads([entities.index(tail)], [rel_id], k, filtered=filtered)
+        return result.labeled(entities)[0]

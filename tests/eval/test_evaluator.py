@@ -70,6 +70,51 @@ class TestOracleEvaluation:
         assert result.overall.num_ranks == 2 * len(toy_dataset.test)
 
 
+class TestChunkingRegression:
+    """Streaming chunk size must never change the metrics, bit for bit."""
+
+    CHUNK_SIZES = (1, 7, 10_000)  # 10_000 >> any split: the full-batch case
+
+    def _metrics_by_chunk_size(self, dataset, model, split="test"):
+        results = {}
+        for batch_size in self.CHUNK_SIZES:
+            evaluator = LinkPredictionEvaluator(dataset, batch_size=batch_size)
+            results[batch_size] = evaluator.evaluate(model, split)
+        return results
+
+    def test_trained_style_model_bit_identical(self, tiny_dataset):
+        from repro.core.models import make_complex
+
+        model = make_complex(
+            tiny_dataset.num_entities,
+            tiny_dataset.num_relations,
+            16,
+            np.random.default_rng(31),
+        )
+        results = self._metrics_by_chunk_size(tiny_dataset, model)
+        reference = results[self.CHUNK_SIZES[0]]
+        for batch_size, result in results.items():
+            assert result.overall.mrr == reference.overall.mrr, batch_size
+            assert result.overall.mr == reference.overall.mr, batch_size
+            assert result.overall.hits == reference.overall.hits, batch_size
+            assert result.tail_side.mrr == reference.tail_side.mrr, batch_size
+            assert result.head_side.mrr == reference.head_side.mrr, batch_size
+
+    def test_tie_heavy_model_bit_identical(self, tiny_dataset):
+        """The oracle's 0/1 scores tie almost everywhere — the worst case
+        for any chunking bug that perturbs tie resolution."""
+        all_triples = [tuple(t) for t in tiny_dataset.all_triples()]
+        model = OracleModel(
+            all_triples, tiny_dataset.num_entities, tiny_dataset.num_relations
+        )
+        results = self._metrics_by_chunk_size(tiny_dataset, model)
+        reference = results[self.CHUNK_SIZES[0]]
+        for batch_size, result in results.items():
+            assert result.overall.mrr == reference.overall.mrr, batch_size
+            assert result.overall.mr == reference.overall.mr, batch_size
+            assert result.overall.hits == reference.overall.hits, batch_size
+
+
 class TestEvaluatorMechanics:
     def test_unknown_split_raises(self, toy_dataset):
         model = OracleModel([], toy_dataset.num_entities, toy_dataset.num_relations)

@@ -66,6 +66,51 @@ class TestRankOfTrue:
         assert avg == pytest.approx((opt + pes) / 2.0)
 
 
+class TestTieHandling:
+    """Tie-policy consistency on score vectors guaranteed to contain ties.
+
+    Scores are drawn from a four-value alphabet, so for any non-trivial
+    vector many candidates share the true score — exactly the regime
+    (DistMult on inverse-paired data) where the convention matters.
+    """
+
+    @given(
+        st.lists(st.sampled_from([-1.0, 0.0, 0.5, 2.0]), min_size=2, max_size=40),
+        st.integers(0, 39),
+    )
+    def test_average_is_mean_of_optimistic_and_pessimistic(self, scores, index):
+        scores = np.asarray(scores)
+        index = index % len(scores)
+        opt = rank_of_true(scores, index, tie_policy="optimistic")
+        pes = rank_of_true(scores, index, tie_policy="pessimistic")
+        avg = rank_of_true(scores, index, tie_policy="average")
+        assert avg == (opt + pes) / 2.0
+
+    @given(
+        st.lists(st.sampled_from([-1.0, 0.0, 0.5, 2.0]), min_size=4, max_size=40),
+        st.integers(0, 39),
+        st.sets(st.integers(0, 39), max_size=10),
+    )
+    def test_average_is_mean_under_filtering(self, scores, index, filter_ids):
+        scores = np.asarray(scores)
+        index = index % len(scores)
+        filter_out = np.array(
+            sorted(i for i in filter_ids if i < len(scores)), dtype=np.int64
+        )
+        opt = rank_of_true(scores, index, filter_out, tie_policy="optimistic")
+        pes = rank_of_true(scores, index, filter_out, tie_policy="pessimistic")
+        avg = rank_of_true(scores, index, filter_out, tie_policy="average")
+        assert avg == (opt + pes) / 2.0
+
+    @given(st.integers(2, 30), st.integers(0, 29))
+    def test_all_tied_vector_spans_full_range(self, size, index):
+        scores = np.zeros(size)
+        index = index % size
+        assert rank_of_true(scores, index, tie_policy="optimistic") == 1.0
+        assert rank_of_true(scores, index, tie_policy="pessimistic") == float(size)
+        assert rank_of_true(scores, index, tie_policy="average") == (1.0 + size) / 2.0
+
+
 class TestRankMatrix:
     def test_batched_matches_single(self, rng):
         matrix = rng.normal(size=(6, 20))

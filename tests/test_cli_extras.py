@@ -1,4 +1,4 @@
-"""Tests for the CLI's --save and --per-relation options."""
+"""Tests for the CLI's --save / --per-relation options and predict command."""
 
 from __future__ import annotations
 
@@ -34,3 +34,55 @@ class TestPerRelationOption:
         out = capsys.readouterr().out
         assert "relation" in out
         assert "hypernym" in out
+
+
+class TestPredictCommand:
+    def _train_checkpoint(self, tmp_path, capsys):
+        dataset_dir = tmp_path / "kg"
+        ckpt = tmp_path / "ckpt"
+        assert main(["generate", str(dataset_dir), "--entities", "100",
+                     "--clusters", "8", "--seed", "1"]) == 0
+        assert main([
+            "train", "complex", "--dataset", str(dataset_dir), "--total-dim", "8",
+            "--epochs", "2", "--batch-size", "256", "--quiet", "--save", str(ckpt),
+        ]) == 0
+        capsys.readouterr()
+        head, relation = (dataset_dir / "train.txt").read_text().split("\n")[0].split("\t")[:2]
+        return dataset_dir, ckpt, head, relation
+
+    def test_tail_prediction_prints_ranked_table(self, tmp_path, capsys):
+        dataset_dir, ckpt, head, relation = self._train_checkpoint(tmp_path, capsys)
+        code = main([
+            "predict", str(ckpt), "--dataset", str(dataset_dir),
+            "--head", head, "--relation", relation, "-k", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-5 tail candidates" in out
+        assert f"({head}, {relation}, ?)" in out
+        assert out.count("entity_") >= 1
+
+    def test_relation_prediction_when_relation_omitted(self, tmp_path, capsys):
+        dataset_dir, ckpt, head, _ = self._train_checkpoint(tmp_path, capsys)
+        tail = (dataset_dir / "train.txt").read_text().split("\n")[0].split("\t")[2]
+        code = main([
+            "predict", str(ckpt), "--dataset", str(dataset_dir),
+            "--head", head, "--tail", tail, "-k", "3",
+        ])
+        assert code == 0
+        assert "relation candidates" in capsys.readouterr().out
+
+    def test_unknown_entity_fails_cleanly(self, tmp_path, capsys):
+        dataset_dir, ckpt, _, relation = self._train_checkpoint(tmp_path, capsys)
+        code = main([
+            "predict", str(ckpt), "--dataset", str(dataset_dir),
+            "--head", "no_such_entity", "--relation", relation,
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_single_slot_fails_cleanly(self, tmp_path, capsys):
+        dataset_dir, ckpt, head, _ = self._train_checkpoint(tmp_path, capsys)
+        code = main(["predict", str(ckpt), "--dataset", str(dataset_dir), "--head", head])
+        assert code == 2
+        assert "exactly two" in capsys.readouterr().err

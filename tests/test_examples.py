@@ -22,11 +22,12 @@ def test_expected_examples_present():
     names = {path.name for path in EXAMPLE_FILES}
     assert {
         "quickstart.py",
+        "serving_quickstart.py",
         "recommender_system.py",
         "embedding_analysis.py",
         "weight_vector_exploration.py",
     } <= names
-    assert len(names) >= 4
+    assert len(names) >= 5
 
 
 @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
