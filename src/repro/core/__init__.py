@@ -1,6 +1,7 @@
 """The paper's contribution: the multi-embedding interaction mechanism.
 
 * :mod:`repro.core.weights` — the ω presets of Table 1 (and Tables 2/3).
+* :mod:`repro.core.kernels` — compiled sparse-ω scoring/gradient kernels.
 * :mod:`repro.core.interaction` — the Eq. 8 scorer with analytic gradients.
 * :mod:`repro.core.learned` — ω learned end-to-end (§3.3).
 * :mod:`repro.core.models` — factory for DistMult/ComplEx/CP/CPh/Quaternion.
@@ -11,6 +12,13 @@
 
 from repro.core.base import KGEModel
 from repro.core.interaction import MultiEmbeddingModel
+from repro.core.kernels import (
+    DENSE_DENSITY_THRESHOLD,
+    DenseEinsumKernel,
+    OmegaKernel,
+    SparseTermKernel,
+    compile_kernel,
+)
 from repro.core.learned import (
     LearnedWeightModel,
     SigmoidTransform,
@@ -72,16 +80,20 @@ __all__ = [
     "CP",
     "CPH",
     "CPH_EQUIV",
+    "DENSE_DENSITY_THRESHOLD",
     "DISTMULT",
     "DISTMULT_N1",
+    "DenseEinsumKernel",
     "GOOD_EXAMPLE_1",
     "GOOD_EXAMPLE_2",
     "KGEModel",
     "LearnedWeightModel",
     "MODEL_FACTORIES",
     "MultiEmbeddingModel",
+    "OmegaKernel",
     "PRESETS",
     "QUATERNION",
+    "SparseTermKernel",
     "SigmoidTransform",
     "SoftmaxTransform",
     "TanhTransform",
@@ -90,6 +102,7 @@ __all__ = [
     "WeightVector",
     "WeightVectorProperties",
     "analyze_weight_vector",
+    "compile_kernel",
     "complex_equivalents",
     "cph_equivalents",
     "dead_slots",

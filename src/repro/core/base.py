@@ -18,6 +18,10 @@ from repro.nn.optimizers import Optimizer
 #: Valid values for the ``side`` argument of candidate scoring.
 CANDIDATE_SIDES = ("tail", "head")
 
+#: Max flattened triples per ``score_triples`` call in the default
+#: candidate-scoring fallback — bounds peak memory for wide grids.
+CANDIDATE_BLOCK_TRIPLES = 65536
+
 
 class KGEModel(abc.ABC):
     """A scorer over ``(h, t, r)`` triples that can train itself on a batch.
@@ -74,20 +78,30 @@ class KGEModel(abc.ABC):
         tail) and tails when ``side="head"``.  ``candidates`` is either a
         shared ``(c,)`` id array or a per-query ``(b, c)`` array.
 
-        This default computes one ``score_triples`` call per candidate
-        column, which is correct for any model; subclasses override it
-        with vectorised fast paths that avoid the full 1-vs-all sweep.
+        This default flattens the candidate grid into vectorised
+        ``score_triples`` calls over ``b · c`` triples (split into
+        bounded column blocks so a full-entity candidate grid cannot
+        materialise huge per-occurrence embedding gathers), which is
+        correct for any model; subclasses override it with fast paths
+        that avoid scoring each candidate as an independent triple.
         """
         anchors, relations, candidates = self._validate_candidate_query(
             anchors, relations, candidates, side
         )
-        out = np.empty(candidates.shape, dtype=np.float64)
-        for col in range(candidates.shape[1]):
-            column = candidates[:, col]
+        num_queries, num_candidates = candidates.shape
+        out = np.empty((num_queries, num_candidates), dtype=np.float64)
+        columns_per_block = max(1, CANDIDATE_BLOCK_TRIPLES // max(1, num_queries))
+        for start in range(0, num_candidates, columns_per_block):
+            stop = min(start + columns_per_block, num_candidates)
+            block = candidates[:, start:stop]
+            flat_anchors = np.repeat(anchors, stop - start)
+            flat_relations = np.repeat(relations, stop - start)
+            flat_candidates = block.reshape(-1)
             if side == "tail":
-                out[:, col] = self.score_triples(anchors, column, relations)
+                scores = self.score_triples(flat_anchors, flat_candidates, flat_relations)
             else:
-                out[:, col] = self.score_triples(column, anchors, relations)
+                scores = self.score_triples(flat_candidates, flat_anchors, flat_relations)
+            out[:, start:stop] = scores.reshape(num_queries, stop - start)
         return out
 
     def _validate_candidate_query(

@@ -125,6 +125,7 @@ class LearnedWeightModel(MultiEmbeddingModel):
         initializer: str = "unit_normalized",
         init_scale: float = 0.1,
         loss: LogisticLoss | None = None,
+        use_compiled_kernel: bool = True,
     ) -> None:
         shape = (num_entity_vectors, num_entity_vectors, num_relation_vectors)
         placeholder = WeightVector(f"Auto weight ({transform})", np.ones(shape))
@@ -137,6 +138,7 @@ class LearnedWeightModel(MultiEmbeddingModel):
             regularization=regularization,
             initializer=initializer,
             loss=loss,
+            use_compiled_kernel=use_compiled_kernel,
         )
         self.transform = make_transform(transform)
         self.sparsity = sparsity
@@ -151,7 +153,14 @@ class LearnedWeightModel(MultiEmbeddingModel):
 
     @property
     def omega(self) -> np.ndarray:
-        """The current transformed weight tensor ω = f(ρ)."""
+        """The current transformed weight tensor ω = f(ρ).
+
+        Every update replaces the cached array, so the model's compiled
+        kernel (keyed on the array's identity) recompiles on next use —
+        learned ω is dense, which makes that a cheap
+        :class:`~repro.core.kernels.DenseEinsumKernel` rebuild whose
+        contraction paths come from a shared module-level cache.
+        """
         return self._omega_cache
 
     def refresh_omega(self) -> None:
@@ -167,7 +176,15 @@ class LearnedWeightModel(MultiEmbeddingModel):
     def _extra_updates(
         self, cache: _BatchCache, grad_scores: np.ndarray, optimizer: Optimizer
     ) -> None:
-        grad_omega = self._omega_gradient(cache, grad_scores)
+        # The kernel's ω gradient reuses a cached contraction path; in
+        # reference mode the inherited ``_omega_gradient`` einsum runs so
+        # the oracle arm shares no code with the compiled engine.
+        if self.use_compiled_kernel:
+            grad_omega = self.kernel.omega_gradient(
+                grad_scores, cache.h_vecs, cache.t_vecs, cache.r_vecs
+            )
+        else:
+            grad_omega = self._omega_gradient(cache, grad_scores)
         if self.sparsity is not None:
             grad_omega = grad_omega + self.sparsity.grad(self._omega_cache)
         grad_rho = self.transform.backward(self.rho, self._omega_cache, grad_omega)

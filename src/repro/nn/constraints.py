@@ -32,12 +32,12 @@ class UnitNormConstraint:
         else:
             rows = np.asarray(rows, dtype=np.int64)
             block = table[rows]
-        norms = np.linalg.norm(block, axis=-1, keepdims=True)
+        # One fused pass for the squared norms instead of norm()'s
+        # abs/square/sum temporaries; this sits on the training hot path.
+        norms = np.sqrt(np.einsum("...d,...d->...", block, block))[..., None]
         safe = np.where(norms > self.eps, norms, 1.0)
-        block = block / safe
-        if rows is None:
-            table[...] = block
-        else:
+        block /= safe
+        if rows is not None:
             table[rows] = block
 
     def violation(self, table: np.ndarray) -> float:

@@ -12,7 +12,11 @@ therefore exposes two paths:
 
 Use :func:`aggregate_rows` to collapse duplicate row indices (an entity
 can occur several times in one batch) into unique rows with summed
-gradients before calling the sparse path.
+gradients before calling the sparse path.  The training hot loop uses
+:func:`scatter_accumulate` (same result, CSR-matmul accumulation instead
+of ``np.add.at``) and :meth:`Optimizer.step_sparse_fused` (same update,
+in-place on gathered row blocks); both are certified equivalent to the
+reference paths by the test-suite.
 """
 
 from __future__ import annotations
@@ -21,9 +25,59 @@ import numpy as np
 
 from repro.errors import ConfigError, TrainingError
 
+try:  # scipy is optional; scatter_accumulate degrades gracefully without it
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - scipy ships with the toolchain
+    _scipy_sparse = None
+
+def _load_csc_matvecs():
+    """Import scipy's compiled segment-sum kernel, self-testing it first.
+
+    ``csc_matvecs`` is a private scipy function, so a scipy upgrade could
+    change its signature without an ImportError.  A one-time 2x2 probe
+    verifies the exact call pattern we use (accumulating ``y += A @ x``)
+    still produces correct sums; anything unexpected disables the fast
+    path in favour of the public-API fallback.
+    """
+    try:
+        from scipy.sparse import _sparsetools
+
+        probe = np.zeros((2, 2))
+        # A = [[1, 0, 1], [0, 1, 0]] as CSC built from one-entry columns.
+        _sparsetools.csc_matvecs(
+            2,
+            3,
+            2,
+            np.arange(4, dtype=np.int32),
+            np.array([0, 1, 0], dtype=np.int32),
+            np.ones(3),
+            np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]).reshape(-1),
+            probe.reshape(-1),
+        )
+        if not np.array_equal(probe, [[6.0, 8.0], [3.0, 4.0]]):
+            return None
+        return _sparsetools.csc_matvecs
+    except Exception:  # pragma: no cover - absent/incompatible scipy
+        return None
+
+
+_csc_matvecs = _load_csc_matvecs()
+
+#: Row-block size of the fused optimizer updates.  Moment/accumulator
+#: updates are independent per row, so processing blocks keeps every
+#: intermediate in cache instead of streaming each full-width temporary
+#: through memory once per arithmetic pass.
+_FUSED_UPDATE_BLOCK_ROWS = 256
+
 
 def aggregate_rows(indices: np.ndarray, grads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Sum gradient rows that share an index.
+    """Sum gradient rows that share an index (reference implementation).
+
+    This is the scatter-accumulation *oracle*: a straightforward
+    ``np.unique`` + ``np.add.at`` formulation kept deliberately simple.
+    Hot paths should call :func:`scatter_accumulate`, which computes the
+    same result (up to float summation order) without funnelling every
+    occurrence through ``np.add.at``'s per-element inner loop.
 
     Parameters
     ----------
@@ -44,6 +98,118 @@ def aggregate_rows(indices: np.ndarray, grads: np.ndarray) -> tuple[np.ndarray, 
     unique, inverse = np.unique(indices, return_inverse=True)
     summed = np.zeros((len(unique),) + grads.shape[1:], dtype=np.float64)
     np.add.at(summed, inverse, grads)
+    return unique, summed
+
+
+def scatter_accumulate(
+    indices: np.ndarray, grads: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Duplicate-index-aware row-gradient accumulation (fast path).
+
+    Equivalent to :func:`aggregate_rows` up to float summation order, but
+    built for the training hot loop: a batch with no repeated rows is a
+    pure permutation (no arithmetic at all), and batches with duplicates
+    collapse through a CSR selection-matrix product (one compiled pass)
+    instead of ``np.add.at``'s scalar scatter over a full-width
+    temporary.  Falls back to a sorted ``np.add.reduceat`` when scipy is
+    unavailable.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    grads = np.asarray(grads, dtype=np.float64)
+    if len(indices) != len(grads):
+        raise TrainingError("indices and grads must have equal leading dimension")
+    batch = len(indices)
+    if batch == 0:
+        return indices.copy(), grads.copy()
+    unique, inverse = np.unique(indices, return_inverse=True)
+    trailing = grads.shape[1:]
+    flat = grads.reshape(batch, -1)
+    if len(unique) == batch:
+        # No duplicates: rows just need reordering to match sorted unique.
+        summed = flat[np.argsort(indices, kind="stable")]
+    elif _scipy_sparse is not None:
+        selector = _scipy_sparse.csr_matrix(
+            (np.ones(batch), inverse, np.arange(batch + 1)),
+            shape=(batch, len(unique)),
+        )
+        summed = selector.T @ flat
+    else:
+        order = np.argsort(inverse, kind="stable")
+        boundaries = np.searchsorted(inverse[order], np.arange(len(unique)))
+        summed = np.add.reduceat(flat[order], boundaries, axis=0)
+    return unique, summed.reshape((len(unique),) + trailing)
+
+
+def scatter_accumulate_transposed(
+    index_groups: tuple[np.ndarray, ...],
+    grad_groups: tuple[np.ndarray, ...],
+    out: np.ndarray | None = None,
+    slot_scratch: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-sum transposed ``(slots, b, D)`` gradients over shared indices.
+
+    The fused train step produces per-occurrence gradients in the
+    kernels' transposed layout, with heads and tails indexing one shared
+    embedding table.  This collapses all groups' occurrences to unique
+    rows in one go — per slot, straight off the transposed buffers via a
+    compiled CSC matvec segment-sum — returning standard-layout
+    ``(unique_rows, summed (U, slots, D))`` ready for the optimizer.
+    ``out`` optionally provides a persistent ``(≥U, slots, D)`` result
+    buffer and ``slot_scratch`` a persistent ``(slots, ≥U, D)``
+    accumulation buffer (zeroed in place), so a steady-state training
+    loop performs no allocation here.  Equivalent to concatenating the
+    groups in standard layout and calling :func:`scatter_accumulate`.
+    """
+    if len(index_groups) != len(grad_groups) or not index_groups:
+        raise TrainingError("need matching, non-empty index and gradient groups")
+    slots, dim = grad_groups[0].shape[0], grad_groups[0].shape[2]
+    for indices, grads in zip(index_groups, grad_groups):
+        if grads.shape != (slots, len(indices), dim):
+            raise TrainingError("gradient groups must be (slots, b_i, D) matching indices")
+    all_indices = np.concatenate(index_groups)
+    unique, inverse = np.unique(all_indices, return_inverse=True)
+    num_unique = len(unique)
+    if _csc_matvecs is None:
+        flat = np.concatenate(
+            [g.transpose(1, 0, 2).reshape(len(idx), -1) for idx, g in zip(index_groups, grad_groups)]
+        )
+        _, summed = scatter_accumulate(all_indices, flat)
+        summed = summed.reshape(num_unique, slots, dim)
+    else:
+        # One selection matrix per group: column j holds a single 1 at
+        # row inverse[j], so A @ X is exactly the segment sum; matvecs
+        # accumulate, letting every group land in the same output.
+        if slot_scratch is not None and slot_scratch.shape[1] >= num_unique:
+            per_slot = slot_scratch[:, :num_unique]
+            per_slot.fill(0.0)
+        else:
+            per_slot = np.zeros((slots, num_unique, dim), dtype=np.float64)
+        offset = 0
+        for indices, grads in zip(index_groups, grad_groups):
+            width = len(indices)
+            if width == 0:
+                continue
+            pointers = np.arange(width + 1, dtype=np.int32)
+            segment_rows = inverse[offset : offset + width].astype(np.int32)
+            ones = np.ones(width, dtype=np.float64)
+            for slot in range(slots):
+                _csc_matvecs(
+                    num_unique,
+                    width,
+                    dim,
+                    pointers,
+                    segment_rows,
+                    ones,
+                    grads[slot].reshape(-1),
+                    per_slot[slot].reshape(-1),
+                )
+            offset += width
+        summed = out[:num_unique] if out is not None else np.empty((num_unique, slots, dim))
+        np.copyto(summed, per_slot.transpose(1, 0, 2))
+        return unique, summed
+    if out is not None:
+        np.copyto(out[:num_unique], summed)
+        summed = out[:num_unique]
     return unique, summed
 
 
@@ -76,6 +242,37 @@ class Optimizer:
         """Apply one update to ``array[rows]`` in place; *rows* must be unique."""
         raise NotImplementedError
 
+    def step_sparse_fused(
+        self, name: str, array: np.ndarray, rows: np.ndarray, row_grads: np.ndarray
+    ) -> None:
+        """Hot-path variant of :meth:`step_sparse` for the fused train step.
+
+        Semantically identical to :meth:`step_sparse` (same state, same
+        update, interchangeable step by step — certified by the
+        test-suite), but implementations may overwrite ``row_grads`` and
+        stage every intermediate in persistent per-state scratch buffers
+        (:meth:`_scratch`) instead of allocating multi-megabyte
+        temporaries every step.  The base implementation simply
+        delegates, so third-party optimizers that only implement
+        :meth:`step_sparse` keep working on the fused path.
+        """
+        self.step_sparse(name, array, rows, row_grads)
+
+    def _scratch(
+        self, state: dict, key: str, rows: int, trailing: tuple[int, ...]
+    ) -> np.ndarray:
+        """A persistent ``(rows, *trailing)`` scratch block for *state*.
+
+        Grown (never shrunk) on demand; reusing the same pages step after
+        step keeps the gathered row blocks out of the allocator and the
+        page-fault path.
+        """
+        scratch = state.get(key)
+        if scratch is None or scratch.shape[0] < rows or scratch.shape[1:] != trailing:
+            scratch = np.empty((rows,) + trailing, dtype=np.float64)
+            state[key] = scratch
+        return scratch[:rows]
+
     def reset(self) -> None:
         """Drop all accumulated state (moments, step counters)."""
         self._state.clear()
@@ -91,6 +288,16 @@ class SGD(Optimizer):
         self, name: str, array: np.ndarray, rows: np.ndarray, row_grads: np.ndarray
     ) -> None:
         array[rows] -= self.learning_rate * row_grads
+
+    def step_sparse_fused(
+        self, name: str, array: np.ndarray, rows: np.ndarray, row_grads: np.ndarray
+    ) -> None:
+        state = self._ensure_state(name, array)
+        updated = self._scratch(state, "scratch_rows", len(rows), array.shape[1:])
+        np.take(array, rows, axis=0, out=updated)
+        row_grads *= self.learning_rate
+        updated -= row_grads
+        array[rows] = updated
 
 
 class Adagrad(Optimizer):
@@ -116,6 +323,32 @@ class Adagrad(Optimizer):
         accum = state["accum"]
         accum[rows] += np.square(row_grads)
         array[rows] -= self.learning_rate * row_grads / (np.sqrt(accum[rows]) + self.eps)
+
+    def step_sparse_fused(
+        self, name: str, array: np.ndarray, rows: np.ndarray, row_grads: np.ndarray
+    ) -> None:
+        state = self._ensure_state(name, array)
+        trailing = array.shape[1:]
+        block = _FUSED_UPDATE_BLOCK_ROWS
+        accum_scratch = self._scratch(state, "scratch_accum", min(block, len(rows)), trailing)
+        row_scratch = self._scratch(state, "scratch_rows", min(block, len(rows)), trailing)
+        accum = state["accum"]
+        for start in range(0, len(rows), block):
+            rows_b = rows[start : start + block]
+            grads_b = row_grads[start : start + block]
+            accum_b = accum_scratch[: len(rows_b)]
+            updated = row_scratch[: len(rows_b)]
+            np.take(accum, rows_b, axis=0, out=accum_b)
+            np.square(grads_b, out=updated)
+            accum_b += updated
+            accum[rows_b] = accum_b
+            np.sqrt(accum_b, out=accum_b)
+            accum_b += self.eps
+            np.divide(grads_b, accum_b, out=grads_b)
+            grads_b *= self.learning_rate
+            np.take(array, rows_b, axis=0, out=updated)
+            updated -= grads_b
+            array[rows_b] = updated
 
 
 class Adam(Optimizer):
@@ -179,6 +412,52 @@ class Adam(Optimizer):
         c1 = (1.0 - self.beta1**steps).reshape(correction_shape)
         c2 = (1.0 - self.beta2**steps).reshape(correction_shape)
         array[rows] -= self.learning_rate * (m_rows / c1) / (np.sqrt(v_rows / c2) + self.eps)
+
+    def step_sparse_fused(
+        self, name: str, array: np.ndarray, rows: np.ndarray, row_grads: np.ndarray
+    ) -> None:
+        state = self._ensure_state(name, array)
+        rows = np.asarray(rows, dtype=np.int64)
+        row_steps = state["row_steps"]
+        row_steps[rows] += 1
+        steps = row_steps[rows].astype(np.float64)
+        m, v = state["m"], state["v"]
+        trailing = array.shape[1:]
+        block = _FUSED_UPDATE_BLOCK_ROWS
+        m_scratch = self._scratch(state, "scratch_m", min(block, len(rows)), trailing)
+        v_scratch = self._scratch(state, "scratch_v", min(block, len(rows)), trailing)
+        g_scratch = self._scratch(state, "scratch_g", min(block, len(rows)), trailing)
+        correction_shape = (-1,) + (1,) * (array.ndim - 1)
+        for start in range(0, len(rows), block):
+            rows_b = rows[start : start + block]
+            grads_b = row_grads[start : start + block]
+            width = len(rows_b)
+            m_rows, v_rows, scaled = m_scratch[:width], v_scratch[:width], g_scratch[:width]
+            np.take(m, rows_b, axis=0, out=m_rows)
+            np.take(v, rows_b, axis=0, out=v_rows)
+            m_rows *= self.beta1
+            np.multiply(grads_b, 1.0 - self.beta1, out=scaled)
+            m_rows += scaled
+            np.square(grads_b, out=grads_b)
+            grads_b *= 1.0 - self.beta2
+            v_rows *= self.beta2
+            v_rows += grads_b
+            m[rows_b] = m_rows
+            v[rows_b] = v_rows
+            # lr·(m/c1)/(√(v/c2)+ε) = m·(lr·√c2/c1)/(√v + ε·√c2): folding
+            # the bias corrections into per-row scalars saves two
+            # full-width passes.
+            steps_b = steps[start : start + block]
+            c1 = (1.0 - self.beta1**steps_b).reshape(correction_shape)
+            sqrt_c2 = np.sqrt(1.0 - self.beta2**steps_b).reshape(correction_shape)
+            np.sqrt(v_rows, out=v_rows)
+            v_rows += self.eps * sqrt_c2
+            np.divide(m_rows, v_rows, out=m_rows)
+            m_rows *= self.learning_rate * sqrt_c2 / c1
+            updated = scaled
+            np.take(array, rows_b, axis=0, out=updated)
+            updated -= m_rows
+            array[rows_b] = updated
 
 
 OPTIMIZERS = {"sgd": SGD, "adagrad": Adagrad, "adam": Adam}

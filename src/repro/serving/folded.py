@@ -71,12 +71,9 @@ class RelationFoldedScorer:
         version = self.model.scoring_version
         if not force and self._folded is not None and version == self._version:
             return False
-        self._folded = np.einsum(
-            "ijk,rkd->rijd",
-            self.model.omega,
-            self.model.relation_embeddings,
-            optimize=True,
-        )
+        # The compiled kernel folds from ω's nonzero terms only (the dense
+        # kernel keeps the einsum, with its contraction path cached).
+        self._folded = self.model.kernel.fold_relations(self.model.relation_embeddings)
         self._version = version
         return True
 

@@ -128,6 +128,12 @@ class Trainer:
             logger.on_epoch(record, model.name)
             epochs_run = epoch
 
+        # Free the fused train step's per-batch scratch before the model
+        # moves on to serving/evaluation-only use.
+        release = getattr(model, "release_training_buffers", None)
+        if release is not None:
+            release()
+
         return TrainingResult(
             model=model,
             history=history,

@@ -69,3 +69,68 @@ class TestKGEModelBase:
                 return 0.0
 
         assert Minimal().parameter_count() == 0
+
+
+class TestDefaultCandidateFallback:
+    """The flattened-grid default must match per-column scoring, blocked or not."""
+
+    @pytest.fixture
+    def er_mlp_style_model(self, rng):
+        # A model WITHOUT a score_candidates override exercises the base
+        # fallback; build one by deleting the subclass fast path.
+        model = make_model(W.CPH, 40, 5, rng, dim=4)
+
+        class BaseOnly(KGEModel):
+            name = "base-only"
+            num_entities = model.num_entities
+            num_relations = model.num_relations
+
+            def score_triples(self, heads, tails, relations):
+                return model.score_triples(heads, tails, relations)
+
+            def score_all_tails(self, heads, relations):
+                return model.score_all_tails(heads, relations)
+
+            def score_all_heads(self, tails, relations):
+                return model.score_all_heads(tails, relations)
+
+            def train_step(self, positives, negatives, optimizer):
+                raise NotImplementedError
+
+        return BaseOnly()
+
+    @pytest.mark.parametrize("side", ["tail", "head"])
+    def test_matches_per_column_loop(self, er_mlp_style_model, side, rng):
+        model = er_mlp_style_model
+        anchors = rng.integers(0, 40, 6)
+        relations = rng.integers(0, 5, 6)
+        candidates = rng.integers(0, 40, (6, 9))
+        expected = np.empty((6, 9))
+        for col in range(9):
+            column = candidates[:, col]
+            if side == "tail":
+                expected[:, col] = model.score_triples(anchors, column, relations)
+            else:
+                expected[:, col] = model.score_triples(column, anchors, relations)
+        got = model.score_candidates(anchors, relations, candidates, side=side)
+        assert np.allclose(got, expected, atol=1e-12)
+
+    def test_wide_grids_are_blocked(self, er_mlp_style_model, rng, monkeypatch):
+        import repro.core.base as base
+
+        monkeypatch.setattr(base, "CANDIDATE_BLOCK_TRIPLES", 8)  # force many blocks
+        model = er_mlp_style_model
+        anchors = rng.integers(0, 40, 5)
+        relations = rng.integers(0, 5, 5)
+        candidates = rng.integers(0, 40, (5, 13))
+        blocked = model.score_candidates(anchors, relations, candidates)
+        monkeypatch.setattr(base, "CANDIDATE_BLOCK_TRIPLES", 65536)
+        assert np.allclose(
+            blocked, model.score_candidates(anchors, relations, candidates), atol=1e-12
+        )
+
+    def test_empty_candidate_set(self, er_mlp_style_model):
+        out = er_mlp_style_model.score_candidates(
+            np.array([1, 2]), np.array([0, 1]), np.zeros((2, 0), dtype=np.int64)
+        )
+        assert out.shape == (2, 0)

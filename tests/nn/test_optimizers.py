@@ -139,3 +139,126 @@ class TestFactory:
     def test_unknown_raises(self):
         with pytest.raises(ConfigError, match="unknown optimizer"):
             make_optimizer("rmsprop", 0.1)
+
+
+class TestScatterAccumulate:
+    """The fast scatter paths must match the aggregate_rows oracle."""
+
+    def test_matches_oracle_with_duplicates(self, rng=np.random.default_rng(0)):
+        from repro.nn.optimizers import scatter_accumulate
+
+        indices = rng.integers(0, 12, 200)
+        grads = rng.normal(size=(200, 3, 4))
+        rows, summed = scatter_accumulate(indices, grads)
+        rows_ref, summed_ref = aggregate_rows(indices, grads)
+        assert np.array_equal(rows, rows_ref)
+        assert np.allclose(summed, summed_ref, atol=1e-12)
+
+    def test_no_duplicates_is_pure_permutation(self):
+        from repro.nn.optimizers import scatter_accumulate
+
+        indices = np.array([7, 1, 4])
+        grads = np.array([[1.0], [2.0], [3.0]])
+        rows, summed = scatter_accumulate(indices, grads)
+        assert rows.tolist() == [1, 4, 7]
+        assert summed.ravel().tolist() == [2.0, 3.0, 1.0]
+
+    def test_empty_batch(self):
+        from repro.nn.optimizers import scatter_accumulate
+
+        rows, summed = scatter_accumulate(np.array([], dtype=np.int64), np.zeros((0, 2)))
+        assert len(rows) == 0 and summed.shape == (0, 2)
+
+    def test_mismatched_lengths_raise(self):
+        from repro.nn.optimizers import scatter_accumulate
+
+        with pytest.raises(TrainingError):
+            scatter_accumulate(np.array([0]), np.ones((2, 3)))
+
+    def test_transposed_groups_match_oracle(self, rng=np.random.default_rng(1)):
+        from repro.nn.optimizers import scatter_accumulate_transposed
+
+        heads = rng.integers(0, 9, 40)
+        tails = rng.integers(0, 9, 55)
+        grad_h = rng.normal(size=(2, 40, 3))
+        grad_t = rng.normal(size=(2, 55, 3))
+        rows, summed = scatter_accumulate_transposed((heads, tails), (grad_h, grad_t))
+        flat = np.concatenate([grad_h.transpose(1, 0, 2), grad_t.transpose(1, 0, 2)])
+        rows_ref, summed_ref = aggregate_rows(np.concatenate([heads, tails]), flat)
+        assert np.array_equal(rows, rows_ref)
+        assert np.allclose(summed, summed_ref, atol=1e-12)
+
+    def test_transposed_out_buffer_is_used(self, rng=np.random.default_rng(2)):
+        from repro.nn.optimizers import scatter_accumulate_transposed
+
+        indices = rng.integers(0, 5, 30)
+        grads = rng.normal(size=(1, 30, 2))
+        out = np.empty((10, 1, 2))
+        rows, summed = scatter_accumulate_transposed((indices,), (grads,), out=out)
+        assert summed.base is out
+        _, reference = scatter_accumulate_transposed((indices,), (grads,))
+        assert np.allclose(summed, reference, atol=1e-12)
+
+    def test_transposed_shape_validation(self):
+        from repro.nn.optimizers import scatter_accumulate_transposed
+
+        with pytest.raises(TrainingError):
+            scatter_accumulate_transposed((np.array([0, 1]),), (np.zeros((2, 3, 4)),))
+
+
+class TestFusedSparseSteps:
+    """step_sparse_fused must be interchangeable with step_sparse."""
+
+    @pytest.mark.parametrize("name", ["sgd", "adagrad", "adam"])
+    def test_matches_reference_across_steps(self, name, rng=np.random.default_rng(3)):
+        reference = make_optimizer(name, 0.1)
+        fused = make_optimizer(name, 0.1)
+        theta_ref = rng.normal(size=(700, 2, 3))
+        theta_fused = theta_ref.copy()
+        for _ in range(4):
+            # > _FUSED_UPDATE_BLOCK_ROWS unique rows to cover multi-block
+            rows = np.unique(rng.integers(0, 700, 600))
+            grads = rng.normal(size=(len(rows), 2, 3))
+            reference.step_sparse("p", theta_ref, rows, grads.copy())
+            fused.step_sparse_fused("p", theta_fused, rows, grads.copy())
+            assert np.allclose(theta_ref, theta_fused, atol=1e-12)
+
+    def test_adam_fused_tracks_per_row_steps(self):
+        reference = Adam(learning_rate=0.05)
+        fused = Adam(learning_rate=0.05)
+        theta_ref = np.zeros((3, 2))
+        theta_fused = np.zeros((3, 2))
+        g = np.ones((1, 2))
+        # row 0 stepped twice, row 2 once: bias corrections must differ per row
+        for rows in ([0], [0, 2]):
+            reference.step_sparse("p", theta_ref, np.array(rows), np.ones((len(rows), 2)))
+            fused.step_sparse_fused("p", theta_fused, np.array(rows), np.ones((len(rows), 2)))
+        assert np.allclose(theta_ref, theta_fused, atol=1e-12)
+        assert fused._state["p"]["row_steps"].tolist() == [2, 0, 1]
+
+    def test_fused_clobber_contract(self, rng=np.random.default_rng(4)):
+        # step_sparse_fused may overwrite row_grads: callers must not reuse them
+        fused = make_optimizer("adagrad", 0.1)
+        theta = rng.normal(size=(10, 2))
+        grads = rng.normal(size=(10, 2))
+        kept = grads.copy()
+        fused.step_sparse_fused("p", theta, np.arange(10), grads)
+        assert not np.allclose(grads, kept)
+
+    def test_base_class_delegates_to_step_sparse(self):
+        class Recording(SGD):
+            def __init__(self):
+                super().__init__(0.1)
+                self.calls = []
+
+            def step_sparse(self, name, array, rows, row_grads):
+                self.calls.append(name)
+                super().step_sparse(name, array, rows, row_grads)
+
+        # an optimizer that only implements step_sparse still works fused
+        from repro.nn.optimizers import Optimizer
+
+        opt = Recording()
+        theta = np.ones((4, 2))
+        Optimizer.step_sparse_fused(opt, "p", theta, np.array([1]), np.ones((1, 2)))
+        assert opt.calls == ["p"]

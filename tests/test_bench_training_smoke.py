@@ -1,0 +1,74 @@
+"""Tier-1 smoke run of the training-throughput benchmark.
+
+Runs ``benchmarks/bench_training_throughput.py`` at toy scale: the JSON
+payload must have the documented schema and the kernel engine must match
+the dense oracle to 1e-10 for every model class.  Throughput assertions
+belong to the slow full-scale run only.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = Path(__file__).parent.parent / "benchmarks" / "bench_training_throughput.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_training_throughput", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def smoke_results(bench_module, tmp_path_factory):
+    json_path = tmp_path_factory.mktemp("bench") / "BENCH_training.json"
+    results = bench_module.run_benchmark(fast=True, json_path=json_path)
+    return results, json_path
+
+
+def test_json_written_with_schema(smoke_results, bench_module):
+    results, json_path = smoke_results
+    on_disk = json.loads(json_path.read_text(encoding="utf-8"))
+    assert on_disk["config"]["fast"] is True
+    assert set(on_disk["models"]) == set(bench_module.MODEL_BUILDERS)
+    for row in on_disk["models"].values():
+        for key in (
+            "kernel_mode",
+            "kernel_triples_per_sec",
+            "dense_triples_per_sec",
+            "speedup",
+            "max_score_delta",
+            "max_param_delta_after_2_steps",
+        ):
+            assert key in row
+        assert row["kernel_triples_per_sec"] > 0
+        assert row["dense_triples_per_sec"] > 0
+
+
+def test_kernel_matches_dense_oracle(smoke_results):
+    results, _ = smoke_results
+    for name, row in results["models"].items():
+        assert row["max_score_delta"] < 1e-10, name
+        assert row["max_loss_delta"] < 1e-10, name
+        assert row["max_param_delta_after_2_steps"] < 1e-10, name
+
+
+def test_expected_kernel_modes(smoke_results):
+    results, _ = smoke_results
+    modes = {name: row["kernel_mode"] for name, row in results["models"].items()}
+    assert modes["quaternion"] == "sparse"
+    assert modes["cph"] == "sparse"
+    assert modes["learned"] == "dense"  # dense ω falls back to the einsum kernel
+
+
+def test_format_results_renders_table(smoke_results, bench_module):
+    results, _ = smoke_results
+    table = bench_module.format_results(results)
+    assert "speedup" in table
+    assert "quaternion" in table

@@ -104,3 +104,80 @@ class TestBernoulliSampler:
         sampler = BernoulliNegativeSampler(train, num_negatives=2)
         negatives = sampler.corrupt(np.array([[0, 1, 0]]), rng)
         assert negatives.shape == (2, 3)
+
+
+class TestVectorisedCorruption:
+    """The single-draw vectorised corrupt paths (no loop over rounds)."""
+
+    def test_row_major_round_ordering(self, rng):
+        # Negative i*b + j must corrupt positive j: each b-sized block is a
+        # full corrupted copy of the positive batch.
+        positives = np.column_stack([
+            np.arange(10), np.arange(10, 20), np.tile(np.arange(2), 5)
+        ])
+        sampler = UniformNegativeSampler(num_entities=50, num_negatives=4)
+        negatives = sampler.corrupt(positives, rng)
+        assert negatives.shape == (40, 3)
+        for round_index in range(4):
+            block = negatives[round_index * 10 : (round_index + 1) * 10]
+            same_head = block[:, 0] == positives[:, 0]
+            same_tail = block[:, 1] == positives[:, 1]
+            assert np.array_equal(block[:, 2], positives[:, 2])
+            assert np.all(same_head ^ same_tail)
+
+    def test_bernoulli_multi_round_ordering_and_rate(self, rng):
+        rows = [[0, t, 0] for t in range(1, 9)]
+        train = TripleSet(rows, 10, 1)
+        sampler = BernoulliNegativeSampler(train, num_negatives=3)
+        positives = np.tile(np.array([[0, 1, 0]]), (500, 1))
+        negatives = sampler.corrupt(positives, rng)
+        assert negatives.shape == (1500, 3)
+        # every round keeps the relation and obeys the skewed head rate
+        for round_index in range(3):
+            block = negatives[round_index * 500 : (round_index + 1) * 500]
+            assert np.array_equal(block[:, 2], positives[:, 2])
+            assert np.mean(block[:, 0] != 0) > 0.8
+
+    def test_rounds_are_independent_draws(self, rng):
+        positives = np.tile(np.array([[3, 7, 0]]), (200, 1))
+        sampler = UniformNegativeSampler(num_entities=1000, num_negatives=2)
+        negatives = sampler.corrupt(positives, rng)
+        first, second = negatives[:200], negatives[200:]
+        # with 1000 entities two identical rounds would be astronomical
+        assert not np.array_equal(first, second)
+
+
+class TestBernoulliBincountProbabilities:
+    """The O(T) bincount computation must match the per-relation loop."""
+
+    @staticmethod
+    def _loop_reference(train: TripleSet) -> np.ndarray:
+        probs = np.full(train.num_relations, 0.5, dtype=np.float64)
+        arr = train.array
+        for relation in range(train.num_relations):
+            sub = arr[arr[:, 2] == relation]
+            if len(sub) == 0:
+                continue
+            tails_per_head = len(sub) / len(np.unique(sub[:, 0]))
+            heads_per_tail = len(sub) / len(np.unique(sub[:, 1]))
+            probs[relation] = tails_per_head / (tails_per_head + heads_per_tail)
+        return probs
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 4), st.integers(1, 120))
+    def test_property_matches_loop_reference(self, seed, num_triples):
+        rng = np.random.default_rng(seed)
+        num_entities, num_relations = 15, 6
+        rows = np.column_stack([
+            rng.integers(0, num_entities, num_triples),
+            rng.integers(0, num_entities, num_triples),
+            rng.integers(0, num_relations, num_triples),
+        ])
+        train = TripleSet(rows, num_entities, num_relations)
+        fast = BernoulliNegativeSampler._head_probabilities(train)
+        assert np.allclose(fast, self._loop_reference(train), atol=1e-12)
+
+    def test_empty_train_set_defaults_to_half(self):
+        train = TripleSet(np.zeros((0, 3), dtype=np.int64), 5, 3)
+        probs = BernoulliNegativeSampler._head_probabilities(train)
+        assert np.allclose(probs, 0.5)
