@@ -1,5 +1,8 @@
 """Quickstart: train ComplEx on a synthetic WN18-like graph and evaluate.
 
+This walks the library API step by step (dataset → model → trainer →
+evaluator); see ``examples/pipeline_quickstart.py`` for the same journey
+as one declarative ``RunConfig`` through the unified run pipeline.
 Runs in well under a minute on a laptop:
 
     python examples/quickstart.py

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: byte-compile the library, then run the tier-1 suite
+# (the repo's canonical `python -m pytest -x -q` over tests/).
+#
+#   scripts/ci.sh               # full tier-1 run
+#   scripts/ci.sh -m pipeline   # extra pytest args are forwarded
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"

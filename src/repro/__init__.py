@@ -45,6 +45,16 @@ from repro.kg import (
     augment_with_inverses,
     generate_synthetic_kg,
 )
+from repro.pipeline import (
+    Registry,
+    RunConfig,
+    RunResult,
+    evaluate_run,
+    load_run,
+    run_pipeline,
+    serve_run,
+    sweep,
+)
 from repro.serving import BatchedScorer, LinkPredictor, TopKResult
 from repro.training import Trainer, TrainingConfig, TrainingResult, train_model
 
@@ -60,6 +70,9 @@ __all__ = [
     "LinkPredictor",
     "MultiEmbeddingModel",
     "RankingMetrics",
+    "Registry",
+    "RunConfig",
+    "RunResult",
     "TopKResult",
     "ReproError",
     "SyntheticKGConfig",
@@ -72,8 +85,10 @@ __all__ = [
     "__version__",
     "analyze_weight_vector",
     "augment_with_inverses",
+    "evaluate_run",
     "generate_synthetic_kg",
     "get_preset",
+    "load_run",
     "make_complex",
     "make_cp",
     "make_cph",
@@ -82,5 +97,8 @@ __all__ = [
     "make_model",
     "make_quaternion",
     "parity_dim",
+    "run_pipeline",
+    "serve_run",
+    "sweep",
     "train_model",
 ]

@@ -4,10 +4,16 @@ Commands
 --------
 * ``generate`` — write a synthetic WN18-like dataset directory.
 * ``inspect``  — dataset statistics and relation-pattern report.
-* ``train``    — train a model (preset name) and report link-prediction metrics.
-* ``predict``  — top-k link prediction from a saved checkpoint.
+* ``train``    — train a model (registry name or ``--config`` JSON) and
+  report link-prediction metrics; ``--run-dir`` persists a resumable run.
+* ``predict``  — top-k link prediction from a checkpoint or ``--run-dir``.
 * ``table``    — regenerate paper Table 2, 3 or 4 end-to-end.
 * ``weights``  — list ω presets with their §6.1.2 property analysis.
+
+Every command goes through the unified run pipeline
+(:mod:`repro.pipeline`): model choices come from the component
+registries, and ``--config``/``--run-dir`` expose the declarative
+:class:`~repro.pipeline.config.RunConfig` / run-artifact layer.
 """
 
 from __future__ import annotations
@@ -21,14 +27,19 @@ import numpy as np
 from repro.core.models import MODEL_FACTORIES
 from repro.core.properties import analyze_weight_vector
 from repro.core.weights import PRESETS
-from repro.errors import ReproError
-from repro.eval.evaluator import LinkPredictionEvaluator
-from repro.kg.graph import KGDataset
+from repro.errors import ConfigError, ReproError
 from repro.kg.io import load_dataset_directory, save_dataset_directory
 from repro.kg.patterns import analyze_relations, inverse_leakage
 from repro.kg.stats import compute_stats
 from repro.kg.synthetic import SyntheticKGConfig, generate_synthetic_kg
-from repro.training.trainer import Trainer, TrainingConfig
+from repro.pipeline.config import (
+    DatasetSection,
+    EvalSection,
+    ModelSection,
+    RunConfig,
+    TrainingSection,
+)
+from repro.pipeline.runner import run_pipeline
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,7 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
     insp.add_argument("dataset", help="dataset directory (train/valid/test files)")
 
     train = sub.add_parser("train", help="train a model and report metrics")
-    train.add_argument("model", choices=sorted(MODEL_FACTORIES), help="model preset")
+    # Choices come straight from the model-factory registry, so newly
+    # registered models are immediately trainable from the CLI.
+    train.add_argument("model", nargs="?", choices=sorted(MODEL_FACTORIES),
+                       help="registered model name (optional with --config)")
+    train.add_argument("--config", help="RunConfig JSON file; replaces the flag-based "
+                                        "dataset/model/training setup below")
+    train.add_argument("--run-dir", help="directory to persist the run "
+                                         "(config + checkpoint + history + metrics)")
     train.add_argument("--dataset", help="dataset directory; synthetic if omitted")
     train.add_argument("--entities", type=int, default=800, help="synthetic dataset size")
     train.add_argument("--total-dim", type=int, default=64)
@@ -58,16 +76,26 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--learning-rate", type=float, default=0.02)
     train.add_argument("--regularization", type=float, default=3e-3)
     train.add_argument("--negatives", type=int, default=1)
+    train.add_argument("--sampler", default="uniform",
+                       help="negative sampler registry name (uniform, bernoulli)")
+    train.add_argument("--optimizer", default="adam",
+                       help="optimizer registry name (sgd, adagrad, adam)")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--quiet", action="store_true")
     train.add_argument("--save", help="directory to write the trained model checkpoint")
     train.add_argument("--per-relation", action="store_true",
                        help="also print per-relation test metrics")
 
-    pred = sub.add_parser("predict", help="top-k link prediction from a saved checkpoint")
-    pred.add_argument("checkpoint", help="model checkpoint directory (written by train --save)")
-    pred.add_argument("--dataset", required=True,
-                      help="dataset directory supplying vocabularies and the filter index")
+    pred = sub.add_parser("predict", help="top-k link prediction from a saved checkpoint "
+                                          "or pipeline run directory")
+    pred.add_argument("checkpoint", nargs="?",
+                      help="model checkpoint directory (written by train --save); "
+                           "optional with --run-dir")
+    pred.add_argument("--run-dir", help="pipeline run directory written by train --run-dir; "
+                                        "supplies the checkpoint and (synthetic) dataset")
+    pred.add_argument("--dataset",
+                      help="dataset directory supplying vocabularies and the filter index "
+                           "(optional with --run-dir)")
     pred.add_argument("--head", help="head entity name (omit to predict heads)")
     pred.add_argument("--relation", help="relation name (omit to predict relations)")
     pred.add_argument("--tail", help="tail entity name (omit to predict tails)")
@@ -81,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     table = sub.add_parser("table", help="regenerate a paper table (2, 3 or 4)")
     table.add_argument("number", type=int, choices=(2, 3, 4))
+    table.add_argument("--config", help="RunConfig JSON file supplying the shared "
+                                        "dataset/training setup for every row")
+    table.add_argument("--run-dir", help="root directory; each table row is persisted "
+                                         "as a reloadable run under it")
     table.add_argument("--entities", type=int, default=800)
     table.add_argument("--total-dim", type=int, default=64)
     table.add_argument("--epochs", type=int, default=300)
@@ -88,16 +120,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_or_generate(args: argparse.Namespace) -> KGDataset:
+def _dataset_section(args: argparse.Namespace) -> DatasetSection:
+    """The dataset section implied by ``--dataset``/``--entities``/``--seed``."""
     if args.dataset:
-        return load_dataset_directory(args.dataset)
-    config = SyntheticKGConfig(
-        num_entities=args.entities,
-        num_clusters=max(1, args.entities // 20),
-        num_domains=max(1, args.entities // 100),
+        return DatasetSection(generator="directory", params={"path": args.dataset})
+    return DatasetSection(
+        generator="synthetic_wn18",
+        params={
+            "num_entities": args.entities,
+            "num_clusters": max(1, args.entities // 20),
+            "num_domains": max(1, args.entities // 100),
+            "seed": args.seed,
+        },
+    )
+
+
+def _train_run_config(args: argparse.Namespace) -> RunConfig:
+    """Resolve the train command's RunConfig (flag-based or ``--config``)."""
+    if args.config:
+        config = RunConfig.load(args.config)
+        if args.model:
+            data = config.to_dict()
+            data["model"]["name"] = args.model
+            config = RunConfig.from_dict(data)
+        return config
+    if not args.model:
+        raise ConfigError("train needs a registered model name or --config FILE")
+    return RunConfig(
+        dataset=_dataset_section(args),
+        model=ModelSection(
+            name=args.model,
+            total_dim=args.total_dim,
+            regularization=args.regularization,
+            init_seed=args.seed,
+        ),
+        training=TrainingSection(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            optimizer=args.optimizer,
+            num_negatives=args.negatives,
+            negative_sampler=args.sampler,
+            verbose=not args.quiet,
+        ),
+        evaluation=EvalSection(),
         seed=args.seed,
     )
-    return generate_synthetic_kg(config)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -130,27 +198,10 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    dataset = _load_or_generate(args)
-    rng = np.random.default_rng(args.seed)
-    factory = MODEL_FACTORIES[args.model]
-    model = factory(
-        dataset.num_entities,
-        dataset.num_relations,
-        total_dim=args.total_dim,
-        rng=rng,
-        regularization=args.regularization,
-    )
-    config = TrainingConfig(
-        epochs=args.epochs,
-        batch_size=args.batch_size,
-        learning_rate=args.learning_rate,
-        num_negatives=args.negatives,
-        seed=args.seed,
-        verbose=not args.quiet,
-    )
-    result = Trainer(dataset, config).train(model)
-    evaluation = LinkPredictionEvaluator(dataset).evaluate(model, split="test")
-    metrics = evaluation.overall
+    config = _train_run_config(args)
+    result = run_pipeline(config, run_dir=args.run_dir)
+    model, dataset = result.model, result.dataset
+    metrics = result.test_metrics
     print(f"\n{model.name} on {dataset.name} (epochs run: {result.epochs_run})")
     print(f"MRR     {metrics.mrr:.3f}")
     print(f"MR      {metrics.mr:.1f}")
@@ -162,6 +213,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         results = evaluate_per_relation(model, dataset, split="test")
         if results:
             print("\n" + format_per_relation_table(results))
+    if args.run_dir:
+        print(f"\nrun artifacts written to {args.run_dir}")
     if args.save:
         from repro.core.serialization import save_model
 
@@ -175,8 +228,21 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.errors import ServingError
     from repro.serving import LinkPredictor
 
-    model = load_model(args.checkpoint)
-    dataset = load_dataset_directory(args.dataset)
+    if args.run_dir:
+        from repro.pipeline.runner import load_run
+
+        loaded = load_run(args.run_dir)
+        model = loaded.model
+        dataset = (
+            load_dataset_directory(args.dataset) if args.dataset else loaded.build_dataset()
+        )
+    else:
+        if not args.checkpoint:
+            raise ConfigError("predict needs a checkpoint directory or --run-dir")
+        if not args.dataset:
+            raise ConfigError("predict needs --dataset when not using --run-dir")
+        model = load_model(args.checkpoint)
+        dataset = load_dataset_directory(args.dataset)
     if model.num_entities != dataset.num_entities or (
         model.num_relations != dataset.num_relations
     ):
@@ -208,34 +274,40 @@ def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentSettings, build_dataset, format_table
     from repro.paper_tables import run_table2, run_table3, run_table4
 
-    settings = ExperimentSettings(
-        dataset_config=SyntheticKGConfig(
-            num_entities=args.entities,
-            num_clusters=max(1, args.entities // 20),
-            num_domains=max(1, args.entities // 100),
-            seed=7,
-        ),
-        total_dim=args.total_dim,
-        epochs=args.epochs,
-        seed=args.seed,
-    )
+    if args.config:
+        settings = ExperimentSettings.from_run_config(RunConfig.load(args.config))
+    else:
+        settings = ExperimentSettings(
+            dataset_config=SyntheticKGConfig(
+                num_entities=args.entities,
+                num_clusters=max(1, args.entities // 20),
+                num_domains=max(1, args.entities // 100),
+                seed=7,
+            ),
+            total_dim=args.total_dim,
+            epochs=args.epochs,
+            seed=args.seed,
+        )
     dataset = build_dataset(settings)
+    run_root = args.run_dir
     if args.number == 2:
-        rows = run_table2(dataset, settings)
+        rows = run_table2(dataset, settings, run_root=run_root)
         print(format_table(f"Table 2: derived weight vectors on {dataset.name}", rows))
     elif args.number == 3:
-        rows, learned = run_table3(dataset, settings)
+        rows, learned = run_table3(dataset, settings, run_root=run_root)
         print(format_table(f"Table 3: auto-learned weight vectors on {dataset.name}", rows))
         print("\nlearned omega snapshots:")
         for label, omega in learned.items():
             values = ", ".join(f"{v:+.2f}" for v in omega.flatten())
             print(f"  {label:<42} ({values})")
     else:
-        quaternion_row, complex_row = run_table4(dataset, settings)
+        quaternion_row, complex_row = run_table4(dataset, settings, run_root=run_root)
         print(format_table(
             f"Table 4: quaternion four-embedding on {dataset.name}",
             [quaternion_row, complex_row],
         ))
+    if run_root:
+        print(f"\nper-row run artifacts written under {run_root}")
     return 0
 
 

@@ -17,6 +17,14 @@ from repro.core.learned import LearnedWeightModel
 from repro.core.weights import WeightVector, get_preset
 from repro.errors import ConfigError
 from repro.nn.regularizers import DirichletSparsityRegularizer
+from repro.pipeline.registry import Registry
+
+#: Model factory registry.  Every factory takes
+#: ``(num_entities, num_relations, total_dim, rng, **kwargs)`` and returns
+#: a trainable model; registering a new factory here makes it available to
+#: the CLI ``train`` command, :class:`~repro.pipeline.config.RunConfig`,
+#: and sweeps automatically.
+MODEL_FACTORIES: Registry = Registry("model")
 
 
 def parity_dim(total_dim: int, weights: WeightVector) -> int:
@@ -71,6 +79,7 @@ def make_model(
     )
 
 
+@MODEL_FACTORIES.register("distmult")
 def make_distmult(
     num_entities: int,
     num_relations: int,
@@ -91,6 +100,7 @@ def make_distmult(
     return model
 
 
+@MODEL_FACTORIES.register("complex")
 def make_complex(
     num_entities: int,
     num_relations: int,
@@ -102,6 +112,7 @@ def make_complex(
     return make_model(W.COMPLEX, num_entities, num_relations, rng, total_dim=total_dim, **kwargs)
 
 
+@MODEL_FACTORIES.register("cp")
 def make_cp(
     num_entities: int,
     num_relations: int,
@@ -113,6 +124,7 @@ def make_cp(
     return make_model(W.CP, num_entities, num_relations, rng, total_dim=total_dim, **kwargs)
 
 
+@MODEL_FACTORIES.register("cph")
 def make_cph(
     num_entities: int,
     num_relations: int,
@@ -130,6 +142,7 @@ def make_cph(
     return make_model(W.CPH, num_entities, num_relations, rng, total_dim=total_dim, **kwargs)
 
 
+@MODEL_FACTORIES.register("quaternion")
 def make_quaternion(
     num_entities: int,
     num_relations: int,
@@ -145,6 +158,7 @@ def make_quaternion(
     return model
 
 
+@MODEL_FACTORIES.register("learned")
 def make_learned_weight_model(
     num_entities: int,
     num_relations: int,
@@ -181,11 +195,3 @@ def make_learned_weight_model(
     )
 
 
-#: Factory registry for the CLI and benchmarks.
-MODEL_FACTORIES = {
-    "distmult": make_distmult,
-    "complex": make_complex,
-    "cp": make_cp,
-    "cph": make_cph,
-    "quaternion": make_quaternion,
-}

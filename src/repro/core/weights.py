@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.algebra.quaternion import quaternion_weight_tensor
 from repro.errors import ConfigError
+from repro.pipeline.registry import Registry
 
 
 @dataclass(frozen=True)
@@ -153,33 +154,34 @@ QUATERNION = WeightVector("Quaternion", quaternion_weight_tensor())
 #: One-embedding special case: DistMult expressed with n = 1.
 DISTMULT_N1 = WeightVector("DistMult(n=1)", np.ones((1, 1, 1)))
 
-#: Registry of all named presets, keyed by a lowercase identifier.
-PRESETS: dict[str, WeightVector] = {
-    "distmult": DISTMULT,
-    "complex": COMPLEX,
-    "complex_equiv_1": COMPLEX_EQUIV_1,
-    "complex_equiv_2": COMPLEX_EQUIV_2,
-    "complex_equiv_3": COMPLEX_EQUIV_3,
-    "cp": CP,
-    "cph": CPH,
-    "cph_equiv": CPH_EQUIV,
-    "bad_example_1": BAD_EXAMPLE_1,
-    "bad_example_2": BAD_EXAMPLE_2,
-    "good_example_1": GOOD_EXAMPLE_1,
-    "good_example_2": GOOD_EXAMPLE_2,
-    "uniform": UNIFORM,
-    "quaternion": QUATERNION,
-    "distmult_n1": DISTMULT_N1,
-}
+#: Registry of all named presets, keyed by a lowercase identifier.  New ω
+#: presets registered here are immediately usable as model names in
+#: :class:`~repro.pipeline.config.RunConfig` and the CLI.
+PRESETS: Registry = Registry("weight preset")
+for _key, _preset in (
+    ("distmult", DISTMULT),
+    ("complex", COMPLEX),
+    ("complex_equiv_1", COMPLEX_EQUIV_1),
+    ("complex_equiv_2", COMPLEX_EQUIV_2),
+    ("complex_equiv_3", COMPLEX_EQUIV_3),
+    ("cp", CP),
+    ("cph", CPH),
+    ("cph_equiv", CPH_EQUIV),
+    ("bad_example_1", BAD_EXAMPLE_1),
+    ("bad_example_2", BAD_EXAMPLE_2),
+    ("good_example_1", GOOD_EXAMPLE_1),
+    ("good_example_2", GOOD_EXAMPLE_2),
+    ("uniform", UNIFORM),
+    ("quaternion", QUATERNION),
+    ("distmult_n1", DISTMULT_N1),
+):
+    PRESETS.register(_key, _preset)
+del _key, _preset
 
 
 def get_preset(name: str) -> WeightVector:
     """Look up a preset ω by identifier; raises :class:`ConfigError` if unknown."""
-    try:
-        return PRESETS[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted(PRESETS))
-        raise ConfigError(f"unknown weight preset {name!r}; known: {known}") from None
+    return PRESETS.get(name)
 
 
 def complex_equivalents() -> tuple[WeightVector, ...]:

@@ -4,21 +4,37 @@ Each paper table is a list of rows; each row is "train this model on this
 dataset, evaluate on test (and optionally on a training subsample for the
 'on train' rows), print MRR / Hits@{1,3,10}".  This module factors that
 recipe out so every benchmark file stays declarative.
+
+Since the unified run pipeline landed, this module is a thin adapter:
+:class:`ExperimentSettings` converts to a
+:class:`~repro.pipeline.config.RunConfig` (``to_run_config``), and
+:func:`run_experiment_row` delegates to the pipeline's
+:func:`~repro.pipeline.runner.train_and_evaluate` engine, so benchmark
+code written against the old signatures runs through the exact same path
+as ``run_pipeline``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.base import KGEModel
 from repro.errors import ConfigError
-from repro.eval.evaluator import LinkPredictionEvaluator
 from repro.eval.metrics import RankingMetrics
 from repro.kg.graph import KGDataset
 from repro.kg.synthetic import SyntheticKGConfig, generate_synthetic_kg
-from repro.training.trainer import Trainer, TrainingConfig
+from repro.pipeline.config import (
+    DatasetSection,
+    EvalSection,
+    ModelSection,
+    RunConfig,
+    TrainingSection,
+)
+from repro.pipeline.runner import RunResult, run_pipeline, train_and_evaluate
+from repro.training.trainer import TrainingConfig
 
 
 @dataclass(frozen=True)
@@ -41,6 +57,8 @@ class ExperimentSettings:
     learning_rate: float = 0.02
     regularization: float = 3e-3
     num_negatives: int = 1
+    optimizer: str = "adam"
+    negative_sampler: str = "uniform"
     validate_every: int = 50
     patience: int = 100
     seed: int = 0
@@ -52,10 +70,84 @@ class ExperimentSettings:
             epochs=self.epochs,
             batch_size=self.batch_size,
             learning_rate=self.learning_rate,
+            optimizer=self.optimizer,
             num_negatives=self.num_negatives,
+            negative_sampler=self.negative_sampler,
             validate_every=self.validate_every,
             patience=self.patience,
             seed=self.seed,
+        )
+
+    def to_run_config(
+        self,
+        model: ModelSection | None = None,
+        evaluate_train: bool = False,
+        label: str | None = None,
+    ) -> RunConfig:
+        """The equivalent pipeline :class:`RunConfig` for one table row.
+
+        ``model`` defaults to a ComplEx section at these settings'
+        budget; table runners pass one section per row (with the row's
+        ``seed_offset`` so model init matches :func:`seeded_rng`).
+        """
+        if model is None:
+            model = ModelSection(
+                total_dim=self.total_dim, regularization=self.regularization
+            )
+        return RunConfig(
+            dataset=DatasetSection(
+                generator="synthetic_wn18",
+                params=dataclasses.asdict(self.dataset_config),
+            ),
+            model=model,
+            training=TrainingSection(
+                epochs=self.epochs,
+                batch_size=self.batch_size,
+                learning_rate=self.learning_rate,
+                optimizer=self.optimizer,
+                num_negatives=self.num_negatives,
+                negative_sampler=self.negative_sampler,
+                validate_every=self.validate_every,
+                patience=self.patience,
+            ),
+            evaluation=EvalSection(
+                evaluate_train=evaluate_train,
+                train_eval_triples=self.train_eval_triples,
+            ),
+            seed=self.seed,
+            label=label,
+        )
+
+    @classmethod
+    def from_run_config(cls, config: RunConfig) -> "ExperimentSettings":
+        """Settings equivalent to a synthetic-WN18 pipeline config.
+
+        Used by ``repro-kge table --config`` so a JSON run config can
+        re-parameterize the whole table harness.
+        """
+        if config.dataset.generator != "synthetic_wn18":
+            raise ConfigError(
+                "table experiments require the synthetic_wn18 dataset generator, "
+                f"got {config.dataset.generator!r}"
+            )
+        try:
+            dataset_config = SyntheticKGConfig(**config.dataset.params)
+        except TypeError as error:
+            raise ConfigError(f"invalid dataset.params for synthetic_wn18: {error}") from None
+        return cls(
+            dataset_config=dataset_config,
+            total_dim=config.model.total_dim,
+            epochs=config.training.epochs,
+            batch_size=config.training.batch_size,
+            learning_rate=config.training.learning_rate,
+            regularization=config.model.regularization,
+            num_negatives=config.training.num_negatives,
+            optimizer=config.training.optimizer,
+            negative_sampler=config.training.negative_sampler,
+            validate_every=config.training.validate_every,
+            patience=config.training.patience,
+            seed=config.seed,
+            train_eval_triples=config.evaluation.train_eval_triples,
         )
 
 
@@ -74,6 +166,16 @@ def build_dataset(settings: ExperimentSettings) -> KGDataset:
     return generate_synthetic_kg(settings.dataset_config)
 
 
+def row_from_result(result: RunResult, label: str | None = None) -> ExperimentRow:
+    """Convert a pipeline :class:`RunResult` into a table row."""
+    return ExperimentRow(
+        label=label or result.config.label or result.model.name,
+        test_metrics=result.test_metrics,
+        train_metrics=result.train_metrics,
+        epochs_run=result.epochs_run,
+    )
+
+
 def run_experiment_row(
     model: KGEModel,
     dataset: KGDataset,
@@ -81,23 +183,24 @@ def run_experiment_row(
     label: str | None = None,
     evaluate_train: bool = False,
 ) -> ExperimentRow:
-    """Train *model* on *dataset* and evaluate it per the paper's protocol."""
-    trainer = Trainer(dataset, settings.training_config())
-    result = trainer.train(model)
-    evaluator = LinkPredictionEvaluator(dataset)
-    test_result = evaluator.evaluate(model, split="test")
-    train_metrics = None
-    if evaluate_train:
-        train_result = evaluator.evaluate_triples(
-            model, dataset.train, split_name="train", max_triples=settings.train_eval_triples
-        )
-        train_metrics = train_result.overall
-    return ExperimentRow(
-        label=label or model.name,
-        test_metrics=test_result.overall,
-        train_metrics=train_metrics,
-        epochs_run=result.epochs_run,
-    )
+    """Train *model* on *dataset* and evaluate it per the paper's protocol.
+
+    Legacy entry point for externally-constructed models (baselines,
+    ablations); delegates to the pipeline's shared train+eval engine.
+    """
+    config = settings.to_run_config(evaluate_train=evaluate_train, label=label)
+    result = train_and_evaluate(config, dataset, model)
+    return row_from_result(result, label=label or model.name)
+
+
+def run_config_row(
+    config: RunConfig,
+    dataset: KGDataset | None = None,
+    run_dir: str | None = None,
+) -> ExperimentRow:
+    """Run one declarative :class:`RunConfig` and return its table row."""
+    result = run_pipeline(config, dataset=dataset, run_dir=run_dir)
+    return row_from_result(result)
 
 
 def format_table(title: str, rows: list[ExperimentRow], label_width: int = 42) -> str:

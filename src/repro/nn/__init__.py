@@ -19,9 +19,11 @@ from repro.nn.initializers import (
     xavier_uniform,
 )
 from repro.nn.losses import (
+    LOSSES,
     LogisticLoss,
     MarginRankingLoss,
     binary_cross_entropy_from_logits,
+    make_loss,
     sigmoid,
     softplus,
 )
@@ -46,6 +48,7 @@ __all__ = [
     "DirichletSparsityRegularizer",
     "INITIALIZERS",
     "L2Regularizer",
+    "LOSSES",
     "LogisticLoss",
     "MarginRankingLoss",
     "MaxNormConstraint",
@@ -58,6 +61,7 @@ __all__ = [
     "aggregate_rows",
     "binary_cross_entropy_from_logits",
     "get_initializer",
+    "make_loss",
     "make_optimizer",
     "normal",
     "numeric_gradient",

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.pipeline.registry import Registry
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
@@ -97,6 +98,18 @@ class MarginRankingLoss:
         if len(pos) == 0:
             raise ConfigError("loss requires at least one example")
         return pos, neg
+
+
+#: Loss registry; entries are loss classes built as ``cls(**kwargs)``.
+#: Models resolve a ``RunConfig``'s ``model.options["loss"]`` string here.
+LOSSES: Registry = Registry("loss")
+LOSSES.register("logistic", LogisticLoss)
+LOSSES.register("margin", MarginRankingLoss)
+
+
+def make_loss(name: str, **kwargs: object) -> object:
+    """Build a loss by registered name (e.g. ``make_loss("margin", margin=2.0)``)."""
+    return LOSSES.get(name)(**kwargs)
 
 
 def binary_cross_entropy_from_logits(scores: np.ndarray, targets: np.ndarray) -> float:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError, TrainingError
+from repro.pipeline.registry import Registry
 
 try:  # scipy is optional; scatter_accumulate degrades gracefully without it
     from scipy import sparse as _scipy_sparse
@@ -460,14 +461,16 @@ class Adam(Optimizer):
             array[rows_b] = updated
 
 
-OPTIMIZERS = {"sgd": SGD, "adagrad": Adagrad, "adam": Adam}
+#: Optimizer registry; entries are :class:`Optimizer` subclasses built as
+#: ``cls(learning_rate=...)``.  :class:`~repro.pipeline.config.RunConfig`
+#: validates its ``training.optimizer`` field against this registry.
+OPTIMIZERS: Registry = Registry("optimizer")
+OPTIMIZERS.register("sgd", SGD)
+OPTIMIZERS.register("adagrad", Adagrad)
+OPTIMIZERS.register("adam", Adam)
 
 
 def make_optimizer(name: str, learning_rate: float) -> Optimizer:
-    """Build an optimizer by name with the given learning rate."""
-    try:
-        cls = OPTIMIZERS[name]
-    except KeyError:
-        known = ", ".join(sorted(OPTIMIZERS))
-        raise ConfigError(f"unknown optimizer {name!r}; known: {known}") from None
+    """Build an optimizer by registered name with the given learning rate."""
+    cls = OPTIMIZERS.get(name)
     return cls(learning_rate=learning_rate)

@@ -6,37 +6,40 @@ on a synthetic WN18-like dataset and returns
 renders them in the paper's layout.  The pytest-benchmark files under
 ``benchmarks/`` are thin wrappers over these functions that add timing
 and shape assertions; the CLI exposes them as ``repro-kge table N``.
+
+Every row is declarative — a model name resolved through the pipeline
+registries (ω preset keys double as model names) plus a per-row
+``seed_offset`` — and runs through
+:func:`~repro.pipeline.runner.run_pipeline`.  Pass ``run_root`` to any
+runner to persist each row as a reloadable run directory.
 """
 
 from __future__ import annotations
 
-from repro.core import weights as W
-from repro.core.models import (
-    make_complex,
-    make_distmult,
-    make_learned_weight_model,
-    make_model,
-    make_quaternion,
-)
+import re
+from pathlib import Path
+
 from repro.core.weights import WeightVector
 from repro.experiments import (
     ExperimentRow,
     ExperimentSettings,
-    run_experiment_row,
-    seeded_rng,
+    row_from_result,
+    run_config_row,
 )
 from repro.kg.graph import KGDataset
+from repro.pipeline.config import ModelSection
+from repro.pipeline.runner import run_pipeline
 
-#: Table 2 rows: (label, preset-or-"distmult_n1", evaluate-train-too).
-TABLE2_ROWS: tuple[tuple[str, object, bool], ...] = (
+#: Table 2 rows: (label, model/preset registry key, evaluate-train-too).
+TABLE2_ROWS: tuple[tuple[str, str, bool], ...] = (
     ("DistMult (1, 0, 0, 0, 0, 0, 0, 0)", "distmult_n1", True),
-    ("ComplEx (1, 0, 0, 1, 0, -1, 1, 0)", W.COMPLEX, True),
-    ("CP (0, 0, 1, 0, 0, 0, 0, 0)", W.CP, True),
-    ("CPh (0, 0, 1, 0, 0, 1, 0, 0)", W.CPH, True),
-    ("Bad example 1 (0, 0, 20, 0, 0, 1, 0, 0)", W.BAD_EXAMPLE_1, False),
-    ("Bad example 2 (0, 0, 1, 1, 1, 1, 0, 0)", W.BAD_EXAMPLE_2, False),
-    ("Good example 1 (0, 0, 20, 1, 1, 20, 0, 0)", W.GOOD_EXAMPLE_1, False),
-    ("Good example 2 (1, 1, -1, 1, 1, -1, 1, 1)", W.GOOD_EXAMPLE_2, False),
+    ("ComplEx (1, 0, 0, 1, 0, -1, 1, 0)", "complex", True),
+    ("CP (0, 0, 1, 0, 0, 0, 0, 0)", "cp", True),
+    ("CPh (0, 0, 1, 0, 0, 1, 0, 0)", "cph", True),
+    ("Bad example 1 (0, 0, 20, 0, 0, 1, 0, 0)", "bad_example_1", False),
+    ("Bad example 2 (0, 0, 1, 1, 1, 1, 0, 0)", "bad_example_2", False),
+    ("Good example 1 (0, 0, 20, 1, 1, 20, 0, 0)", "good_example_1", False),
+    ("Good example 2 (1, 1, -1, 1, 1, -1, 1, 1)", "good_example_2", False),
 )
 
 #: Table 3 rows: (label, transform-or-None-for-fixed-uniform, sparse).
@@ -53,70 +56,95 @@ TABLE3_ROWS: tuple[tuple[str, str | None, bool], ...] = (
 )
 
 
-def run_table2(dataset: KGDataset, settings: ExperimentSettings) -> list[ExperimentRow]:
+def _row_dir(run_root: str | Path | None, index: int, label: str) -> str | None:
+    """Per-row run directory under *run_root* (or None to skip artifacts)."""
+    if run_root is None:
+        return None
+    slug = re.sub(r"[^a-z0-9]+", "-", label.lower()).strip("-")[:48]
+    return str(Path(run_root) / f"row{index:02d}-{slug}")
+
+
+def _model_section(
+    settings: ExperimentSettings,
+    name: str,
+    seed_offset: int,
+    **options: object,
+) -> ModelSection:
+    return ModelSection(
+        name=name,
+        total_dim=settings.total_dim,
+        regularization=settings.regularization,
+        seed_offset=seed_offset,
+        options=dict(options),
+    )
+
+
+def run_table2(
+    dataset: KGDataset,
+    settings: ExperimentSettings,
+    run_root: str | Path | None = None,
+) -> list[ExperimentRow]:
     """Train and evaluate every Table 2 row (derived ω + variants)."""
     rows = []
-    for offset, (label, preset, with_train) in enumerate(TABLE2_ROWS):
-        rng = seeded_rng(settings, offset)
-        if preset == "distmult_n1":
-            model = make_distmult(
-                dataset.num_entities, dataset.num_relations, settings.total_dim,
-                rng, regularization=settings.regularization,
-            )
-        else:
-            model = make_model(
-                preset, dataset.num_entities, dataset.num_relations, rng,
-                total_dim=settings.total_dim, regularization=settings.regularization,
-            )
+    for offset, (label, name, with_train) in enumerate(TABLE2_ROWS):
+        config = settings.to_run_config(
+            model=_model_section(settings, name, offset),
+            evaluate_train=with_train,
+            label=label,
+        )
         rows.append(
-            run_experiment_row(model, dataset, settings, label=label,
-                               evaluate_train=with_train)
+            run_config_row(config, dataset=dataset, run_dir=_row_dir(run_root, offset, label))
         )
     return rows
 
 
 def run_table3(
-    dataset: KGDataset, settings: ExperimentSettings
+    dataset: KGDataset,
+    settings: ExperimentSettings,
+    run_root: str | Path | None = None,
 ) -> tuple[list[ExperimentRow], dict[str, WeightVector]]:
     """Train every Table 3 row; also return the learned ω snapshots."""
     rows = []
     learned_omegas: dict[str, WeightVector] = {}
     for offset, (label, transform, sparse) in enumerate(TABLE3_ROWS):
-        rng = seeded_rng(settings, 100 + offset)
         if transform is None:
-            model = make_model(
-                W.UNIFORM, dataset.num_entities, dataset.num_relations, rng,
-                total_dim=settings.total_dim, regularization=settings.regularization,
-            )
+            model = _model_section(settings, "uniform", 100 + offset)
         else:
-            model = make_learned_weight_model(
-                dataset.num_entities, dataset.num_relations, settings.total_dim,
-                rng, transform=transform, sparse=sparse,
-                regularization=settings.regularization,
+            model = _model_section(
+                settings, "learned", 100 + offset, transform=transform, sparse=sparse
             )
-        rows.append(run_experiment_row(model, dataset, settings, label=label))
+        config = settings.to_run_config(model=model, label=label)
+        result = run_pipeline(
+            config, dataset=dataset, run_dir=_row_dir(run_root, offset, label)
+        )
+        rows.append(row_from_result(result, label=label))
         if transform is not None:
-            learned_omegas[label] = model.current_weight_vector()
+            learned_omegas[label] = result.model.current_weight_vector()
     return rows, learned_omegas
 
 
 def run_table4(
-    dataset: KGDataset, settings: ExperimentSettings
+    dataset: KGDataset,
+    settings: ExperimentSettings,
+    run_root: str | Path | None = None,
 ) -> tuple[ExperimentRow, ExperimentRow]:
     """Train the Table 4 quaternion model plus a ComplEx reference."""
-    quaternion = make_quaternion(
-        dataset.num_entities, dataset.num_relations, settings.total_dim,
-        seeded_rng(settings, 200), regularization=settings.regularization,
+    quaternion_label = "Quaternion-based four-embedding"
+    quaternion_row = run_config_row(
+        settings.to_run_config(
+            model=_model_section(settings, "quaternion", 200),
+            evaluate_train=True,
+            label=quaternion_label,
+        ),
+        dataset=dataset,
+        run_dir=_row_dir(run_root, 0, quaternion_label),
     )
-    quaternion_row = run_experiment_row(
-        quaternion, dataset, settings,
-        label="Quaternion-based four-embedding", evaluate_train=True,
-    )
-    complex_model = make_complex(
-        dataset.num_entities, dataset.num_relations, settings.total_dim,
-        seeded_rng(settings, 201), regularization=settings.regularization,
-    )
-    complex_row = run_experiment_row(
-        complex_model, dataset, settings, label="ComplEx (reference)"
+    complex_row = run_config_row(
+        settings.to_run_config(
+            model=_model_section(settings, "complex", 201),
+            label="ComplEx (reference)",
+        ),
+        dataset=dataset,
+        run_dir=_row_dir(run_root, 1, "ComplEx (reference)"),
     )
     return quaternion_row, complex_row

@@ -1,0 +1,68 @@
+"""Unified run pipeline: registries, declarative configs, run artifacts.
+
+This package is the one orchestration layer over the library.  It
+provides
+
+* :class:`~repro.pipeline.registry.Registry` — string-keyed component
+  registries with a ``register()`` decorator.  The built-in families
+  (models, ω presets, optimizers, losses, negative samplers, dataset
+  generators) are collected in :mod:`repro.pipeline.components`.
+* :class:`~repro.pipeline.config.RunConfig` — a declarative, JSON-
+  serializable description of a complete run (dataset → model →
+  training → evaluation), validated against the registries.
+* :func:`~repro.pipeline.runner.run_pipeline` — the driver: builds the
+  components, trains, evaluates, and optionally writes a resumable run
+  directory (config + checkpoint + history + metrics) that can later be
+  re-evaluated (:func:`~repro.pipeline.runner.evaluate_run`) or served
+  (:func:`~repro.pipeline.runner.serve_run`) without retraining.
+* :func:`~repro.pipeline.sweep.sweep` — grid expansion into seeded
+  child runs for hyperparameter search.
+
+Submodules are imported lazily (PEP 562) so that low-level modules can
+host their registries via ``repro.pipeline.registry`` without import
+cycles.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.registry import Registry
+
+_LAZY_EXPORTS = {
+    "DATASET_GENERATORS": "repro.pipeline.components",
+    "LOSSES": "repro.pipeline.components",
+    "MODELS": "repro.pipeline.components",
+    "NEGATIVE_SAMPLERS": "repro.pipeline.components",
+    "OMEGA_PRESETS": "repro.pipeline.components",
+    "OPTIMIZERS": "repro.pipeline.components",
+    "DatasetSection": "repro.pipeline.config",
+    "EvalSection": "repro.pipeline.config",
+    "ModelSection": "repro.pipeline.config",
+    "RunConfig": "repro.pipeline.config",
+    "TrainingSection": "repro.pipeline.config",
+    "LoadedRun": "repro.pipeline.runner",
+    "RunResult": "repro.pipeline.runner",
+    "evaluate_run": "repro.pipeline.runner",
+    "load_run": "repro.pipeline.runner",
+    "run_pipeline": "repro.pipeline.runner",
+    "serve_run": "repro.pipeline.runner",
+    "train_and_evaluate": "repro.pipeline.runner",
+    "SweepRun": "repro.pipeline.sweep",
+    "apply_overrides": "repro.pipeline.sweep",
+    "expand_grid": "repro.pipeline.sweep",
+    "sweep": "repro.pipeline.sweep",
+}
+
+__all__ = ["Registry", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

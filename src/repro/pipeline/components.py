@@ -1,0 +1,76 @@
+"""The built-in component registries, gathered in one place.
+
+Most registries live next to the components they index (so the modules
+stay self-contained); this module re-exports them under pipeline-level
+names and adds the dataset-generator registry, which has no natural
+lower-level home because generators span :mod:`repro.kg` submodules.
+
+Registering a new component in any of these registries makes it
+addressable from :class:`~repro.pipeline.config.RunConfig`, the CLI, and
+:func:`~repro.pipeline.sweep.sweep` without touching orchestration code.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import MODEL_FACTORIES as MODELS
+from repro.core.weights import PRESETS as OMEGA_PRESETS
+from repro.errors import ConfigError
+from repro.kg.graph import KGDataset
+from repro.kg.io import load_dataset_directory
+from repro.kg.synthetic import SyntheticKGConfig, generate_synthetic_kg
+from repro.kg.synthetic_fb import SyntheticFBConfig, generate_synthetic_fb15k
+from repro.nn.losses import LOSSES
+from repro.nn.optimizers import OPTIMIZERS
+from repro.pipeline.registry import Registry
+from repro.training.negatives import NEGATIVE_SAMPLERS
+
+__all__ = [
+    "DATASET_GENERATORS",
+    "LOSSES",
+    "MODELS",
+    "NEGATIVE_SAMPLERS",
+    "OMEGA_PRESETS",
+    "OPTIMIZERS",
+]
+
+#: Dataset generators; entries are called as ``generator(params_dict)``
+#: and return a :class:`~repro.kg.graph.KGDataset`.
+DATASET_GENERATORS: Registry = Registry("dataset generator")
+
+
+def _build_config(cls: type, params: dict, generator: str) -> object:
+    """Instantiate a config dataclass, mapping bad keys to ConfigError."""
+    try:
+        return cls(**params)
+    except TypeError as error:
+        raise ConfigError(
+            f"invalid parameter for dataset generator {generator!r}: {error}"
+        ) from None
+
+
+@DATASET_GENERATORS.register("synthetic_wn18")
+def _synthetic_wn18(params: dict) -> KGDataset:
+    """The synthetic WN18-like graph (see :mod:`repro.kg.synthetic`)."""
+    config = _build_config(SyntheticKGConfig, params, "synthetic_wn18")
+    return generate_synthetic_kg(config)
+
+
+@DATASET_GENERATORS.register("synthetic_fb15k")
+def _synthetic_fb15k(params: dict) -> KGDataset:
+    """The synthetic FB15k-flavoured graph (see :mod:`repro.kg.synthetic_fb`)."""
+    config = _build_config(SyntheticFBConfig, params, "synthetic_fb15k")
+    return generate_synthetic_fb15k(config)
+
+
+@DATASET_GENERATORS.register("directory")
+def _directory(params: dict) -> KGDataset:
+    """Load train/valid/test files from ``params["path"]`` on disk."""
+    params = dict(params)
+    path = params.pop("path", None)
+    if path is None:
+        raise ConfigError('dataset generator "directory" requires a "path" parameter')
+    if params:
+        raise ConfigError(
+            f'unknown parameters for dataset generator "directory": {sorted(params)}'
+        )
+    return load_dataset_directory(path)

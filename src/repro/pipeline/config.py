@@ -1,0 +1,276 @@
+"""Declarative run configuration: the ``RunConfig`` dataclass tree.
+
+A :class:`RunConfig` fully describes one experiment — dataset, model,
+training hyperparameters, and evaluation protocol — as plain data.  It
+serializes to/from JSON (``to_json``/``from_json``/``save``/``load``),
+validates every field eagerly with field-named
+:class:`~repro.errors.ConfigError` messages, and resolves component
+names (model, optimizer, negative sampler, dataset generator) against
+the pipeline registries, so a config referencing an unknown component
+fails at construction time, not mid-run.
+
+Seeding convention (matching the paper-table harness): the run-level
+``seed`` drives training (shuffling + negative sampling); model
+initialization uses ``seed + 1000 + model.seed_offset`` unless
+``model.init_seed`` pins it explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+from repro.kg.graph import KGDataset
+from repro.pipeline.components import DATASET_GENERATORS, MODELS, OMEGA_PRESETS
+from repro.training.trainer import TrainingConfig
+
+_EVAL_SPLITS = ("test", "valid")
+
+
+def _check_keys(data: Mapping[str, Any], cls: type, context: str) -> None:
+    """Reject keys that are not fields of *cls*, naming them."""
+    if not isinstance(data, Mapping):
+        raise ConfigError(f"{context} must be a mapping, got {type(data).__name__}")
+    allowed = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ConfigError(
+            f"unknown {context} field(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def _section_from_dict(cls, data: Mapping[str, Any], context: str):
+    _check_keys(data, cls, context)
+    return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class DatasetSection:
+    """Which dataset to build, and how.
+
+    ``generator`` names an entry of the ``DATASET_GENERATORS`` registry;
+    ``params`` is passed to it verbatim (e.g. ``num_entities``/``seed``
+    for the synthetic generators, ``path`` for ``directory``).
+    """
+
+    generator: str = "synthetic_wn18"
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.generator not in DATASET_GENERATORS:
+            raise ConfigError(
+                f"dataset.generator must be one of {DATASET_GENERATORS.names()}, "
+                f"got {self.generator!r}"
+            )
+        if not isinstance(self.params, Mapping):
+            raise ConfigError(
+                f"dataset.params must be a mapping, got {type(self.params).__name__}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self) -> KGDataset:
+        """Construct the dataset (deterministic for the synthetic generators)."""
+        return DATASET_GENERATORS.get(self.generator)(dict(self.params))
+
+
+def _split_model_name(name: str) -> tuple[str, bool]:
+    """``("cph", False)`` for registry names, ``("cph", True)`` for ``omega:cph``.
+
+    The ``omega:`` prefix forces ω-preset resolution, reaching presets
+    whose key a model factory shadows (``omega:distmult`` is the Table 1
+    two-embedding derivation; plain ``distmult`` is the §5.3
+    one-embedding factory).
+    """
+    if isinstance(name, str) and name.lower().startswith("omega:"):
+        return name[len("omega:"):], True
+    return name, False
+
+
+@dataclass(frozen=True)
+class ModelSection:
+    """Which model to build, and how.
+
+    ``name`` is resolved first against the model-factory registry
+    (``distmult``, ``complex``, …, ``learned``), then against the ω
+    preset registry — so Table 1/2 weight vectors are directly
+    addressable (``bad_example_1``, ``uniform``, ``distmult_n1``…).
+    Prefix the name with ``omega:`` to force preset resolution when a
+    factory shadows the preset key (e.g. ``omega:distmult``).
+    ``options`` forwards extra factory keywords (``transform``/``sparse``
+    for the learned model, ``use_compiled_kernel``, a ``loss`` name…).
+    """
+
+    name: str = "complex"
+    total_dim: int = 64
+    regularization: float = 3e-3
+    seed_offset: int = 0
+    init_seed: int | None = None
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        name, is_preset = _split_model_name(self.name)
+        known = (name in OMEGA_PRESETS) if is_preset else (
+            name in MODELS or name in OMEGA_PRESETS
+        )
+        if not known:
+            raise ConfigError(
+                f"model.name must be a registered model {MODELS.names()} "
+                f"or ω preset {OMEGA_PRESETS.names()} (optionally 'omega:'-"
+                f"prefixed), got {self.name!r}"
+            )
+        if self.total_dim < 1:
+            raise ConfigError(f"model.total_dim must be >= 1, got {self.total_dim}")
+        if self.regularization < 0:
+            raise ConfigError(
+                f"model.regularization must be >= 0, got {self.regularization}"
+            )
+        if not isinstance(self.options, Mapping):
+            raise ConfigError(
+                f"model.options must be a mapping, got {type(self.options).__name__}"
+            )
+        object.__setattr__(self, "options", dict(self.options))
+
+
+@dataclass(frozen=True)
+class TrainingSection:
+    """Training hyperparameters (mirrors :class:`TrainingConfig` sans seed)."""
+
+    epochs: int = 200
+    batch_size: int = 1024
+    learning_rate: float = 0.02
+    optimizer: str = "adam"
+    num_negatives: int = 1
+    negative_sampler: str = "uniform"
+    validate_every: int = 50
+    patience: int = 100
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        # TrainingConfig.__post_init__ carries the authoritative range and
+        # registry checks; constructing one validates every field here.
+        self.training_config(seed=0)
+
+    def training_config(self, seed: int, verbose: bool | None = None) -> TrainingConfig:
+        """The :class:`TrainingConfig` for one run with the given seed."""
+        return TrainingConfig(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            optimizer=self.optimizer,
+            num_negatives=self.num_negatives,
+            negative_sampler=self.negative_sampler,
+            validate_every=self.validate_every,
+            patience=self.patience,
+            seed=seed,
+            verbose=self.verbose if verbose is None else verbose,
+        )
+
+
+@dataclass(frozen=True)
+class EvalSection:
+    """Evaluation protocol for the run."""
+
+    split: str = "test"
+    evaluate_train: bool = False
+    train_eval_triples: int = 1000
+    batch_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.split not in _EVAL_SPLITS:
+            raise ConfigError(
+                f"evaluation.split must be one of {list(_EVAL_SPLITS)}, got {self.split!r}"
+            )
+        if self.train_eval_triples < 1:
+            raise ConfigError(
+                f"evaluation.train_eval_triples must be >= 1, got {self.train_eval_triples}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigError(
+                f"evaluation.batch_size must be >= 1 or null, got {self.batch_size}"
+            )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """A complete, serializable description of one training/eval run."""
+
+    dataset: DatasetSection = field(default_factory=DatasetSection)
+    model: ModelSection = field(default_factory=ModelSection)
+    training: TrainingSection = field(default_factory=TrainingSection)
+    evaluation: EvalSection = field(default_factory=EvalSection)
+    seed: int = 0
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        for name, cls in (
+            ("dataset", DatasetSection),
+            ("model", ModelSection),
+            ("training", TrainingSection),
+            ("evaluation", EvalSection),
+        ):
+            if not isinstance(getattr(self, name), cls):
+                raise ConfigError(f"RunConfig.{name} must be a {cls.__name__}")
+
+    @property
+    def model_init_seed(self) -> int:
+        """Seed of the model-initialization RNG stream."""
+        if self.model.init_seed is not None:
+            return self.model.init_seed
+        return self.seed + 1000 + self.model.seed_offset
+
+    # ------------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-compatible)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        """Build from plain data; unknown fields raise :class:`ConfigError`."""
+        _check_keys(data, cls, "run config")
+        seed = data.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ConfigError(f"run config field 'seed' must be an integer, got {seed!r}")
+        return cls(
+            dataset=_section_from_dict(
+                DatasetSection, data.get("dataset", {}), "dataset"
+            ),
+            model=_section_from_dict(ModelSection, data.get("model", {}), "model"),
+            training=_section_from_dict(
+                TrainingSection, data.get("training", {}), "training"
+            ),
+            evaluation=_section_from_dict(
+                EvalSection, data.get("evaluation", {}), "evaluation"
+            ),
+            seed=seed,
+            label=data.get("label"),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"run config is not valid JSON: {error}") from None
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the config as JSON to *path* (parent dirs created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunConfig":
+        """Read a JSON config written by :meth:`save` (or by hand)."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigError(f"run config file does not exist: {path}")
+        return cls.from_json(path.read_text(encoding="utf-8"))

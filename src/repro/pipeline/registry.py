@@ -1,0 +1,128 @@
+"""String-keyed component registries.
+
+Every pluggable component family in the library — models, ω presets,
+optimizers, losses, negative samplers, dataset generators — is published
+through a :class:`Registry`: a case-insensitive mapping from identifier
+to component with a ``register()`` decorator for adding new entries.
+The CLI and the declarative :class:`~repro.pipeline.config.RunConfig`
+resolve names exclusively through these registries, so registering a new
+component makes it available everywhere (command-line choices, config
+validation, sweeps) without touching any orchestration code.
+
+This module deliberately imports nothing beyond the error hierarchy so
+that low-level modules (``core.models``, ``core.weights``,
+``nn.optimizers``…) can host their registries without import cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Callable, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+class UnknownComponentError(ConfigError, KeyError):
+    """An unregistered name was looked up.
+
+    Subclasses both :class:`ConfigError` (so config-resolution callers
+    get the library's error hierarchy and a readable message) and
+    :class:`KeyError` (so dict-style ``try/except KeyError`` code keeps
+    working against a registry).
+    """
+
+    __str__ = Exception.__str__  # readable message, not KeyError's repr
+
+
+class Registry(Mapping):
+    """A case-insensitive ``name -> component`` mapping with registration.
+
+    Supports the read-only :class:`~collections.abc.Mapping` protocol
+    (``in``, ``len``, iteration, ``.items()``, ``sorted(...)``).  Unknown
+    names raise :class:`UnknownComponentError` — a :class:`ConfigError`
+    that is also a :class:`KeyError` — listing the known identifiers;
+    unlike ``dict.get``, :meth:`get` raises too unless an explicit
+    default is supplied.
+
+    Usage::
+
+        MODELS = Registry("model")
+
+        @MODELS.register("distmult")
+        def make_distmult(...): ...
+
+        MODELS.register("adam", Adam)       # non-decorator form
+        MODELS.get("DistMult")              # case-insensitive
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, object] = {}
+
+    # ----------------------------------------------------------- registration
+    def register(self, name: str, component: T | None = None) -> T | Callable[[T], T]:
+        """Register *component* under *name*; usable as a decorator.
+
+        Returns the component unchanged so decorated functions/classes
+        keep their original identity.  Duplicate names raise
+        :class:`ConfigError` — shadowing a component silently is how
+        sweeps stop being reproducible.
+        """
+        key = self._normalize(name)
+        if key in self._entries:
+            raise ConfigError(f"duplicate {self.kind} registration: {key!r}")
+        if component is not None:
+            self._entries[key] = component
+            return component
+
+        def decorator(obj: T) -> T:
+            if key in self._entries:
+                raise ConfigError(f"duplicate {self.kind} registration: {key!r}")
+            self._entries[key] = obj
+            return obj
+
+        return decorator
+
+    # ---------------------------------------------------------------- lookup
+    def get(self, name: str, default: object = _MISSING) -> object:
+        """Resolve *name*; raise :class:`UnknownComponentError` (or return *default*)."""
+        key = self._normalize(name)
+        if key in self._entries:
+            return self._entries[key]
+        if default is not _MISSING:
+            return default
+        known = ", ".join(sorted(self._entries)) or "<none>"
+        raise UnknownComponentError(f"unknown {self.kind} {name!r}; known: {known}")
+
+    def names(self) -> list[str]:
+        """All registered identifiers, sorted."""
+        return sorted(self._entries)
+
+    # ------------------------------------------------------ Mapping protocol
+    def __getitem__(self, name: str) -> object:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        # Membership tests must never raise, even on "" / non-strings.
+        if not isinstance(name, str) or not name:
+            return False
+        return name.lower() in self._entries
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {self.names()})"
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        if not isinstance(name, str) or not name:
+            raise ConfigError(f"registry names must be non-empty strings, got {name!r}")
+        return name.lower()

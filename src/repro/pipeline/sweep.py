@@ -1,0 +1,161 @@
+"""Grid sweeps: expand a grid spec into seeded child runs.
+
+The paper's §5.3 experiments grid-search learning rates, regularization
+strengths and batch sizes per model; :func:`sweep` expresses that as a
+base :class:`~repro.pipeline.config.RunConfig` plus a grid of dotted
+field paths::
+
+    sweep(base, {
+        "training.learning_rate": [1e-3, 1e-4],
+        "model.regularization": [1e-2, 1e-3, 0.0],
+    }, seeds=[0, 1])
+
+Expansion is deterministic (sorted keys, row-major product, seeds
+outermost), every child config revalidates through ``RunConfig``, and —
+because each child's RNG streams derive only from its config — running
+the same grid spec twice yields bit-identical per-run metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.kg.graph import KGDataset
+from repro.pipeline.config import RunConfig
+from repro.pipeline.runner import RunResult, run_pipeline
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
+    """All grid points as override dicts, in deterministic order.
+
+    Keys are dotted ``RunConfig`` field paths (``"training.epochs"``,
+    ``"model.total_dim"``, ``"dataset.params.num_entities"``, or a
+    top-level ``"seed"``); values are the candidate lists.  Keys are
+    sorted before taking the product, so the expansion order does not
+    depend on dict insertion order.
+    """
+    if not grid:
+        return [{}]
+    keys = sorted(grid)
+    for key in keys:
+        values = grid[key]
+        if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+            raise ConfigError(f"grid values for {key!r} must be a sequence of candidates")
+        if len(values) == 0:
+            raise ConfigError(f"grid values for {key!r} must be non-empty")
+    return [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(grid[key] for key in keys))
+    ]
+
+
+def apply_overrides(config: RunConfig, overrides: Mapping[str, Any]) -> RunConfig:
+    """A copy of *config* with dotted-path *overrides* applied.
+
+    Goes through ``to_dict``/``from_dict`` so every override is
+    re-validated; unknown paths raise :class:`ConfigError` naming the
+    offending segment.
+    """
+    data = config.to_dict()
+    for path, value in overrides.items():
+        parts = path.split(".")
+        node = data
+        for depth, part in enumerate(parts[:-1]):
+            if not isinstance(node, dict) or part not in node:
+                raise ConfigError(
+                    f"unknown config path {path!r} (no section {'.'.join(parts[: depth + 1])!r})"
+                )
+            node = node[part]
+        leaf = parts[-1]
+        # dataset.params and model.options are free-form dicts: new keys
+        # are legitimate there, everywhere else the field must exist.
+        free_form = parts[:-1] in (["dataset", "params"], ["model", "options"])
+        if not isinstance(node, dict) or (leaf not in node and not free_form):
+            raise ConfigError(f"unknown config path {path!r} (no field {leaf!r})")
+        node[leaf] = value
+    return RunConfig.from_dict(data)
+
+
+def _slug(overrides: Mapping[str, Any], seed: int | None) -> str:
+    parts = [f"{key.split('.')[-1]}={overrides[key]}" for key in sorted(overrides)]
+    if seed is not None:
+        parts.append(f"seed={seed}")
+    text = ",".join(parts) if parts else "base"
+    # Filesystem-safe: override values may contain '/', spaces, braces…
+    return re.sub(r"[^A-Za-z0-9_.=,+-]+", "-", text).strip("-")[:96]
+
+
+@dataclass
+class SweepRun:
+    """One child run of a sweep: its overrides, config, and result."""
+
+    index: int
+    overrides: dict[str, Any]
+    config: RunConfig
+    result: RunResult
+
+    @property
+    def label(self) -> str:
+        return self.config.label or f"run{self.index:03d}"
+
+
+def sweep(
+    base: RunConfig,
+    grid: Mapping[str, Sequence[Any]],
+    seeds: Sequence[int] | None = None,
+    run_root: str | Path | None = None,
+    dataset: KGDataset | None = None,
+) -> list[SweepRun]:
+    """Run every grid point (crossed with *seeds*, if given) as a child run.
+
+    Each child is ``base`` with its grid overrides applied (and its
+    ``seed`` replaced when *seeds* is given), labelled deterministically.
+    With *run_root*, child ``i`` persists its artifacts under
+    ``run_root/run<i>-<slug>/``.  Datasets are cached per distinct
+    ``dataset`` section, so a sweep over training hyperparameters builds
+    the graph once.  Pass *dataset* to pin one shared dataset for every
+    child regardless of config.
+    """
+    seed_list: list[int | None] = list(seeds) if seeds is not None else [None]
+    if not seed_list:
+        raise ConfigError("seeds must be non-empty when given")
+    points = expand_grid(grid)
+    dataset_cache: dict[str, KGDataset] = {}
+    runs: list[SweepRun] = []
+    index = 0
+    for overrides in points:
+        for seed in seed_list:
+            child_overrides = dict(overrides)
+            if seed is not None:
+                child_overrides["seed"] = seed
+            config = apply_overrides(base, child_overrides)
+            slug = _slug(overrides, seed)
+            config = RunConfig.from_dict(
+                {**config.to_dict(), "label": config.label or slug}
+            )
+            child_dataset = dataset
+            if child_dataset is None:
+                key = json.dumps(
+                    {"generator": config.dataset.generator, "params": config.dataset.params},
+                    sort_keys=True,
+                    default=str,
+                )
+                child_dataset = dataset_cache.get(key)
+                if child_dataset is None:
+                    child_dataset = config.dataset.build()
+                    dataset_cache[key] = child_dataset
+            run_dir = (
+                Path(run_root) / f"run{index:03d}-{slug}" if run_root is not None else None
+            )
+            result = run_pipeline(config, dataset=child_dataset, run_dir=run_dir)
+            runs.append(
+                SweepRun(index=index, overrides=child_overrides, config=config, result=result)
+            )
+            index += 1
+    return runs

@@ -7,11 +7,17 @@ from repro.training.callbacks import (
     EpochRecord,
     TrainingHistory,
 )
-from repro.training.negatives import BernoulliNegativeSampler, UniformNegativeSampler
+from repro.training.negatives import (
+    NEGATIVE_SAMPLERS,
+    BernoulliNegativeSampler,
+    UniformNegativeSampler,
+    make_negative_sampler,
+)
 from repro.training.trainer import Trainer, TrainingConfig, TrainingResult, train_model
 
 __all__ = [
     "BernoulliNegativeSampler",
+    "NEGATIVE_SAMPLERS",
     "ConsoleLogger",
     "EarlyStopping",
     "EpochRecord",
@@ -21,6 +27,7 @@ __all__ = [
     "TrainingResult",
     "UniformNegativeSampler",
     "iterate_batches",
+    "make_negative_sampler",
     "num_batches",
     "train_model",
 ]

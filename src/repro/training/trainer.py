@@ -17,10 +17,14 @@ from repro.core.base import KGEModel
 from repro.errors import ConfigError, TrainingError
 from repro.eval.evaluator import LinkPredictionEvaluator
 from repro.kg.graph import KGDataset
-from repro.nn.optimizers import Optimizer, make_optimizer
+from repro.nn.optimizers import OPTIMIZERS, Optimizer, make_optimizer
 from repro.training.batching import iterate_batches
 from repro.training.callbacks import ConsoleLogger, EarlyStopping, EpochRecord, TrainingHistory
-from repro.training.negatives import UniformNegativeSampler
+from repro.training.negatives import (
+    NEGATIVE_SAMPLERS,
+    UniformNegativeSampler,
+    make_negative_sampler,
+)
 
 
 @dataclass(frozen=True)
@@ -37,6 +41,7 @@ class TrainingConfig:
     learning_rate: float = 1e-3
     optimizer: str = "adam"
     num_negatives: int = 1
+    negative_sampler: str = "uniform"
     validate_every: int = 50
     patience: int = 100
     seed: int = 0
@@ -44,11 +49,26 @@ class TrainingConfig:
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
-            raise ConfigError("epochs must be >= 1")
+            raise ConfigError(f"epochs must be >= 1, got {self.epochs}")
         if self.batch_size < 1:
-            raise ConfigError("batch_size must be >= 1")
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ConfigError(f"learning_rate must be > 0, got {self.learning_rate}")
         if self.num_negatives < 1:
-            raise ConfigError("num_negatives must be >= 1")
+            raise ConfigError(f"num_negatives must be >= 1, got {self.num_negatives}")
+        if self.validate_every < 1:
+            raise ConfigError(f"validate_every must be >= 1, got {self.validate_every}")
+        if self.patience < 0:
+            raise ConfigError(f"patience must be >= 0, got {self.patience}")
+        if self.optimizer not in OPTIMIZERS:
+            raise ConfigError(
+                f"optimizer must be one of {OPTIMIZERS.names()}, got {self.optimizer!r}"
+            )
+        if self.negative_sampler not in NEGATIVE_SAMPLERS:
+            raise ConfigError(
+                f"negative_sampler must be one of {NEGATIVE_SAMPLERS.names()}, "
+                f"got {self.negative_sampler!r}"
+            )
 
 
 @dataclass
@@ -89,8 +109,8 @@ class Trainer:
     ) -> None:
         self.dataset = dataset
         self.config = config or TrainingConfig()
-        self.sampler = sampler or UniformNegativeSampler(
-            dataset.num_entities, self.config.num_negatives
+        self.sampler = sampler or make_negative_sampler(
+            self.config.negative_sampler, dataset, self.config.num_negatives
         )
         self.evaluator = evaluator or LinkPredictionEvaluator(dataset)
 

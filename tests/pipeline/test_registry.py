@@ -1,0 +1,130 @@
+"""Unit tests for the component registry layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import MODEL_FACTORIES
+from repro.core.weights import PRESETS
+from repro.errors import ConfigError
+from repro.nn.losses import LOSSES
+from repro.nn.optimizers import OPTIMIZERS
+from repro.pipeline.components import DATASET_GENERATORS
+from repro.pipeline.registry import Registry
+from repro.training.negatives import NEGATIVE_SAMPLERS
+
+pytestmark = pytest.mark.pipeline
+
+
+class TestRegistry:
+    def test_register_decorator_and_lookup(self):
+        reg = Registry("widget")
+
+        @reg.register("Foo")
+        def make_foo():
+            return "foo"
+
+        assert reg.get("foo") is make_foo
+        assert reg.get("FOO") is make_foo  # case-insensitive
+        assert make_foo() == "foo"  # decorator returns the function unchanged
+
+    def test_register_direct_form(self):
+        reg = Registry("widget")
+        sentinel = object()
+        assert reg.register("x", sentinel) is sentinel
+        assert reg["x"] is sentinel
+
+    def test_duplicate_rejected(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        with pytest.raises(ConfigError, match="duplicate widget"):
+            reg.register("A", 2)
+
+    def test_unknown_lists_known(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(ConfigError, match="unknown widget 'gamma'.*alpha, beta"):
+            reg.get("gamma")
+
+    def test_get_default(self):
+        reg = Registry("widget")
+        assert reg.get("missing", None) is None
+
+    def test_lookup_error_is_both_config_and_key_error(self):
+        reg = Registry("widget")
+        with pytest.raises(ConfigError):
+            reg["missing"]
+        with pytest.raises(KeyError):  # dict-style except KeyError still works
+            reg["missing"]
+
+    def test_contains_never_raises(self):
+        reg = Registry("widget")
+        assert "" not in reg
+        assert None not in reg
+        assert 42 not in reg
+
+    def test_mapping_protocol(self):
+        reg = Registry("widget")
+        reg.register("b", 2)
+        reg.register("a", 1)
+        assert len(reg) == 2
+        assert sorted(reg) == ["a", "b"]
+        assert dict(reg.items()) == {"a": 1, "b": 2}
+        assert "a" in reg and "A" in reg and "c" not in reg
+        assert 42 not in reg  # non-string keys never match
+        assert reg.names() == ["a", "b"]
+
+    def test_invalid_names_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(ConfigError):
+            reg.register("", 1)
+        with pytest.raises(ConfigError):
+            reg.register(None, 1)
+
+
+class TestBuiltinRegistries:
+    def test_model_factories(self):
+        assert {"distmult", "complex", "cp", "cph", "quaternion", "learned"} <= set(
+            MODEL_FACTORIES
+        )
+
+    def test_omega_presets(self):
+        assert {"complex", "cph", "uniform", "quaternion", "distmult_n1"} <= set(PRESETS)
+
+    def test_optimizers(self):
+        assert set(OPTIMIZERS) == {"sgd", "adagrad", "adam"}
+
+    def test_losses(self):
+        assert {"logistic", "margin"} <= set(LOSSES)
+
+    def test_negative_samplers(self):
+        assert {"uniform", "bernoulli"} <= set(NEGATIVE_SAMPLERS)
+
+    def test_dataset_generators(self):
+        assert {"synthetic_wn18", "synthetic_fb15k", "directory"} <= set(
+            DATASET_GENERATORS
+        )
+
+
+class TestCLIDerivesChoicesFromRegistry:
+    def test_learned_model_is_a_train_choice(self):
+        # "learned" exists only via registration, never a hardcoded list.
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["train", "learned", "--epochs", "1"])
+        assert args.model == "learned"
+
+    def test_newly_registered_model_appears_automatically(self):
+        from repro import cli
+
+        def make_stub(num_entities, num_relations, total_dim, rng, **kwargs):
+            raise NotImplementedError
+
+        MODEL_FACTORIES.register("stub_for_cli_test", make_stub)
+        try:
+            args = cli.build_parser().parse_args(["train", "stub_for_cli_test"])
+            assert args.model == "stub_for_cli_test"
+        finally:
+            # Keep the global registry clean for the model-iteration tests.
+            MODEL_FACTORIES._entries.pop("stub_for_cli_test")
