@@ -55,6 +55,7 @@ from repro.pipeline import (
     serve_run,
     sweep,
 )
+from repro.parallel import ShardedEvaluator
 from repro.serving import BatchedScorer, LinkPredictor, TopKResult
 from repro.training import Trainer, TrainingConfig, TrainingResult, train_model
 
@@ -73,6 +74,7 @@ __all__ = [
     "Registry",
     "RunConfig",
     "RunResult",
+    "ShardedEvaluator",
     "TopKResult",
     "ReproError",
     "SyntheticKGConfig",

@@ -81,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--optimizer", default="adam",
                        help="optimizer registry name (sgd, adagrad, adam)")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--shards", type=int, default=None,
+                       help="split each ranking evaluation into this many shards "
+                            "(metrics are bit-identical to the serial evaluator)")
+    train.add_argument("--workers", type=int, default=None,
+                       help="worker processes scoring evaluation shards "
+                            "(0 = in-process; default from --config, else 0)")
     train.add_argument("--quiet", action="store_true")
     train.add_argument("--save", help="directory to write the trained model checkpoint")
     train.add_argument("--per-relation", action="store_true",
@@ -117,7 +123,23 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--total-dim", type=int, default=64)
     table.add_argument("--epochs", type=int, default=300)
     table.add_argument("--seed", type=int, default=0)
+    table.add_argument("--shards", type=int, default=None,
+                       help="evaluation shards per table row (bit-identical metrics)")
+    table.add_argument("--workers", type=int, default=None,
+                       help="worker processes scoring evaluation shards (0 = in-process)")
     return parser
+
+
+def _apply_parallel_flags(config: RunConfig, args: argparse.Namespace) -> RunConfig:
+    """Overlay ``--shards``/``--workers`` onto a config's parallel section."""
+    if args.shards is None and args.workers is None:
+        return config
+    data = config.to_dict()
+    if args.shards is not None:
+        data["parallel"]["eval_shards"] = args.shards
+    if args.workers is not None:
+        data["parallel"]["eval_workers"] = args.workers
+    return RunConfig.from_dict(data)
 
 
 def _dataset_section(args: argparse.Namespace) -> DatasetSection:
@@ -143,10 +165,10 @@ def _train_run_config(args: argparse.Namespace) -> RunConfig:
             data = config.to_dict()
             data["model"]["name"] = args.model
             config = RunConfig.from_dict(data)
-        return config
+        return _apply_parallel_flags(config, args)
     if not args.model:
         raise ConfigError("train needs a registered model name or --config FILE")
-    return RunConfig(
+    return _apply_parallel_flags(RunConfig(
         dataset=_dataset_section(args),
         model=ModelSection(
             name=args.model,
@@ -165,7 +187,7 @@ def _train_run_config(args: argparse.Namespace) -> RunConfig:
         ),
         evaluation=EvalSection(),
         seed=args.seed,
-    )
+    ), args)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -288,6 +310,15 @@ def _cmd_table(args: argparse.Namespace) -> int:
             epochs=args.epochs,
             seed=args.seed,
         )
+    if args.shards is not None or args.workers is not None:
+        import dataclasses
+
+        replacements = {}
+        if args.shards is not None:
+            replacements["eval_shards"] = args.shards
+        if args.workers is not None:
+            replacements["eval_workers"] = args.workers
+        settings = dataclasses.replace(settings, **replacements)
     dataset = build_dataset(settings)
     run_root = args.run_dir
     if args.number == 2:

@@ -348,12 +348,21 @@ class MultiEmbeddingModel(KGEModel):
         Reuses the :meth:`score_all_tails` factorisation but contracts the
         combined tensor only with the requested candidate rows, so the
         cost is ``O(b · c · n_e · D)`` instead of ``O(b · N · n_e · D)``.
+
+        When every query shares one ``(c,)`` candidate id array (the
+        sharded-evaluation sweep shape), the contraction is a single
+        matmul against one gathered ``(c, f)`` block instead of a
+        ``(b, c, f)`` per-query gather — same scores, ``b``× less gather
+        memory.
         """
+        shared = np.ndim(candidates) == 1
         anchors, relations, candidates = self._validate_candidate_query(
             anchors, relations, candidates, side
         )
         flat = self._combined_query_flat(anchors, relations, side)
         entity_flat = self.entity_embeddings.reshape(self.num_entities, -1)
+        if shared and len(candidates):
+            return flat @ entity_flat[candidates[0]].T
         return np.einsum("bf,bcf->bc", flat, entity_flat[candidates], optimize=True)
 
     # --------------------------------------------------------------- gradients

@@ -7,6 +7,12 @@ Checkpoints are a directory with two files:
 
 The format is deliberately framework-free so checkpoints written here
 can be consumed by any numpy-reading tool.
+
+The directory format is a thin shell around two in-memory halves,
+:func:`model_state` and :func:`model_from_state`, which are also what
+the parallel execution engine pickles to rebuild models inside worker
+processes (:mod:`repro.parallel.payload`) — one serialization contract,
+two transports.
 """
 
 from __future__ import annotations
@@ -24,10 +30,18 @@ from repro.errors import ModelError
 _FORMAT_VERSION = 1
 
 
-def save_model(model: MultiEmbeddingModel, directory: str | Path) -> None:
-    """Write *model* to *directory* (created if needed)."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+def model_state(model: MultiEmbeddingModel) -> tuple[dict, dict[str, np.ndarray]]:
+    """The ``(meta, arrays)`` pair fully describing *model*.
+
+    ``meta`` is JSON-compatible plain data, ``arrays`` maps array names
+    to the live embedding tables (no copies are taken — callers that
+    need isolation from further training must copy, and pickling or
+    ``np.savez`` both do).
+    """
+    if not isinstance(model, MultiEmbeddingModel):
+        raise ModelError(
+            f"only multi-embedding models are serializable, got {type(model).__name__}"
+        )
     arrays = {
         "entity_embeddings": model.entity_embeddings,
         "relation_embeddings": model.relation_embeddings,
@@ -44,6 +58,7 @@ def save_model(model: MultiEmbeddingModel, directory: str | Path) -> None:
         "weight_shape": list(model.weights.tensor.shape),
         "regularization": model.regularizer.strength,
         "unit_norm_entities": model.constraint is not None,
+        "use_compiled_kernel": model.use_compiled_kernel,
     }
     if isinstance(model, LearnedWeightModel):
         arrays["rho"] = model.rho
@@ -52,26 +67,22 @@ def save_model(model: MultiEmbeddingModel, directory: str | Path) -> None:
         if model.sparsity is not None:
             meta["sparsity_alpha"] = model.sparsity.alpha
             meta["sparsity_strength"] = model.sparsity.strength
-    np.savez(directory / "weights.npz", **arrays)
-    (directory / "meta.json").write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    return meta, arrays
 
 
-def load_model(directory: str | Path) -> MultiEmbeddingModel:
-    """Rebuild a model saved by :func:`save_model`.
+def model_from_state(meta: dict, arrays: dict[str, np.ndarray]) -> MultiEmbeddingModel:
+    """Rebuild a model from a :func:`model_state` pair.
 
-    The returned model scores identically to the saved one; optimizer
-    state is not checkpointed (retraining restarts moments from zero).
+    The returned model scores bit-identically to the source model: the
+    embedding tables are adopted as-is and the scoring engine flag
+    (``use_compiled_kernel``) is restored, so both take the same einsum
+    paths.  Optimizer state is not part of the contract (retraining
+    restarts moments from zero).
     """
-    directory = Path(directory)
-    meta_path = directory / "meta.json"
-    npz_path = directory / "weights.npz"
-    if not meta_path.exists() or not npz_path.exists():
-        raise ModelError(f"not a model checkpoint directory: {directory}")
-    meta = json.loads(meta_path.read_text(encoding="utf-8"))
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ModelError(f"unsupported checkpoint version: {meta.get('format_version')}")
-    with np.load(npz_path) as payload:
-        arrays = {key: payload[key] for key in payload.files}
+    # Checkpoints written before the engine flag existed ran the default.
+    use_kernel = bool(meta.get("use_compiled_kernel", True))
 
     rng = np.random.default_rng(0)  # tables are overwritten below
     if meta["model_class"] == "LearnedWeightModel":
@@ -93,6 +104,7 @@ def load_model(directory: str | Path) -> MultiEmbeddingModel:
             transform=meta["transform"],
             sparsity=sparsity,
             regularization=meta["regularization"],
+            use_compiled_kernel=use_kernel,
         )
         model.rho = arrays["rho"]
         model.refresh_omega()
@@ -106,6 +118,7 @@ def load_model(directory: str | Path) -> MultiEmbeddingModel:
             rng,
             regularization=meta["regularization"],
             unit_norm_entities=meta["unit_norm_entities"],
+            use_compiled_kernel=use_kernel,
         )
     else:
         raise ModelError(f"unknown model class in checkpoint: {meta['model_class']}")
@@ -114,3 +127,29 @@ def load_model(directory: str | Path) -> MultiEmbeddingModel:
     model.relation_embeddings = arrays["relation_embeddings"]
     model.name = meta["name"]
     return model
+
+
+def save_model(model: MultiEmbeddingModel, directory: str | Path) -> None:
+    """Write *model* to *directory* (created if needed)."""
+    meta, arrays = model_state(model)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    np.savez(directory / "weights.npz", **arrays)
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2), encoding="utf-8")
+
+
+def load_model(directory: str | Path) -> MultiEmbeddingModel:
+    """Rebuild a model saved by :func:`save_model`.
+
+    The returned model scores identically to the saved one; optimizer
+    state is not checkpointed (retraining restarts moments from zero).
+    """
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    npz_path = directory / "weights.npz"
+    if not meta_path.exists() or not npz_path.exists():
+        raise ModelError(f"not a model checkpoint directory: {directory}")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    with np.load(npz_path) as payload:
+        arrays = {key: payload[key] for key in payload.files}
+    return model_from_state(meta, arrays)

@@ -40,5 +40,9 @@ class EvaluationError(ReproError):
     """The evaluation protocol received inconsistent inputs."""
 
 
+class SweepError(ReproError):
+    """A sweep child failed in a worker process (carries its traceback)."""
+
+
 class ServingError(ReproError):
     """A serving-layer request was malformed or unserveable."""

@@ -13,7 +13,13 @@ from repro.eval.metrics import (
     compute_metrics,
     merge_metrics,
 )
-from repro.eval.ranking import TIE_POLICIES, rank_of_true, ranks_from_score_matrix
+from repro.eval.ranking import (
+    TIE_POLICIES,
+    comparison_counts,
+    rank_of_true,
+    ranks_from_counts,
+    ranks_from_score_matrix,
+)
 
 __all__ = [
     "DEFAULT_HITS_AT",
@@ -22,11 +28,13 @@ __all__ = [
     "LinkPredictionEvaluator",
     "RankingMetrics",
     "TIE_POLICIES",
+    "comparison_counts",
     "compute_metrics",
     "evaluate_per_relation",
     "format_per_relation_table",
     "merge_metrics",
     "rank_of_true",
+    "ranks_from_counts",
     "symmetry_gap",
     "ranks_from_score_matrix",
 ]

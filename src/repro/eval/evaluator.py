@@ -125,33 +125,67 @@ class LinkPredictionEvaluator:
         filter_index: FilterIndex | None,
         side: str,
     ) -> np.ndarray:
-        """Ranks of the true entity for every triple, one side at a time.
+        """Ranks of the true entity for every triple, one side at a time."""
+        return compute_side_ranks(
+            model,
+            triples,
+            filter_index,
+            side,
+            batch_size=self.batch_size,
+            tie_policy=self.tie_policy,
+        )
 
-        Streams chunks of ``batch_size`` queries through a
-        :class:`BatchedScorer`; each chunk's ``(chunk, num_entities)``
-        score matrix is ranked and discarded before the next is computed.
-        """
-        scorer = BatchedScorer(model, folded=False, chunk_size=self.batch_size)
-        if side == "tail":
-            anchors, true_indices = triples[:, 0], triples[:, 1]
-            lookup = filter_index.true_tails if filter_index is not None else None
-        else:
-            anchors, true_indices = triples[:, 1], triples[:, 0]
-            lookup = filter_index.true_heads if filter_index is not None else None
-        relations = triples[:, 2]
-        ranks: list[np.ndarray] = []
-        for start, stop, scores in scorer.iter_all_scores(anchors, relations, side):
-            filters = (
-                [
-                    lookup(int(anchor), int(relation))
-                    for anchor, relation in zip(anchors[start:stop], relations[start:stop])
-                ]
-                if lookup is not None
-                else None
-            )
-            ranks.append(
-                ranks_from_score_matrix(
-                    scores, true_indices[start:stop], filters, self.tie_policy
-                )
-            )
-        return np.concatenate(ranks)
+
+def side_queries(
+    triples: np.ndarray, filter_index: FilterIndex | None, side: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, object]:
+    """Decompose eval triples into one side's ranking queries.
+
+    Returns ``(anchors, relations, true_indices, lookup)`` where
+    ``lookup`` is the filter-index accessor for the side (or ``None``
+    under the raw protocol).  Shared by the serial evaluator and the
+    sharded workers so both sides of the protocol stay defined in one
+    place.
+    """
+    if side == "tail":
+        anchors, true_indices = triples[:, 0], triples[:, 1]
+        lookup = filter_index.true_tails if filter_index is not None else None
+    else:
+        anchors, true_indices = triples[:, 1], triples[:, 0]
+        lookup = filter_index.true_heads if filter_index is not None else None
+    return anchors, triples[:, 2], true_indices, lookup
+
+
+def compute_side_ranks(
+    model: KGEModel,
+    triples: np.ndarray,
+    filter_index: FilterIndex | None,
+    side: str,
+    batch_size: int,
+    tie_policy: str = "average",
+) -> np.ndarray:
+    """Ranks of the true entity for every triple on one side.
+
+    Streams chunks of ``batch_size`` queries through a
+    :class:`BatchedScorer`; each chunk's ``(chunk, num_entities)`` score
+    matrix is ranked and discarded before the next is computed.  This is
+    the serial evaluator's engine, exposed at module level so the
+    sharded evaluation workers (:mod:`repro.parallel.sharded_eval`) run
+    the *exact* same per-chunk computation on their triple shards.
+    """
+    scorer = BatchedScorer(model, folded=False, chunk_size=batch_size)
+    anchors, relations, true_indices, lookup = side_queries(triples, filter_index, side)
+    ranks: list[np.ndarray] = []
+    for start, stop, scores in scorer.iter_all_scores(anchors, relations, side):
+        filters = (
+            [
+                lookup(int(anchor), int(relation))
+                for anchor, relation in zip(anchors[start:stop], relations[start:stop])
+            ]
+            if lookup is not None
+            else None
+        )
+        ranks.append(
+            ranks_from_score_matrix(scores, true_indices[start:stop], filters, tie_policy)
+        )
+    return np.concatenate(ranks)

@@ -30,6 +30,7 @@ from repro.pipeline.config import (
     DatasetSection,
     EvalSection,
     ModelSection,
+    ParallelSection,
     RunConfig,
     TrainingSection,
 )
@@ -63,6 +64,10 @@ class ExperimentSettings:
     patience: int = 100
     seed: int = 0
     train_eval_triples: int = 1000
+    # Sharded-evaluation knobs (repro.parallel); they change evaluation
+    # wall-clock and memory only — metrics stay bit-identical.
+    eval_shards: int = 1
+    eval_workers: int = 0
 
     def training_config(self) -> TrainingConfig:
         """The :class:`TrainingConfig` implied by these settings."""
@@ -114,6 +119,9 @@ class ExperimentSettings:
                 evaluate_train=evaluate_train,
                 train_eval_triples=self.train_eval_triples,
             ),
+            parallel=ParallelSection(
+                eval_shards=self.eval_shards, eval_workers=self.eval_workers
+            ),
             seed=self.seed,
             label=label,
         )
@@ -148,6 +156,8 @@ class ExperimentSettings:
             patience=config.training.patience,
             seed=config.seed,
             train_eval_triples=config.evaluation.train_eval_triples,
+            eval_shards=config.parallel.eval_shards,
+            eval_workers=config.parallel.eval_workers,
         )
 
 

@@ -1,0 +1,55 @@
+"""Parallel execution engine: process pools, sharded eval, parallel sweeps.
+
+The engine has three layers:
+
+* :mod:`repro.parallel.pool` — the one process-pool primitive
+  (:func:`~repro.parallel.pool.run_tasks`) with an in-process
+  ``workers=0`` fallback and per-task crash capture;
+* :mod:`repro.parallel.payload` — in-memory model checkpoints so worker
+  processes rebuild bit-identical scorers without touching disk;
+* two consumers: :mod:`repro.parallel.sharded_eval` (sharded link-
+  prediction evaluation, metrics bit-identical to the serial evaluator)
+  and :mod:`repro.parallel.sweeps` (crash-isolated, resumable sweep
+  children for :func:`repro.pipeline.sweep.sweep`).
+
+Submodules are imported lazily (PEP 562): ``sweeps`` imports the
+pipeline runner, which itself reaches back here for sharded evaluation,
+so eager imports would cycle.
+"""
+
+from __future__ import annotations
+
+_LAZY_EXPORTS = {
+    "TaskOutcome": "repro.parallel.pool",
+    "default_start_method": "repro.parallel.pool",
+    "run_tasks": "repro.parallel.pool",
+    "ModelPayload": "repro.parallel.payload",
+    "model_from_payload": "repro.parallel.payload",
+    "model_to_payload": "repro.parallel.payload",
+    "SHARD_AXES": "repro.parallel.sharded_eval",
+    "ShardPlan": "repro.parallel.sharded_eval",
+    "ShardedEvaluator": "repro.parallel.sharded_eval",
+    "plan_shards": "repro.parallel.sharded_eval",
+    "config_hash": "repro.parallel.sweeps",
+    "load_cached_child": "repro.parallel.sweeps",
+    "read_status": "repro.parallel.sweeps",
+    "run_sweep_child": "repro.parallel.sweeps",
+    "write_status": "repro.parallel.sweeps",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache; also defeats submodule-name shadowing
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,55 @@
+"""In-memory model checkpoints for shipping models to worker processes.
+
+Worker processes never receive a live model object: they receive a
+:class:`ModelPayload` — the same ``(meta, arrays)`` state that disk
+checkpoints store (:mod:`repro.core.serialization`), minus the
+filesystem.  Rebuilding from the payload restores the embedding tables
+bit-for-bit *and* the scoring-engine flag, so a worker-side model scores
+bit-identically to the parent's — the property the sharded evaluator's
+exactness guarantee rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import KGEModel
+from repro.core.interaction import MultiEmbeddingModel
+from repro.core.serialization import model_from_state, model_state
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class ModelPayload:
+    """A picklable, framework-free snapshot of a multi-embedding model."""
+
+    meta: dict
+    arrays: dict[str, np.ndarray]
+
+    def nbytes(self) -> int:
+        """Total array payload size (what pickling ships per worker)."""
+        return int(sum(array.nbytes for array in self.arrays.values()))
+
+
+def model_to_payload(model: KGEModel) -> ModelPayload:
+    """Snapshot *model* for transport to worker processes.
+
+    Arrays are copied so later in-place training in the parent cannot
+    race the payload (fork shares pages; spawn pickles — either way the
+    payload must be frozen at snapshot time).
+    """
+    if not isinstance(model, MultiEmbeddingModel):
+        raise ModelError(
+            "parallel workers rebuild models from checkpoint state, which only "
+            f"multi-embedding models support; got {type(model).__name__}. "
+            "Use workers=0 for in-process sharding of other model classes."
+        )
+    meta, arrays = model_state(model)
+    return ModelPayload(meta=meta, arrays={k: np.array(v) for k, v in arrays.items()})
+
+
+def model_from_payload(payload: ModelPayload) -> MultiEmbeddingModel:
+    """Rebuild the model inside a worker; scores bit-identical to the source."""
+    return model_from_state(payload.meta, dict(payload.arrays))

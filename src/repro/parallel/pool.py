@@ -1,0 +1,149 @@
+"""Process-pool execution primitives for the parallel engine.
+
+:func:`run_tasks` is the one place worker processes are created: both
+sharded evaluation and parallel sweeps funnel their work through it.  It
+deliberately has a tiny contract —
+
+* ``workers=0`` runs every task in-process (no subprocess, no pickling),
+  so callers get a deterministic fallback with identical semantics and
+  the parallel paths stay testable without multiprocessing;
+* ``workers>=1`` runs tasks on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, with per-worker
+  state set up once through *initializer*/*initargs* instead of being
+  re-pickled per task;
+* a task that raises never kills the batch — every task yields a
+  :class:`TaskOutcome` carrying either the value or the formatted
+  worker traceback, and the caller decides whether failure is fatal
+  (evaluation) or isolated (sweeps).  Even *hard* worker death (OOM
+  kill, segfault, a crashing initializer) comes back as error outcomes
+  rather than a hang: the executor marks the pool broken and every
+  unfinished task reports it (``multiprocessing.Pool.map`` would
+  respawn workers and block forever on the lost task).
+
+Results always come back in task order, regardless of which worker
+finished first.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigError
+
+
+#: True in processes forked/spawned by :func:`run_tasks` (set by the
+#: worker bootstrap).  ProcessPoolExecutor workers are *not* daemonic
+#: (since Python 3.9), so the ``daemon`` flag cannot be used to detect
+#: "I am already a pool worker"; consumers that must not nest pools
+#: (e.g. sharded evaluation inside a sweep child) check this instead.
+_IN_WORKER_PROCESS = False
+
+
+def in_worker_process() -> bool:
+    """Whether the current process is a :func:`run_tasks` pool worker."""
+    return _IN_WORKER_PROCESS
+
+
+def _worker_bootstrap(initializer: Callable[..., None] | None, initargs: tuple) -> None:
+    """Per-worker setup: mark the process, then run the caller's initializer."""
+    global _IN_WORKER_PROCESS
+    _IN_WORKER_PROCESS = True
+    if initializer is not None:
+        initializer(*initargs)
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """The result of one task: its value, or the error that ate it."""
+
+    index: int
+    value: Any = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def default_start_method() -> str:
+    """``"fork"`` where available (cheap, inherits page cache), else ``"spawn"``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _call_captured(fn: Callable[[Any], Any], indexed_task: tuple[int, Any]) -> TaskOutcome:
+    """Run one task, converting any exception into an error outcome."""
+    index, task = indexed_task
+    try:
+        return TaskOutcome(index=index, value=fn(task))
+    except BaseException:  # noqa: BLE001 — worker tracebacks must travel home
+        return TaskOutcome(index=index, error=traceback.format_exc())
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: int = 0,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+    start_method: str | None = None,
+) -> list[TaskOutcome]:
+    """Apply *fn* to every task, optionally across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable (it must be picklable when ``workers>=1``).
+    tasks:
+        The work items, applied in order.
+    workers:
+        ``0`` — in-process execution; ``>=1`` — pool of that many
+        processes.  The pool is sized down to ``len(tasks)`` so idle
+        workers are never forked.
+    initializer, initargs:
+        Per-worker setup, run once per process before any task (the
+        standard :class:`multiprocessing.Pool` contract).  With
+        ``workers=0`` the initializer runs once in-process, so both
+        modes see identical module state.
+    start_method:
+        ``"fork"``/``"spawn"``/``"forkserver"`` override; defaults to
+        :func:`default_start_method`.
+    """
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    indexed = list(enumerate(tasks))
+    if workers == 0:
+        if initializer is not None:
+            initializer(*initargs)
+        return [_call_captured(fn, item) for item in indexed]
+    context = multiprocessing.get_context(start_method or default_start_method())
+    processes = min(workers, len(tasks))
+    outcomes: list[TaskOutcome] = []
+    with ProcessPoolExecutor(
+        max_workers=processes,
+        mp_context=context,
+        initializer=_worker_bootstrap,
+        initargs=(initializer, initargs),
+    ) as pool:
+        futures = [pool.submit(partial(_call_captured, fn), item) for item in indexed]
+        for (index, _), future in zip(indexed, futures):
+            try:
+                outcomes.append(future.result())
+            except BaseException as error:  # noqa: BLE001 — BrokenProcessPool et al.
+                outcomes.append(
+                    TaskOutcome(
+                        index=index,
+                        error=(
+                            "worker process died before returning "
+                            f"({type(error).__name__}: {error})"
+                        ),
+                    )
+                )
+    return outcomes

@@ -1,0 +1,174 @@
+"""Worker-side machinery for parallel hyperparameter sweeps.
+
+:func:`repro.pipeline.sweep.sweep` expands a grid into child
+:class:`~repro.pipeline.config.RunConfig`\\ s; this module runs those
+children — in-process or across a worker pool — with three guarantees:
+
+* **determinism** — a child's result depends only on its config (every
+  RNG stream derives from config seeds), so worker count and scheduling
+  order cannot change any run's artifacts;
+* **crash isolation** — a child that raises records ``status.json`` with
+  ``status: "failed"`` (plus the traceback) in its run directory and the
+  sweep continues; the parent decides whether to re-raise;
+* **resumability** — completed children leave ``status.json`` carrying a
+  hash of their config, so re-running the same sweep over the same
+  ``run_root`` skips them (see :func:`load_cached_child`).
+
+Worker processes never receive live Python objects from the parent
+beyond an optional pinned dataset: each child rebuilds its dataset from
+its config through a per-process cache, exactly like a fresh serial run
+would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import traceback
+from pathlib import Path
+
+from repro.eval.metrics import RankingMetrics
+from repro.kg.graph import KGDataset
+from repro.pipeline.config import RunConfig
+from repro.pipeline.runner import (
+    RunResult,
+    _metrics_from_dict,
+    _metrics_to_dict,
+    run_pipeline,
+)
+
+_STATUS_FILE = "status.json"
+_METRICS_FILE = "metrics.json"
+
+
+def config_hash(config: RunConfig) -> str:
+    """Stable content hash of a config — the sweep result-cache key."""
+    return hashlib.sha256(config.to_json().encode("utf-8")).hexdigest()
+
+
+def write_status(
+    run_dir: str | Path, status: str, config_sha256: str, error: str | None = None
+) -> None:
+    """Record a child's outcome in its run directory.
+
+    Deliberately timestamp-free: two runs of the same sweep must produce
+    byte-identical run-dir trees.
+    """
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    payload = {"status": status, "config_sha256": config_sha256, "error": error}
+    (run_dir / _STATUS_FILE).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def read_status(run_dir: str | Path) -> dict | None:
+    """The ``status.json`` payload of a child run dir, or ``None``."""
+    path = Path(run_dir) / _STATUS_FILE
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def load_cached_child(
+    run_dir: str | Path, config: RunConfig
+) -> dict[str, RankingMetrics] | None:
+    """Metrics of a previously *completed* child with an identical config.
+
+    Returns ``None`` (run the child) unless ``status.json`` reports
+    ``completed`` **and** the stored config hash matches — a stale dir
+    from an edited grid is re-run, never silently reused.  Failed
+    children are always retried.
+    """
+    status = read_status(run_dir)
+    if not status or status.get("status") != "completed":
+        return None
+    if status.get("config_sha256") != config_hash(config):
+        return None
+    metrics_path = Path(run_dir) / _METRICS_FILE
+    if not metrics_path.exists():
+        return None
+    stored = json.loads(metrics_path.read_text(encoding="utf-8"))
+    return {split: _metrics_from_dict(data) for split, data in stored.items()}
+
+
+# ----------------------------------------------------------------- worker side
+#: Per-process dataset cache, keyed by the dataset section's JSON — a
+#: worker running several children of one sweep builds the graph once,
+#: mirroring the serial sweep's parent-side cache.
+_DATASET_CACHE: dict[str, KGDataset] = {}
+
+#: Dataset pinned by the parent for every child (via the pool initializer).
+_PINNED_DATASET: KGDataset | None = None
+
+
+def _init_sweep_context(pinned_dataset: KGDataset | None) -> None:
+    global _PINNED_DATASET
+    _PINNED_DATASET = pinned_dataset
+    _DATASET_CACHE.clear()
+
+
+def child_dataset(
+    config: RunConfig,
+    cache: dict[str, KGDataset],
+    pinned: KGDataset | None = None,
+) -> KGDataset:
+    """The dataset for one sweep child, built at most once per *cache*.
+
+    The single cache-key scheme shared by serial sweeps (parent-side
+    cache dict) and pool workers (their process-global cache): children
+    whose ``dataset`` sections serialize identically share one build.
+    """
+    if pinned is not None:
+        return pinned
+    key = json.dumps(
+        {"generator": config.dataset.generator, "params": config.dataset.params},
+        sort_keys=True,
+        default=str,
+    )
+    dataset = cache.get(key)
+    if dataset is None:
+        dataset = config.dataset.build()
+        cache[key] = dataset
+    return dataset
+
+
+def run_sweep_child(task: dict) -> dict:
+    """Execute one sweep child end-to-end inside this process.
+
+    ``task`` carries ``{"config": <RunConfig dict>, "run_dir": str|None}``.
+    Returns a picklable summary — never raises: failures come back as
+    ``{"status": "failed", "error": <traceback>}`` and are also recorded
+    in the run dir, so one bad grid point cannot kill the sweep.
+    """
+    config = RunConfig.from_dict(task["config"])
+    run_dir = task.get("run_dir")
+    digest = config_hash(config)
+    try:
+        dataset = child_dataset(config, _DATASET_CACHE, _PINNED_DATASET)
+        result: RunResult = run_pipeline(config, dataset=dataset, run_dir=run_dir)
+        if run_dir is not None:
+            write_status(run_dir, "completed", digest)
+        return {
+            "status": "completed",
+            "metrics": {
+                split: _metrics_to_dict(m) for split, m in result.metrics.items()
+            },
+        }
+    except BaseException:  # noqa: BLE001 — crash isolation is the contract
+        error = traceback.format_exc()
+        if run_dir is not None:
+            write_status(run_dir, "failed", digest, error=error)
+        return {"status": "failed", "error": error}
+
+
+def metrics_from_summary(summary: dict) -> dict[str, RankingMetrics] | None:
+    """Rebuild the metrics mapping from a :func:`run_sweep_child` summary."""
+    if summary.get("metrics") is None:
+        return None
+    return {
+        split: _metrics_from_dict(data) for split, data in summary["metrics"].items()
+    }

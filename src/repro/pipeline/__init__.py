@@ -37,6 +37,7 @@ _LAZY_EXPORTS = {
     "DatasetSection": "repro.pipeline.config",
     "EvalSection": "repro.pipeline.config",
     "ModelSection": "repro.pipeline.config",
+    "ParallelSection": "repro.pipeline.config",
     "RunConfig": "repro.pipeline.config",
     "TrainingSection": "repro.pipeline.config",
     "LoadedRun": "repro.pipeline.runner",
@@ -61,7 +62,14 @@ def __getattr__(name: str):
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     import importlib
 
-    return getattr(importlib.import_module(module_name), name)
+    value = getattr(importlib.import_module(module_name), name)
+    # Cache the resolved attribute.  Not just an optimisation: for an
+    # export whose name equals its host submodule (``sweep``), importing
+    # the submodule binds the *module object* onto this package, and
+    # ``from repro.pipeline import sweep`` would then pick up the module
+    # instead of the function.  Writing the resolved value last wins.
+    globals()[name] = value
+    return value
 
 
 def __dir__() -> list[str]:

@@ -194,6 +194,48 @@ class EvalSection:
             )
 
 
+_SHARD_AXES = ("triples", "entities")
+
+
+@dataclass(frozen=True)
+class ParallelSection:
+    """Parallel-execution settings for the run's evaluation phase.
+
+    ``eval_shards`` splits every ranking evaluation into that many
+    shards along ``shard_axis``; ``eval_workers`` scores the shards in
+    that many worker processes (``0`` = in-process).  These knobs are
+    meant to change wall-clock time and peak memory, never results:
+    the ``"triples"`` axis (default) is bit-identical to the serial
+    evaluator *by construction*, the ``"entities"`` axis by regression
+    contract (see :mod:`repro.parallel.sharded_eval` for the exact
+    guarantee each axis carries).
+    """
+
+    eval_shards: int = 1
+    eval_workers: int = 0
+    shard_axis: str = "triples"
+
+    def __post_init__(self) -> None:
+        if self.eval_shards < 1:
+            raise ConfigError(
+                f"parallel.eval_shards must be >= 1, got {self.eval_shards}"
+            )
+        if self.eval_workers < 0:
+            raise ConfigError(
+                f"parallel.eval_workers must be >= 0, got {self.eval_workers}"
+            )
+        if self.shard_axis not in _SHARD_AXES:
+            raise ConfigError(
+                f"parallel.shard_axis must be one of {list(_SHARD_AXES)}, "
+                f"got {self.shard_axis!r}"
+            )
+
+    @property
+    def is_serial(self) -> bool:
+        """Whether this section selects the plain serial evaluator."""
+        return self.eval_shards == 1 and self.eval_workers == 0
+
+
 @dataclass(frozen=True)
 class RunConfig:
     """A complete, serializable description of one training/eval run."""
@@ -202,6 +244,7 @@ class RunConfig:
     model: ModelSection = field(default_factory=ModelSection)
     training: TrainingSection = field(default_factory=TrainingSection)
     evaluation: EvalSection = field(default_factory=EvalSection)
+    parallel: ParallelSection = field(default_factory=ParallelSection)
     seed: int = 0
     label: str | None = None
 
@@ -211,6 +254,7 @@ class RunConfig:
             ("model", ModelSection),
             ("training", TrainingSection),
             ("evaluation", EvalSection),
+            ("parallel", ParallelSection),
         ):
             if not isinstance(getattr(self, name), cls):
                 raise ConfigError(f"RunConfig.{name} must be a {cls.__name__}")
@@ -244,6 +288,9 @@ class RunConfig:
             ),
             evaluation=_section_from_dict(
                 EvalSection, data.get("evaluation", {}), "evaluation"
+            ),
+            parallel=_section_from_dict(
+                ParallelSection, data.get("parallel", {}), "parallel"
             ),
             seed=seed,
             label=data.get("label"),

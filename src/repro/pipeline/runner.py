@@ -131,10 +131,26 @@ def build_model(config: RunConfig, dataset: KGDataset) -> KGEModel:
 def _evaluate(
     config: RunConfig, dataset: KGDataset, model: KGEModel
 ) -> dict[str, RankingMetrics]:
-    """The run's evaluation protocol; shared by training and reloading."""
+    """The run's evaluation protocol; shared by training and reloading.
+
+    ``config.parallel`` selects between the serial evaluator and the
+    sharded/multi-process one; both produce bit-identical metrics, so
+    the choice never changes what a run dir records.
+    """
     section = config.evaluation
     kwargs = {} if section.batch_size is None else {"batch_size": section.batch_size}
-    evaluator = LinkPredictionEvaluator(dataset, **kwargs)
+    if config.parallel.is_serial:
+        evaluator = LinkPredictionEvaluator(dataset, **kwargs)
+    else:
+        from repro.parallel.sharded_eval import ShardedEvaluator
+
+        evaluator = ShardedEvaluator(
+            dataset,
+            shards=config.parallel.eval_shards,
+            workers=config.parallel.eval_workers,
+            shard_axis=config.parallel.shard_axis,
+            **kwargs,
+        )
     metrics = {section.split: evaluator.evaluate(model, split=section.split).overall}
     if section.evaluate_train:
         train_result = evaluator.evaluate_triples(

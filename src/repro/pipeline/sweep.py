@@ -13,19 +13,24 @@ field paths::
 Expansion is deterministic (sorted keys, row-major product, seeds
 outermost), every child config revalidates through ``RunConfig``, and —
 because each child's RNG streams derive only from its config — running
-the same grid spec twice yields bit-identical per-run metrics.
+the same grid spec twice yields bit-identical per-run metrics.  With
+``workers=N`` the children execute on a process pool
+(:mod:`repro.parallel.sweeps`) with crash isolation and a config-hash
+result cache, still writing the exact run-dir trees a serial sweep
+would.
 """
 
 from __future__ import annotations
 
 import itertools
-import json
 import re
+import traceback
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SweepError
+from repro.eval.metrics import RankingMetrics
 from repro.kg.graph import KGDataset
 from repro.pipeline.config import RunConfig
 from repro.pipeline.runner import RunResult, run_pipeline
@@ -93,43 +98,65 @@ def _slug(overrides: Mapping[str, Any], seed: int | None) -> str:
 
 @dataclass
 class SweepRun:
-    """One child run of a sweep: its overrides, config, and result."""
+    """One child run of a sweep: its overrides, config, and outcome.
+
+    ``status`` is ``"completed"``, ``"failed"`` (crash-isolated child;
+    see *on_error*) or ``"cached"`` (skipped because a previous sweep
+    already completed an identical config in the same ``run_root``).
+    ``result`` carries the full in-memory :class:`RunResult` only for
+    children executed serially in this process (``workers=0``); pool
+    children and cached children expose their ``metrics`` instead.
+    """
 
     index: int
     overrides: dict[str, Any]
     config: RunConfig
-    result: RunResult
+    result: RunResult | None = None
+    status: str = "completed"
+    error: str | None = None
+    metrics: dict[str, RankingMetrics] | None = None
+    run_dir: Path | None = None
 
     @property
     def label(self) -> str:
         return self.config.label or f"run{self.index:03d}"
 
+    @property
+    def ok(self) -> bool:
+        return self.status in ("completed", "cached")
 
-def sweep(
+    @property
+    def test_metrics(self) -> RankingMetrics | None:
+        """Metrics on the child's evaluation split, however it was run."""
+        if self.metrics is None:
+            return None
+        return self.metrics.get(self.config.evaluation.split)
+
+
+@dataclass(frozen=True)
+class _ChildSpec:
+    """One planned child: everything needed to run (or skip) it."""
+
+    index: int
+    overrides: dict[str, Any]
+    config: RunConfig
+    slug: str
+    run_dir: Path | None
+
+
+def _plan_children(
     base: RunConfig,
     grid: Mapping[str, Sequence[Any]],
-    seeds: Sequence[int] | None = None,
-    run_root: str | Path | None = None,
-    dataset: KGDataset | None = None,
-) -> list[SweepRun]:
-    """Run every grid point (crossed with *seeds*, if given) as a child run.
-
-    Each child is ``base`` with its grid overrides applied (and its
-    ``seed`` replaced when *seeds* is given), labelled deterministically.
-    With *run_root*, child ``i`` persists its artifacts under
-    ``run_root/run<i>-<slug>/``.  Datasets are cached per distinct
-    ``dataset`` section, so a sweep over training hyperparameters builds
-    the graph once.  Pass *dataset* to pin one shared dataset for every
-    child regardless of config.
-    """
+    seeds: Sequence[int] | None,
+    run_root: str | Path | None,
+) -> list[_ChildSpec]:
+    """Expand the grid into fully-resolved child specs, in sweep order."""
     seed_list: list[int | None] = list(seeds) if seeds is not None else [None]
     if not seed_list:
         raise ConfigError("seeds must be non-empty when given")
-    points = expand_grid(grid)
-    dataset_cache: dict[str, KGDataset] = {}
-    runs: list[SweepRun] = []
+    specs: list[_ChildSpec] = []
     index = 0
-    for overrides in points:
+    for overrides in expand_grid(grid):
         for seed in seed_list:
             child_overrides = dict(overrides)
             if seed is not None:
@@ -139,23 +166,166 @@ def sweep(
             config = RunConfig.from_dict(
                 {**config.to_dict(), "label": config.label or slug}
             )
-            child_dataset = dataset
-            if child_dataset is None:
-                key = json.dumps(
-                    {"generator": config.dataset.generator, "params": config.dataset.params},
-                    sort_keys=True,
-                    default=str,
-                )
-                child_dataset = dataset_cache.get(key)
-                if child_dataset is None:
-                    child_dataset = config.dataset.build()
-                    dataset_cache[key] = child_dataset
             run_dir = (
-                Path(run_root) / f"run{index:03d}-{slug}" if run_root is not None else None
+                Path(run_root) / f"run{index:03d}-{slug}"
+                if run_root is not None
+                else None
             )
-            result = run_pipeline(config, dataset=child_dataset, run_dir=run_dir)
-            runs.append(
-                SweepRun(index=index, overrides=child_overrides, config=config, result=result)
+            specs.append(
+                _ChildSpec(
+                    index=index,
+                    overrides=child_overrides,
+                    config=config,
+                    slug=slug,
+                    run_dir=run_dir,
+                )
             )
             index += 1
-    return runs
+    return specs
+
+
+def _run_serial_child(
+    spec: _ChildSpec,
+    dataset: KGDataset | None,
+    dataset_cache: dict[str, KGDataset],
+    on_error: str,
+) -> SweepRun:
+    """Run one child in this process, keeping the full RunResult."""
+    from repro.parallel.sweeps import child_dataset, config_hash, write_status
+
+    digest = config_hash(spec.config)
+    try:
+        built = child_dataset(spec.config, dataset_cache, pinned=dataset)
+        result = run_pipeline(spec.config, dataset=built, run_dir=spec.run_dir)
+    except Exception:
+        error = traceback.format_exc()
+        if spec.run_dir is not None:
+            write_status(spec.run_dir, "failed", digest, error=error)
+        if on_error == "raise":
+            raise
+        return SweepRun(
+            index=spec.index,
+            overrides=spec.overrides,
+            config=spec.config,
+            status="failed",
+            error=error,
+            run_dir=spec.run_dir,
+        )
+    if spec.run_dir is not None:
+        write_status(spec.run_dir, "completed", digest)
+    return SweepRun(
+        index=spec.index,
+        overrides=spec.overrides,
+        config=spec.config,
+        result=result,
+        metrics=dict(result.metrics),
+        run_dir=spec.run_dir,
+    )
+
+
+def sweep(
+    base: RunConfig,
+    grid: Mapping[str, Sequence[Any]],
+    seeds: Sequence[int] | None = None,
+    run_root: str | Path | None = None,
+    dataset: KGDataset | None = None,
+    workers: int = 0,
+    on_error: str | None = None,
+    resume: bool = True,
+) -> list[SweepRun]:
+    """Run every grid point (crossed with *seeds*, if given) as a child run.
+
+    Each child is ``base`` with its grid overrides applied (and its
+    ``seed`` replaced when *seeds* is given), labelled deterministically.
+    With *run_root*, child ``i`` persists its artifacts under
+    ``run_root/run<i>-<slug>/`` — including a ``status.json`` whose
+    config hash makes completed children *resumable*: re-running the
+    same sweep over the same root skips them (``status="cached"``,
+    ``result=None`` — read their ``metrics``/``test_metrics`` instead).
+    Pass ``resume=False`` to ignore the cache and re-execute every
+    child (results are overwritten in place).
+
+    ``workers`` dispatches children to that many worker processes
+    (``0`` = serial in-process execution).  Every child's RNG streams
+    derive only from its config, so worker count and scheduling cannot
+    change any result — parallel and serial sweeps write identical
+    run-dir trees.
+
+    ``on_error`` controls crash isolation: ``"record"`` (default for
+    ``workers >= 1``) turns a failing child into a ``status="failed"``
+    entry (recorded in its run dir) and continues; ``"raise"`` (default
+    for serial sweeps, matching the historical behaviour) re-raises.
+
+    Datasets are cached per distinct ``dataset`` section — serially in
+    the parent, per-process in workers — so a sweep over training
+    hyperparameters builds each graph once per process.  Pass *dataset*
+    to pin one shared dataset for every child regardless of config.
+    """
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    if on_error is None:
+        on_error = "raise" if workers == 0 else "record"
+    if on_error not in ("raise", "record"):
+        raise ConfigError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    from repro.parallel import sweeps as parallel_sweeps
+
+    specs = _plan_children(base, grid, seeds, run_root)
+
+    runs: dict[int, SweepRun] = {}
+    pending: list[_ChildSpec] = []
+    for spec in specs:
+        cached = (
+            parallel_sweeps.load_cached_child(spec.run_dir, spec.config)
+            if resume and spec.run_dir is not None
+            else None
+        )
+        if cached is not None:
+            runs[spec.index] = SweepRun(
+                index=spec.index,
+                overrides=spec.overrides,
+                config=spec.config,
+                status="cached",
+                metrics=cached,
+                run_dir=spec.run_dir,
+            )
+        else:
+            pending.append(spec)
+
+    if workers == 0:
+        dataset_cache: dict[str, KGDataset] = {}
+        for spec in pending:
+            runs[spec.index] = _run_serial_child(spec, dataset, dataset_cache, on_error)
+    elif pending:
+        from repro.parallel.pool import run_tasks
+
+        tasks = [
+            {
+                "config": spec.config.to_dict(),
+                "run_dir": str(spec.run_dir) if spec.run_dir is not None else None,
+            }
+            for spec in pending
+        ]
+        outcomes = run_tasks(
+            parallel_sweeps.run_sweep_child,
+            tasks,
+            workers=workers,
+            initializer=parallel_sweeps._init_sweep_context,
+            initargs=(dataset,),
+        )
+        for spec, outcome in zip(pending, outcomes):
+            summary = outcome.value if outcome.ok else {"status": "failed", "error": outcome.error}
+            run = SweepRun(
+                index=spec.index,
+                overrides=spec.overrides,
+                config=spec.config,
+                status=summary["status"],
+                error=summary.get("error"),
+                metrics=parallel_sweeps.metrics_from_summary(summary),
+                run_dir=spec.run_dir,
+            )
+            runs[spec.index] = run
+            if not run.ok and on_error == "raise":
+                # The original exception object died with the worker;
+                # SweepError is the dedicated carrier for its traceback.
+                raise SweepError(f"sweep child {run.label!r} failed:\n{run.error}")
+    return [runs[index] for index in sorted(runs)]

@@ -9,6 +9,34 @@ from repro.kg.graph import KGDataset
 from repro.kg.synthetic import SyntheticKGConfig, generate_synthetic_kg
 
 
+@pytest.fixture(autouse=True)
+def _isolated_registries():
+    """Snapshot/restore every component registry around each test.
+
+    Several suites register throwaway components (models, optimizers,
+    losses, samplers, dataset generators) to exercise the registry
+    machinery.  Without isolation, a leaked registration makes results
+    depend on test execution *order* — harmless under ``-x -q`` today,
+    but a landmine for xdist-style reordering or partial runs.  The
+    snapshot is cheap (shallow dict copies), so it runs for every test.
+    """
+    import repro.pipeline.components as components
+
+    registries = (
+        components.MODELS,
+        components.OMEGA_PRESETS,
+        components.OPTIMIZERS,
+        components.LOSSES,
+        components.NEGATIVE_SAMPLERS,
+        components.DATASET_GENERATORS,
+    )
+    snapshots = [dict(registry._entries) for registry in registries]
+    yield
+    for registry, snapshot in zip(registries, snapshots):
+        registry._entries.clear()
+        registry._entries.update(snapshot)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""

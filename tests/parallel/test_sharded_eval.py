@@ -1,0 +1,248 @@
+"""Sharded evaluation: shard plans, payload round-trips, bit-identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.transe import TransE
+from repro.core.models import make_model
+from repro.core.weights import PRESETS
+from repro.errors import EvaluationError, ModelError
+from repro.eval.evaluator import LinkPredictionEvaluator
+from repro.eval.ranking import comparison_counts, rank_of_true, ranks_from_counts
+from repro.parallel.payload import model_from_payload, model_to_payload
+from repro.parallel.sharded_eval import ShardedEvaluator, plan_shards
+from repro.training.trainer import Trainer, TrainingConfig
+
+pytestmark = pytest.mark.parallel
+
+
+def _assert_same_metrics(a, b):
+    """Bit-identical EvaluationResults, every aggregate and side."""
+    for field in ("overall", "tail_side", "head_side"):
+        ma, mb = getattr(a, field), getattr(b, field)
+        assert ma.mrr == mb.mrr
+        assert ma.mr == mb.mr
+        assert ma.hits == mb.hits
+        assert ma.num_ranks == mb.num_ranks
+
+
+@pytest.fixture(scope="module")
+def trained_model(tiny_dataset):
+    model = make_model(
+        PRESETS.get("complex"),
+        tiny_dataset.num_entities,
+        tiny_dataset.num_relations,
+        total_dim=16,
+        rng=np.random.default_rng(5),
+    )
+    config = TrainingConfig(epochs=3, batch_size=256, seed=0, verbose=False)
+    Trainer(tiny_dataset, config).train(model)
+    return model
+
+
+@pytest.fixture(scope="module")
+def serial_result(tiny_dataset, trained_model):
+    return LinkPredictionEvaluator(tiny_dataset, batch_size=32).evaluate(
+        trained_model, "test"
+    )
+
+
+class TestPlanShards:
+    def test_bounds_cover_total(self):
+        plan = plan_shards(100, 3, "triples", align=8)
+        assert plan.bounds[0] == 0 and plan.bounds[-1] == 100
+        assert list(plan.bounds) == sorted(plan.bounds)
+
+    def test_interior_bounds_are_aligned(self):
+        plan = plan_shards(103, 4, "triples", align=16)
+        for bound in plan.bounds[1:-1]:
+            assert bound % 16 == 0
+
+    def test_slices_skip_empty_shards(self):
+        plan = plan_shards(2, 5, "entities")
+        covered = []
+        for start, stop in plan.slices():
+            assert stop > start
+            covered.extend(range(start, stop))
+        assert covered == [0, 1]
+
+    def test_single_shard_is_everything(self):
+        assert plan_shards(7, 1, "entities").slices() == [(0, 7)]
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError, match="axis"):
+            plan_shards(10, 2, "relations")
+        with pytest.raises(EvaluationError, match="shards"):
+            plan_shards(10, 0, "triples")
+        with pytest.raises(EvaluationError, match="alignment"):
+            plan_shards(10, 2, "triples", align=0)
+
+
+class TestPayload:
+    def test_round_trip_scores_bit_identical(self, trained_model):
+        rebuilt = model_from_payload(model_to_payload(trained_model))
+        heads = np.arange(10, dtype=np.int64)
+        tails = np.arange(10, 20, dtype=np.int64)
+        relations = np.zeros(10, dtype=np.int64)
+        assert np.array_equal(
+            rebuilt.score_triples(heads, tails, relations),
+            trained_model.score_triples(heads, tails, relations),
+        )
+        assert np.array_equal(
+            rebuilt.score_all_tails(heads, relations),
+            trained_model.score_all_tails(heads, relations),
+        )
+
+    def test_engine_flag_preserved(self, tiny_dataset):
+        dense = make_model(
+            PRESETS.get("cph"),
+            tiny_dataset.num_entities,
+            tiny_dataset.num_relations,
+            total_dim=8,
+            rng=np.random.default_rng(0),
+            use_compiled_kernel=False,
+        )
+        rebuilt = model_from_payload(model_to_payload(dense))
+        assert rebuilt.use_compiled_kernel is False
+
+    def test_payload_is_a_snapshot(self, trained_model):
+        payload = model_to_payload(trained_model)
+        before = payload.arrays["entity_embeddings"].copy()
+        trained_model.entity_embeddings[0] += 1.0
+        try:
+            assert np.array_equal(payload.arrays["entity_embeddings"], before)
+        finally:
+            trained_model.entity_embeddings[0] -= 1.0
+
+    def test_non_multi_embedding_models_rejected(self, tiny_dataset):
+        transe = TransE(
+            tiny_dataset.num_entities,
+            tiny_dataset.num_relations,
+            8,
+            np.random.default_rng(0),
+        )
+        with pytest.raises(ModelError, match="workers=0"):
+            model_to_payload(transe)
+
+
+class TestCountHelpers:
+    def test_counts_reassemble_rank_of_true(self, rng):
+        scores = rng.normal(size=50)
+        scores[13] = scores[7]  # force an exact tie with the true entity
+        true_index = 7
+        filters = np.array([2, 9, 40])
+        for policy in ("average", "optimistic", "pessimistic"):
+            expected = rank_of_true(scores, true_index, filters, policy)
+            better = np.zeros(1, dtype=np.int64)
+            ties = np.zeros(1, dtype=np.int64)
+            for start in range(0, 50, 17):  # deliberately unaligned blocks
+                stop = min(start + 17, 50)
+                b, t = comparison_counts(
+                    scores[None, start:stop],
+                    np.array([scores[true_index]]),
+                    start,
+                    np.array([true_index]),
+                    [filters],
+                )
+                better += b
+                ties += t
+            assert ranks_from_counts(better, ties, policy)[0] == expected
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(EvaluationError, match="tie policy"):
+            ranks_from_counts(np.array([1]), np.array([0]), "hopeful")
+
+
+class TestShardedBitIdentity:
+    @pytest.mark.parametrize("axis", ["triples", "entities"])
+    @pytest.mark.parametrize("shards", [1, 2, 5])
+    def test_in_process_sharding(self, tiny_dataset, trained_model, serial_result, axis, shards):
+        evaluator = ShardedEvaluator(
+            tiny_dataset, shards=shards, workers=0, shard_axis=axis, batch_size=32
+        )
+        _assert_same_metrics(evaluator.evaluate(trained_model, "test"), serial_result)
+
+    @pytest.mark.parametrize("axis", ["triples", "entities"])
+    def test_worker_sharding(self, tiny_dataset, trained_model, serial_result, axis):
+        evaluator = ShardedEvaluator(
+            tiny_dataset, shards=3, workers=2, shard_axis=axis, batch_size=32
+        )
+        _assert_same_metrics(evaluator.evaluate(trained_model, "test"), serial_result)
+
+    def test_unaligned_batch_size(self, tiny_dataset, trained_model):
+        serial = LinkPredictionEvaluator(tiny_dataset, batch_size=7).evaluate(
+            trained_model, "test"
+        )
+        sharded = ShardedEvaluator(
+            tiny_dataset, shards=4, workers=0, batch_size=7
+        ).evaluate(trained_model, "test")
+        _assert_same_metrics(sharded, serial)
+
+    def test_degenerate_tie_model(self, tiny_dataset):
+        """ω with zero rows scores whole candidate blocks exactly equal —
+        the tie-handling stress case for count merging."""
+        model = make_model(
+            PRESETS.get("bad_example_1"),
+            tiny_dataset.num_entities,
+            tiny_dataset.num_relations,
+            total_dim=16,
+            rng=np.random.default_rng(7),
+        )
+        serial = LinkPredictionEvaluator(tiny_dataset, batch_size=32).evaluate(model, "test")
+        for axis in ("triples", "entities"):
+            sharded = ShardedEvaluator(
+                tiny_dataset, shards=3, workers=0, shard_axis=axis, batch_size=32
+            ).evaluate(model, "test")
+            _assert_same_metrics(sharded, serial)
+
+    def test_raw_protocol_and_max_triples(self, tiny_dataset, trained_model):
+        serial = LinkPredictionEvaluator(
+            tiny_dataset, batch_size=16, filtered=False
+        ).evaluate_triples(trained_model, tiny_dataset.train, max_triples=40)
+        sharded = ShardedEvaluator(
+            tiny_dataset, shards=2, workers=0, filtered=False, batch_size=16
+        ).evaluate_triples(trained_model, tiny_dataset.train, max_triples=40)
+        _assert_same_metrics(sharded, serial)
+
+    def test_in_process_sharding_supports_any_model(self, tiny_dataset):
+        transe = TransE(
+            tiny_dataset.num_entities,
+            tiny_dataset.num_relations,
+            8,
+            np.random.default_rng(3),
+        )
+        serial = LinkPredictionEvaluator(tiny_dataset, batch_size=32).evaluate(transe, "test")
+        sharded = ShardedEvaluator(tiny_dataset, shards=3, workers=0, batch_size=32).evaluate(
+            transe, "test"
+        )
+        _assert_same_metrics(sharded, serial)
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_arguments(self, tiny_dataset):
+        with pytest.raises(EvaluationError):
+            ShardedEvaluator(tiny_dataset, shards=0)
+        with pytest.raises(EvaluationError):
+            ShardedEvaluator(tiny_dataset, workers=-1)
+        with pytest.raises(EvaluationError):
+            ShardedEvaluator(tiny_dataset, shard_axis="relations")
+        with pytest.raises(EvaluationError):
+            ShardedEvaluator(tiny_dataset, tie_policy="hopeful")
+        with pytest.raises(EvaluationError):
+            ShardedEvaluator(tiny_dataset, batch_size=0)
+
+    def test_unknown_split(self, tiny_dataset, trained_model):
+        with pytest.raises(EvaluationError, match="split"):
+            ShardedEvaluator(tiny_dataset).evaluate(trained_model, "dev")
+
+    def test_workers_require_payloadable_model(self, tiny_dataset):
+        transe = TransE(
+            tiny_dataset.num_entities,
+            tiny_dataset.num_relations,
+            8,
+            np.random.default_rng(3),
+        )
+        with pytest.raises(ModelError, match="multi-embedding"):
+            ShardedEvaluator(tiny_dataset, shards=2, workers=1).evaluate(transe, "test")
