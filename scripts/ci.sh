@@ -23,7 +23,11 @@ echo "== compileall =="
 python -m compileall -q src
 
 # The benchmark smoke suites run once, in their own final step below.
-SMOKE_TESTS=(tests/test_bench_training_smoke.py tests/test_bench_parallel_smoke.py)
+SMOKE_TESTS=(
+  tests/test_bench_training_smoke.py
+  tests/test_bench_parallel_smoke.py
+  tests/test_bench_index_smoke.py
+)
 IGNORE_SMOKE=("${SMOKE_TESTS[@]/#/--ignore=}")
 
 if [ "$QUICK" -eq 1 ]; then

@@ -59,11 +59,30 @@ from repro.parallel import ShardedEvaluator
 from repro.serving import BatchedScorer, LinkPredictor, TopKResult
 from repro.training import Trainer, TrainingConfig, TrainingResult, train_model
 
+# The retrieval-index subsystem is exported lazily (PEP 562, via the
+# shared repro._lazy machinery): its modules pull in the build machinery
+# (k-means, process pools), which `import repro` should not pay for.
+from repro._lazy import lazy_exports
+
+_LAZY_EXPORTS = {
+    "CandidateIndex": "repro.index.base",
+    "ExactIndex": "repro.index.exact",
+    "FoldedCandidateSource": "repro.index.folded_vectors",
+    "IVFIndex": "repro.index.ivf",
+    "load_index": "repro.index.base",
+}
+
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _LAZY_EXPORTS)
+
 __version__ = "1.0.0"
 
 __all__ = [
     "BatchedScorer",
+    "CandidateIndex",
     "EvaluationResult",
+    "ExactIndex",
+    "FoldedCandidateSource",
+    "IVFIndex",
     "KGDataset",
     "KGEModel",
     "LearnedWeightModel",
@@ -90,6 +109,7 @@ __all__ = [
     "evaluate_run",
     "generate_synthetic_kg",
     "get_preset",
+    "load_index",
     "load_run",
     "make_complex",
     "make_cp",

@@ -6,7 +6,11 @@ Commands
 * ``inspect``  — dataset statistics and relation-pattern report.
 * ``train``    — train a model (registry name or ``--config`` JSON) and
   report link-prediction metrics; ``--run-dir`` persists a resumable run.
-* ``predict``  — top-k link prediction from a checkpoint or ``--run-dir``.
+* ``predict``  — top-k link prediction from a checkpoint or ``--run-dir``;
+  ``--index`` serves through the run's approximate retrieval index and
+  ``--stats`` reports cache/index effectiveness.
+* ``build-index`` — build and persist the approximate retrieval index
+  of a pipeline run directory.
 * ``table``    — regenerate paper Table 2, 3 or 4 end-to-end.
 * ``weights``  — list ω presets with their §6.1.2 property analysis.
 
@@ -110,6 +114,38 @@ def build_parser() -> argparse.ArgumentParser:
     pred.add_argument("--raw", action="store_true",
                       help="rank known true triples too instead of filtering them out "
                            "(entity prediction only; relation prediction is always raw)")
+    pred.add_argument("--index", action="store_true",
+                      help="serve through the run's approximate retrieval index "
+                           "(requires --run-dir; loads the persisted index or "
+                           "builds one with the run config's settings)")
+    pred.add_argument("--nprobe", type=int, default=None,
+                      help="override the index's probe budget for this query "
+                           "(nprobe == nlist is exact)")
+    pred.add_argument("--stats", action="store_true",
+                      help="print LRU cache hit-rate and, with --index, probed "
+                           "fraction + sampled recall for the query batch")
+
+    build_ix = sub.add_parser(
+        "build-index",
+        help="build and persist the approximate retrieval index of a pipeline run",
+    )
+    build_ix.add_argument("run_dir", help="pipeline run directory (train --run-dir)")
+    build_ix.add_argument("--kind", choices=("ivf", "exact"), default=None,
+                          help="index kind (default: the run config's index.kind, "
+                               "or ivf)")
+    build_ix.add_argument("--nlist", type=int, default=None,
+                          help="k-means cells per partition (default ≈ 2·sqrt(N))")
+    build_ix.add_argument("--nprobe", type=int, default=None,
+                          help="default cells probed per query (default nlist // 8)")
+    build_ix.add_argument("--seed", type=int, default=None,
+                          help="k-means seed (deterministic builds)")
+    build_ix.add_argument("--iters", type=int, default=None,
+                          help="fixed k-means iteration count")
+    build_ix.add_argument("--spill", type=int, default=None,
+                          help="cells each entity is assigned to (multi-assignment)")
+    build_ix.add_argument("--workers", type=int, default=0,
+                          help="worker processes for the per-partition build fan-out "
+                               "(0 = in-process)")
 
     sub.add_parser("weights", help="list weight-vector presets and their properties")
 
@@ -250,6 +286,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.errors import ServingError
     from repro.serving import LinkPredictor
 
+    if args.index and not args.run_dir:
+        raise ConfigError("predict --index needs --run-dir")
     if args.run_dir:
         from repro.pipeline.runner import load_run
 
@@ -273,7 +311,29 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             f"{model.num_relations} relations) do not match dataset "
             f"({dataset.num_entities} / {dataset.num_relations})"
         )
-    predictor = LinkPredictor(model, dataset)
+    index = None
+    if args.index:
+        from repro.pipeline.components import build_index
+        from repro.pipeline.config import IndexSection
+        from repro.pipeline.runner import load_run_index
+
+        index = load_run_index(
+            args.run_dir, model, on_stale=loaded.config.index.on_stale
+        )
+        if index is None:
+            section = loaded.config.index
+            if not section.enabled:
+                section = IndexSection(kind="ivf")
+            index = build_index(model, section)
+            print(f"no persisted index under {args.run_dir}; built {index!r} in memory")
+        if args.nprobe is not None and hasattr(index, "nprobe"):
+            index.nprobe = args.nprobe
+    predictor = LinkPredictor(
+        model,
+        dataset,
+        index=index,
+        recall_sample_every=1 if (args.stats and index is not None) else 0,
+    )
     predictions = predictor.predict(
         head=args.head,
         relation=args.relation,
@@ -289,6 +349,54 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     for rank, (name, score) in enumerate(predictions, start=1):
         shown = f"{score:>10.4f}" if np.isfinite(score) else "  filtered"
         print(f"{rank:>4} {name:<28} {shown}")
+    if args.stats:
+        cache = predictor.cache_stats
+        if cache is not None:
+            print(f"\ncache: hit-rate {cache.hit_rate:.1%} "
+                  f"({cache.hits} hits / {cache.misses} misses, "
+                  f"size {cache.size}/{cache.capacity})")
+        stats = predictor.index_stats
+        if stats is not None and stats.queries:
+            recall = stats.recall_estimate
+            shown_recall = f"{recall:.3f}" if recall is not None else "n/a"
+            print(f"index: probed {stats.probed_fraction:.1%} of entities per query "
+                  f"({stats.entities_scored:,} of "
+                  f"{stats.queries * stats.num_entities:,}); "
+                  f"sampled recall@{args.top} {shown_recall}")
+    return 0
+
+
+def _cmd_build_index(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.pipeline.config import IndexSection
+    from repro.pipeline.runner import build_run_index, load_run
+
+    loaded = load_run(args.run_dir)
+    section = loaded.config.index
+    if not section.enabled:
+        section = IndexSection(kind="ivf")
+    overrides = {
+        field_name: value
+        for field_name, value in (
+            ("kind", args.kind),
+            ("nlist", args.nlist),
+            ("nprobe", args.nprobe),
+            ("seed", args.seed),
+            ("iters", args.iters),
+            ("spill", args.spill),
+        )
+        if value is not None
+    }
+    if overrides:
+        section = dataclasses.replace(section, **overrides)
+    index = build_run_index(args.run_dir, section=section, workers=args.workers)
+    print(f"built {index!r}")
+    if hasattr(index, "built_partitions"):
+        partitions = index.built_partitions
+        print(f"partitions: {len(partitions)} "
+              f"({index.model.num_relations} relations x tail/head)")
+    print(f"index written to {args.run_dir}/index")
     return 0
 
 
@@ -357,6 +465,7 @@ def _cmd_weights(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "build-index": _cmd_build_index,
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
     "predict": _cmd_predict,

@@ -46,3 +46,13 @@ class SweepError(ReproError):
 
 class ServingError(ReproError):
     """A serving-layer request was malformed or unserveable."""
+
+
+class StaleIndexError(ServingError):
+    """A retrieval index no longer matches its model's parameters.
+
+    Raised by indexes configured with ``on_stale="error"`` when the
+    model trained past the version the index was built at (or a loaded
+    index's fingerprint does not match the checkpoint).  The default
+    policy rebuilds instead of raising.
+    """

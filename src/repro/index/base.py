@@ -1,0 +1,281 @@
+"""Shared contract of the approximate-retrieval subsystem.
+
+A *candidate index* answers one narrow question for the serving layer:
+given a batch of ``(anchor, relation)`` queries, which entity ids are
+worth scoring exactly?  The :class:`~repro.serving.predictor.LinkPredictor`
+then re-ranks that shortlist with true model scores, so an index never
+changes *what* a score is — only *how many* candidates pay for one.
+
+Contract highlights every implementation must honour:
+
+* **Ascending rows** — each per-query candidate array is sorted by
+  entity id, so the predictor's stable descending-score sort keeps the
+  repository-wide lower-id tie rule.
+* **Exhaustive means exact** — when a search would probe every
+  partition cell, :class:`CandidateBatch.covers_all` is set and the
+  predictor takes its ordinary full-sweep path, making the degenerate
+  configuration (``nprobe == nlist``, or :class:`ExactIndex`)
+  bit-identical to serving without an index by construction.
+* **Versioned against training** — indexes remember the model's
+  ``scoring_version`` at build time; :meth:`CandidateIndex.ensure_fresh`
+  either rebuilds or raises :class:`~repro.errors.StaleIndexError`, so
+  a resumed training run can never be silently served from a stale
+  partition.  Persistence adds a content fingerprint for the same
+  guarantee across process boundaries.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.interaction import MultiEmbeddingModel
+from repro.errors import ServingError, StaleIndexError
+
+#: Files that make up a saved index directory.
+INDEX_META_FILE = "meta.json"
+INDEX_ARRAYS_FILE = "arrays.npz"
+
+_FORMAT_VERSION = 1
+
+#: Valid staleness policies.
+STALE_POLICIES = ("rebuild", "error")
+
+
+def model_fingerprint(model) -> str:
+    """Content hash of everything the model scores with.
+
+    ``scoring_version`` is a per-process counter and restarts at zero on
+    every checkpoint load, so persisted indexes are validated against
+    the parameter *bytes* instead: embedding tables plus ω.
+    """
+    digest = hashlib.sha256()
+    for array in (
+        np.ascontiguousarray(model.entity_embeddings),
+        np.ascontiguousarray(model.relation_embeddings),
+        np.ascontiguousarray(model.omega),
+    ):
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CandidateBatch:
+    """Shortlists produced by one :meth:`CandidateIndex.candidate_lists` call.
+
+    ``rows`` holds one ascending int64 id array per query; it is ``None``
+    when ``covers_all`` is set (every entity would be listed, so the
+    caller should take its exact full-sweep path instead).
+    ``num_scored`` counts the candidate ids the caller will score —
+    the quantity the sub-linear claim is measured in.
+    """
+
+    rows: list[np.ndarray] | None
+    covers_all: bool
+    num_scored: int
+
+
+@dataclass
+class IndexUsageStats:
+    """Per-predictor bookkeeping of what an index actually saved.
+
+    Maintained by :class:`~repro.serving.predictor.LinkPredictor` across
+    its index-served queries; ``recall_*`` fields are filled only when
+    recall sampling is enabled (see ``recall_sample_every``).
+    """
+
+    num_entities: int
+    queries: int = 0
+    entities_scored: int = 0
+    exhaustive_queries: int = 0
+    recall_checks: int = 0
+    recall_total: float = 0.0
+
+    @property
+    def probed_fraction(self) -> float:
+        """Mean fraction of the entity table scored per query (1.0 = exhaustive)."""
+        if not self.queries or not self.num_entities:
+            return 0.0
+        return self.entities_scored / (self.queries * self.num_entities)
+
+    @property
+    def recall_estimate(self) -> float | None:
+        """Mean sampled recall@k against the exact path, or None if unsampled."""
+        if not self.recall_checks:
+            return None
+        return self.recall_total / self.recall_checks
+
+
+@dataclass
+class IndexBuildReport:
+    """What an eager :meth:`CandidateIndex.build` call did."""
+
+    partitions_built: int
+    partitions_reused: int
+    seconds: float
+    sides: tuple[str, ...] = field(default_factory=tuple)
+
+
+class CandidateIndex(abc.ABC):
+    """Abstract candidate shortlist generator over one model's entities."""
+
+    #: Registry/persistence discriminator; set by subclasses.
+    kind: str = "base"
+
+    def __init__(self, model: MultiEmbeddingModel, on_stale: str = "rebuild") -> None:
+        if on_stale not in STALE_POLICIES:
+            raise ServingError(
+                f"on_stale must be one of {list(STALE_POLICIES)}, got {on_stale!r}"
+            )
+        self.model = model
+        self.on_stale = on_stale
+        self._version = model.scoring_version
+
+    # ------------------------------------------------------------- interface
+    @property
+    def num_entities(self) -> int:
+        return self.model.num_entities
+
+    @property
+    def built_version(self) -> int:
+        """The model ``scoring_version`` the current index data matches."""
+        return self._version
+
+    @abc.abstractmethod
+    def candidate_lists(
+        self,
+        anchors: np.ndarray,
+        relations: np.ndarray,
+        side: str,
+        nprobe: int | None = None,
+    ) -> CandidateBatch:
+        """Ascending candidate id shortlists for a query batch."""
+
+    def build(
+        self,
+        relations=None,
+        sides: tuple[str, ...] = ("tail", "head"),
+        workers: int | None = None,
+    ) -> IndexBuildReport:
+        """Eagerly materialise any precomputed data (no-op by default).
+
+        Index kinds with nothing to precompute (:class:`ExactIndex`)
+        inherit this, so pipeline code can always build-then-save an
+        index regardless of its kind.
+        """
+        return IndexBuildReport(
+            partitions_built=0, partitions_reused=0, seconds=0.0, sides=tuple(sides)
+        )
+
+    @abc.abstractmethod
+    def invalidate(self) -> None:
+        """Drop any precomputed data and resync to the model's current version."""
+
+    def ensure_fresh(self) -> bool:
+        """Reconcile the index with the model's current parameter version.
+
+        Returns True when stale data was discarded (``on_stale="rebuild"``,
+        the default); raises :class:`StaleIndexError` under
+        ``on_stale="error"``.  Fresh indexes are a no-op.
+        """
+        if self.model.scoring_version == self._version:
+            return False
+        if self.on_stale == "error":
+            raise StaleIndexError(
+                f"{self.kind} index was built at model version {self._version} "
+                f"but the model is now at {self.model.scoring_version}; rebuild "
+                "the index or construct it with on_stale='rebuild'"
+            )
+        self.invalidate()
+        return True
+
+    # ----------------------------------------------------------- persistence
+    def _meta(self) -> dict:
+        """Subclass hook: extra JSON-compatible metadata to persist."""
+        return {}
+
+    def _arrays(self) -> dict[str, np.ndarray]:
+        """Subclass hook: arrays to persist."""
+        return {}
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the index next to a checkpoint; returns the directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "format_version": _FORMAT_VERSION,
+            "kind": self.kind,
+            "num_entities": self.num_entities,
+            "fingerprint": model_fingerprint(self.model),
+            **self._meta(),
+        }
+        (directory / INDEX_META_FILE).write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        arrays = self._arrays()
+        if arrays:
+            np.savez(directory / INDEX_ARRAYS_FILE, **arrays)
+        return directory
+
+
+def read_index_meta(directory: str | Path) -> dict:
+    """The ``meta.json`` of a saved index directory."""
+    directory = Path(directory)
+    meta_path = directory / INDEX_META_FILE
+    if not meta_path.exists():
+        raise ServingError(f"not an index directory (no {INDEX_META_FILE}): {directory}")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ServingError(
+            f"unsupported index format version: {meta.get('format_version')}"
+        )
+    return meta
+
+
+def check_loaded_meta(meta: dict, model, on_stale: str) -> bool:
+    """Validate a saved index's meta against *model*.
+
+    Returns True when the persisted data is usable as-is; False when it
+    is stale but the policy allows rebuilding.  Mismatched id spaces are
+    always an error (that is the wrong model, not a stale one).
+    """
+    if meta.get("num_entities") != model.num_entities:
+        raise ServingError(
+            f"index was built over {meta.get('num_entities')} entities but the "
+            f"model has {model.num_entities}; this index belongs to a different model"
+        )
+    if meta.get("fingerprint") == model_fingerprint(model):
+        return True
+    if on_stale == "error":
+        raise StaleIndexError(
+            "saved index fingerprint does not match the model's parameters "
+            "(the model trained after the index was built); rebuild the index "
+            "or load with on_stale='rebuild'"
+        )
+    return False
+
+
+def load_index(directory: str | Path, model, on_stale: str = "rebuild"):
+    """Load any saved index, dispatching on its persisted ``kind``.
+
+    Stale indexes (fingerprint mismatch) come back empty under the
+    ``"rebuild"`` policy — partitions are rebuilt lazily on first use —
+    and raise :class:`StaleIndexError` under ``"error"``.
+    """
+    meta = read_index_meta(directory)
+    kind = meta.get("kind")
+    if kind == "ivf":
+        from repro.index.ivf import IVFIndex
+
+        return IVFIndex.load(directory, model, on_stale=on_stale)
+    if kind == "exact":
+        from repro.index.exact import ExactIndex
+
+        return ExactIndex.load(directory, model, on_stale=on_stale)
+    raise ServingError(f"unknown index kind in {directory}: {kind!r}")

@@ -1,0 +1,481 @@
+"""IVF candidate index: deterministic k-means cells with an ``nprobe`` knob.
+
+The classic inverted-file recipe adapted to the multi-embedding scoring
+geometry:
+
+* **Partitioning** — for every queried ``(relation, side)`` the entities'
+  *folded* candidate vectors (:mod:`repro.index.folded_vectors`) are
+  clustered into ``nlist`` cells by a seeded, fixed-iteration k-means,
+  so two builds from the same model and seed are identical arrays.
+  Each entity is assigned to its ``spill`` nearest cells (multi-
+  assignment): boundary entities — exactly the ones coarse quantizers
+  lose — appear in several cells, buying recall at a small storage cost.
+* **Probing** — a query ranks cells by the inner product between its
+  raw anchor vector and the cell centroids (the same product the exact
+  score uses, by linearity of the fold), then unions the members of the
+  top ``nprobe`` cells.  Cost per query: ``O(nlist·f)`` coarse scoring
+  plus exact re-ranking of ``O(num_probed)`` candidates, instead of the
+  ``O(N·f)`` full sweep.
+* **Exactness escape hatch** — ``nprobe >= nlist`` probes everything;
+  the batch is flagged ``covers_all`` and the serving layer runs its
+  ordinary full-sweep path, making the degenerate configuration
+  bit-identical to serving without an index.
+
+Partitions are built lazily on first use (only queried relations pay),
+or eagerly via :meth:`IVFIndex.build`, which fans the independent
+per-partition k-means runs out across worker processes through
+:func:`repro.parallel.pool.run_tasks`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.core.interaction import MultiEmbeddingModel
+from repro.errors import ServingError
+from repro.index.base import (
+    CandidateBatch,
+    CandidateIndex,
+    IndexBuildReport,
+    check_loaded_meta,
+    read_index_meta,
+)
+from repro.index.folded_vectors import FoldedCandidateSource
+from repro.parallel.payload import ModelPayload, model_from_payload, model_to_payload
+from repro.parallel.pool import run_tasks
+
+#: Element budget for one ``(chunk, nlist)`` distance matrix.
+_ASSIGN_CHUNK_ELEMENTS = 1 << 22
+
+
+def _nearest_cells(points: np.ndarray, centroids: np.ndarray, spill: int) -> np.ndarray:
+    """``(n, spill)`` nearest-centroid ids per point, ties toward lower id.
+
+    Distances are ranked via ``‖x−c‖² = ‖x‖² − 2x·c + ‖c‖²`` with the
+    point norm dropped (constant per row); the chunked loop bounds the
+    live distance matrix regardless of ``len(points)``.
+    """
+    n = len(points)
+    centroid_sq = np.einsum("cf,cf->c", centroids, centroids)
+    out = np.empty((n, spill), dtype=np.int32)
+    chunk = max(1, _ASSIGN_CHUNK_ELEMENTS // max(1, len(centroids)))
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        distances = points[start:stop] @ centroids.T
+        distances *= -2.0
+        distances += centroid_sq[None, :]
+        if spill == 1:
+            # argmin returns the first minimum: the lower cell id.
+            out[start:stop, 0] = np.argmin(distances, axis=1)
+        else:
+            out[start:stop] = np.argsort(distances, axis=1, kind="stable")[:, :spill]
+    return out
+
+
+def deterministic_kmeans(
+    points: np.ndarray, nlist: int, seed: int = 0, iters: int = 10
+) -> np.ndarray:
+    """Seeded fixed-iteration k-means; returns ``(nlist, f)`` centroids.
+
+    Initial centroids are ``nlist`` distinct points drawn by the seeded
+    generator; every later step is deterministic numpy, so the result
+    depends only on ``(points, nlist, seed, iters)``.  Cells that go
+    empty keep their previous centroid (no random re-seeding — that
+    would make the iteration count observable in the output).
+    """
+    n, f = points.shape
+    if not 1 <= nlist <= n:
+        raise ServingError(f"nlist must be in [1, {n}], got {nlist}")
+    if iters < 1:
+        raise ServingError(f"iters must be >= 1, got {iters}")
+    rng = np.random.default_rng(seed)
+    initial = np.sort(rng.choice(n, size=nlist, replace=False))
+    centroids = points[initial].astype(np.float64, copy=True)
+    for _ in range(iters):
+        assign = _nearest_cells(points, centroids, spill=1)[:, 0]
+        counts = np.bincount(assign, minlength=nlist)
+        sums = np.zeros((nlist, f), dtype=np.float64)
+        np.add.at(sums, assign, points)
+        occupied = counts > 0
+        centroids[occupied] = sums[occupied] / counts[occupied, None]
+    return centroids
+
+
+class _Partition:
+    """One ``(relation, side)`` inverted file: centroids + CSR member lists."""
+
+    __slots__ = ("centroids", "members", "offsets")
+
+    def __init__(self, centroids: np.ndarray, members: np.ndarray, offsets: np.ndarray):
+        self.centroids = centroids
+        self.members = members  # int32 entity ids, cell-major, ascending per cell
+        self.offsets = offsets  # (nlist + 1,) int64 prefix sums
+
+    def cell(self, index: int) -> np.ndarray:
+        return self.members[self.offsets[index] : self.offsets[index + 1]]
+
+    def cell_sizes(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+
+def _build_partition(
+    source: FoldedCandidateSource,
+    relation: int,
+    side: str,
+    nlist: int,
+    seed: int,
+    iters: int,
+    spill: int,
+) -> _Partition:
+    """Cluster one relation's folded candidate matrix into an inverted file."""
+    matrix = source.candidate_matrix(relation, side)
+    # Distinct deterministic stream per partition: the SeedSequence spawn
+    # key mixes the index seed with the partition coordinates.
+    partition_seed = np.random.SeedSequence(
+        [int(seed), int(relation), 0 if side == "tail" else 1]
+    )
+    centroids = deterministic_kmeans(
+        matrix, nlist, seed=partition_seed, iters=iters
+    )
+    assignments = _nearest_cells(matrix, centroids, spill=min(spill, nlist))
+    flat = assignments.ravel()
+    ids = np.repeat(
+        np.arange(source.num_entities, dtype=np.int32), assignments.shape[1]
+    )
+    # Stable sort by cell keeps the entity-major input order, so members
+    # of each cell come out in ascending entity id.
+    order = np.argsort(flat, kind="stable")
+    members = ids[order]
+    counts = np.bincount(flat, minlength=nlist)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return _Partition(centroids, members, offsets)
+
+
+# --------------------------------------------------------- build fan-out
+_BUILD_CTX: dict | None = None
+
+
+def _init_build_context(
+    model_or_payload: MultiEmbeddingModel | ModelPayload,
+    nlist: int,
+    seed: int,
+    iters: int,
+    spill: int,
+) -> None:
+    """Pool initializer: rebuild the model once per worker process."""
+    global _BUILD_CTX
+    model = (
+        model_from_payload(model_or_payload)
+        if isinstance(model_or_payload, ModelPayload)
+        else model_or_payload
+    )
+    _BUILD_CTX = {
+        "source": FoldedCandidateSource(model),
+        "nlist": nlist,
+        "seed": seed,
+        "iters": iters,
+        "spill": spill,
+    }
+
+
+def _build_partition_task(task: tuple[int, str]):
+    """Worker task: build one ``(relation, side)`` partition, return arrays."""
+    relation, side = task
+    ctx = _BUILD_CTX
+    if ctx is None:
+        raise ServingError("index build context not initialised in this process")
+    partition = _build_partition(
+        ctx["source"], relation, side, ctx["nlist"], ctx["seed"], ctx["iters"], ctx["spill"]
+    )
+    return relation, side, partition.centroids, partition.members, partition.offsets
+
+
+class IVFIndex(CandidateIndex):
+    """Inverted-file approximate candidate index over a multi-embedding model.
+
+    Parameters
+    ----------
+    model:
+        The (trained) model whose entities are indexed.
+    nlist:
+        Number of k-means cells per partition; default ``≈ 2·√N``.
+    nprobe:
+        Default number of cells probed per query (overridable per
+        search); default ``nlist // 8``.  ``nprobe == nlist`` degrades
+        to the exact full sweep.
+    seed, iters:
+        K-means determinism knobs (seeded init, fixed iteration count).
+    spill:
+        Cells each entity is assigned to (multi-assignment factor).
+    on_stale:
+        ``"rebuild"`` (drop partitions when the model trains; default)
+        or ``"error"`` (raise :class:`~repro.errors.StaleIndexError`).
+    workers:
+        Worker processes for eager :meth:`build` fan-out (``0`` =
+        in-process; lazy per-query builds are always in-process).
+    """
+
+    kind = "ivf"
+
+    def __init__(
+        self,
+        model: MultiEmbeddingModel,
+        nlist: int | None = None,
+        nprobe: int | None = None,
+        *,
+        seed: int = 0,
+        iters: int = 10,
+        spill: int = 2,
+        on_stale: str = "rebuild",
+        workers: int = 0,
+    ) -> None:
+        super().__init__(model, on_stale=on_stale)
+        self._source = FoldedCandidateSource(model)
+        n = model.num_entities
+        if nlist is None:
+            nlist = max(1, min(n, int(round(2.0 * math.sqrt(n)))))
+        if not 1 <= nlist <= n:
+            raise ServingError(f"nlist must be in [1, {n}], got {nlist}")
+        self.nlist = int(nlist)
+        if iters < 1:
+            raise ServingError(f"iters must be >= 1, got {iters}")
+        if spill < 1:
+            raise ServingError(f"spill must be >= 1, got {spill}")
+        if workers < 0:
+            raise ServingError(f"workers must be >= 0, got {workers}")
+        if seed < 0:
+            raise ServingError(f"seed must be >= 0, got {seed}")
+        self.seed = int(seed)
+        self.iters = int(iters)
+        self.spill = int(min(spill, self.nlist))
+        self.workers = int(workers)
+        self._nprobe = self._check_nprobe(
+            nprobe if nprobe is not None else max(1, self.nlist // 8)
+        )
+        self._partitions: dict[tuple[int, str], _Partition] = {}
+        self.partitions_built = 0
+        self.rebuilds = 0
+
+    # --------------------------------------------------------------- knobs
+    def _check_nprobe(self, nprobe: int) -> int:
+        nprobe = int(nprobe)
+        if not 1 <= nprobe <= self.nlist:
+            raise ServingError(f"nprobe must be in [1, {self.nlist}], got {nprobe}")
+        return nprobe
+
+    @property
+    def nprobe(self) -> int:
+        """Default cells probed per query."""
+        return self._nprobe
+
+    @nprobe.setter
+    def nprobe(self, value: int) -> None:
+        self._nprobe = self._check_nprobe(value)
+
+    def invalidate(self) -> None:
+        """Drop all partitions; they rebuild lazily at the current version."""
+        self._partitions.clear()
+        if self._version != self.model.scoring_version:
+            self.rebuilds += 1
+        self._version = self.model.scoring_version
+
+    @property
+    def built_partitions(self) -> tuple[tuple[int, str], ...]:
+        """The ``(relation, side)`` partitions currently materialised."""
+        return tuple(sorted(self._partitions))
+
+    # --------------------------------------------------------------- build
+    def _partition(self, relation: int, side: str) -> _Partition:
+        if not 0 <= relation < self.model.num_relations:
+            raise ServingError(
+                f"relation id {relation} out of range [0, {self.model.num_relations})"
+            )
+        key = (int(relation), side)
+        partition = self._partitions.get(key)
+        if partition is None:
+            partition = _build_partition(
+                self._source, key[0], side, self.nlist, self.seed, self.iters, self.spill
+            )
+            self._partitions[key] = partition
+            self.partitions_built += 1
+        return partition
+
+    def build(
+        self,
+        relations: np.ndarray | list[int] | None = None,
+        sides: tuple[str, ...] = ("tail", "head"),
+        workers: int | None = None,
+    ) -> IndexBuildReport:
+        """Eagerly build partitions (all relations by default).
+
+        Independent ``(relation, side)`` k-means runs are fanned out
+        through :func:`repro.parallel.pool.run_tasks`; a worker failure
+        surfaces as a :class:`~repro.errors.ServingError` carrying the
+        worker traceback.
+        """
+        start = time.perf_counter()
+        self.ensure_fresh()
+        if relations is None:
+            relations = range(self.model.num_relations)
+        wanted = [
+            (int(relation), side)
+            for side in sides
+            for relation in relations
+        ]
+        missing = [key for key in wanted if key not in self._partitions]
+        workers = self.workers if workers is None else int(workers)
+        if missing and workers == 0:
+            # In-process: build straight off the index's own cached
+            # source (same code path as lazy builds) — no module-global
+            # context, no recomputed folded matrices.
+            for relation, side in missing:
+                self._partition(relation, side)
+        elif missing:
+            outcomes = run_tasks(
+                _build_partition_task,
+                missing,
+                workers=workers,
+                initializer=_init_build_context,
+                initargs=(
+                    model_to_payload(self.model),
+                    self.nlist,
+                    self.seed,
+                    self.iters,
+                    self.spill,
+                ),
+            )
+            for outcome in outcomes:
+                if not outcome.ok:
+                    raise ServingError(
+                        f"index partition build failed:\n{outcome.error}"
+                    )
+                relation, side, centroids, members, offsets = outcome.value
+                self._partitions[(relation, side)] = _Partition(
+                    centroids, members, offsets
+                )
+                self.partitions_built += 1
+        return IndexBuildReport(
+            partitions_built=len(missing),
+            partitions_reused=len(wanted) - len(missing),
+            seconds=time.perf_counter() - start,
+            sides=tuple(sides),
+        )
+
+    # --------------------------------------------------------------- search
+    def candidate_lists(
+        self,
+        anchors: np.ndarray,
+        relations: np.ndarray,
+        side: str,
+        nprobe: int | None = None,
+    ) -> CandidateBatch:
+        """Probed candidate shortlists; see :class:`CandidateBatch`.
+
+        Cells are ranked per query by ``anchor_flat · centroid`` — by
+        linearity of the fold this is exactly the model score of the
+        centroid — descending, ties toward the lower cell id.  The
+        returned rows are the sorted union of the probed cells' members.
+        """
+        self.ensure_fresh()
+        anchors = np.atleast_1d(np.asarray(anchors, dtype=np.int64))
+        relations = np.atleast_1d(np.asarray(relations, dtype=np.int64))
+        if anchors.shape != relations.shape or anchors.ndim != 1:
+            raise ServingError("anchors and relations must be 1-D arrays of equal length")
+        nprobe = self._check_nprobe(self.nprobe if nprobe is None else nprobe)
+        batch = len(anchors)
+        if nprobe >= self.nlist:
+            return CandidateBatch(
+                rows=None, covers_all=True, num_scored=batch * self.num_entities
+            )
+        rows: list[np.ndarray | None] = [None] * batch
+        num_scored = 0
+        for relation in np.unique(relations):
+            partition = self._partition(int(relation), side)
+            selectors = np.flatnonzero(relations == relation)
+            queries = self._source.query_matrix(anchors[selectors])
+            cell_scores = queries @ partition.centroids.T
+            probe_order = np.argsort(-cell_scores, axis=1, kind="stable")[:, :nprobe]
+            for row_index, probed in zip(selectors, probe_order):
+                pieces = [partition.cell(int(c)) for c in probed]
+                union = np.unique(np.concatenate(pieces)) if pieces else None
+                if union is None or not len(union):
+                    # Degenerate partition (all probed cells empty):
+                    # fall back to the full candidate range for this row.
+                    union = np.arange(self.num_entities, dtype=np.int64)
+                rows[int(row_index)] = union.astype(np.int64, copy=False)
+                num_scored += len(union)
+        return CandidateBatch(rows=rows, covers_all=False, num_scored=num_scored)
+
+    # ----------------------------------------------------------- persistence
+    def _meta(self) -> dict:
+        return {
+            "nlist": self.nlist,
+            "nprobe": self.nprobe,
+            "seed": self.seed,
+            "iters": self.iters,
+            "spill": self.spill,
+            "feature_dim": self._source.feature_dim,
+            "partitions": [[relation, side] for relation, side in self.built_partitions],
+        }
+
+    def _arrays(self) -> dict[str, np.ndarray]:
+        arrays: dict[str, np.ndarray] = {}
+        for (relation, side), partition in self._partitions.items():
+            prefix = f"{side}_{relation}"
+            arrays[f"{prefix}_centroids"] = partition.centroids
+            arrays[f"{prefix}_members"] = partition.members
+            arrays[f"{prefix}_offsets"] = partition.offsets
+        return arrays
+
+    @classmethod
+    def load(
+        cls, directory, model: MultiEmbeddingModel, on_stale: str = "rebuild"
+    ) -> "IVFIndex":
+        """Restore a saved IVF index against *model*.
+
+        The persisted fingerprint must match the model's parameters;
+        when it does not, ``on_stale="rebuild"`` returns an index with
+        the saved hyperparameters but no partitions (they rebuild
+        lazily), and ``"error"`` raises.
+        """
+        from pathlib import Path
+
+        from repro.index.base import INDEX_ARRAYS_FILE
+
+        meta = read_index_meta(directory)
+        if meta.get("kind") != cls.kind:
+            raise ServingError(f"not an IVF index directory: {directory}")
+        index = cls(
+            model,
+            nlist=meta["nlist"],
+            nprobe=meta["nprobe"],
+            seed=meta["seed"],
+            iters=meta["iters"],
+            spill=meta["spill"],
+            on_stale=on_stale,
+        )
+        if not check_loaded_meta(meta, model, on_stale):
+            return index
+        partitions = [tuple(entry) for entry in meta.get("partitions", [])]
+        if partitions:
+            npz_path = Path(directory) / INDEX_ARRAYS_FILE
+            if not npz_path.exists():
+                raise ServingError(f"index arrays missing: {npz_path}")
+            with np.load(npz_path) as payload:
+                for relation, side in partitions:
+                    prefix = f"{side}_{relation}"
+                    index._partitions[(int(relation), side)] = _Partition(
+                        payload[f"{prefix}_centroids"],
+                        payload[f"{prefix}_members"],
+                        payload[f"{prefix}_offsets"],
+                    )
+        return index
+
+    def __repr__(self) -> str:
+        return (
+            f"IVFIndex(nlist={self.nlist}, nprobe={self.nprobe}, spill={self.spill}, "
+            f"partitions={len(self._partitions)}, entities={self.num_entities})"
+        )

@@ -77,6 +77,13 @@ class SyntheticKGConfig:
         Eval split sizes as fractions of all triples (WN18 uses ~3.3% each).
     seed:
         Seed for the single generator that drives all sampling.
+    scale:
+        Entity-count scale knob: multiplies ``num_entities``,
+        ``num_clusters`` and ``num_domains`` before generation, keeping
+        their ratios (and therefore the graph's structural statistics)
+        fixed.  ``1.0`` (default) leaves the paper-scale configuration
+        untouched; ``scale=100`` on the defaults yields a deterministic
+        150k-entity graph for retrieval/serving benchmarks.
     """
 
     num_entities: int = 1500
@@ -89,8 +96,11 @@ class SyntheticKGConfig:
     test_fraction: float = 0.04
     seed: int = 0
     name: str = "synthetic-wn18"
+    scale: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigError("scale must be > 0")
         if self.num_entities < 10:
             raise ConfigError("num_entities must be >= 10")
         if not 1 <= self.num_clusters <= self.num_entities:
@@ -101,6 +111,24 @@ class SyntheticKGConfig:
             raise ConfigError("eval fractions unreasonably large (>= 0.5 combined)")
         if min(self.valid_fraction, self.test_fraction) < 0:
             raise ConfigError("eval fractions must be non-negative")
+
+    def apply_scale(self) -> "SyntheticKGConfig":
+        """The equivalent ``scale=1`` config with the counts multiplied out.
+
+        A no-op at ``scale=1.0`` (the same instance is returned), so the
+        paper-scale generation path is byte-for-byte unchanged.
+        """
+        if self.scale == 1.0:
+            return self
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            num_entities=max(10, int(round(self.num_entities * self.scale))),
+            num_clusters=max(1, int(round(self.num_clusters * self.scale))),
+            num_domains=max(1, int(round(self.num_domains * self.scale))),
+            scale=1.0,
+        )
 
 
 @dataclass
@@ -251,7 +279,7 @@ def generate_synthetic_kg(config: SyntheticKGConfig | None = None) -> KGDataset:
     leakage), post-processed so that every entity and relation occurs in
     the training split.
     """
-    config = config or SyntheticKGConfig()
+    config = (config or SyntheticKGConfig()).apply_scale()
     rng = np.random.default_rng(config.seed)
     triples, relations = _generate_facts(config, rng)
     if len(triples) == 0:

@@ -19,6 +19,8 @@ so eager imports would cycle.
 
 from __future__ import annotations
 
+from repro._lazy import lazy_exports
+
 _LAZY_EXPORTS = {
     "TaskOutcome": "repro.parallel.pool",
     "default_start_method": "repro.parallel.pool",
@@ -39,17 +41,4 @@ _LAZY_EXPORTS = {
 
 __all__ = sorted(_LAZY_EXPORTS)
 
-
-def __getattr__(name: str):
-    module_name = _LAZY_EXPORTS.get(name)
-    if module_name is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    import importlib
-
-    value = getattr(importlib.import_module(module_name), name)
-    globals()[name] = value  # cache; also defeats submodule-name shadowing
-    return value
-
-
-def __dir__() -> list[str]:
-    return sorted(set(globals()) | set(__all__))
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _LAZY_EXPORTS)

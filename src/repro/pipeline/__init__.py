@@ -25,10 +25,12 @@ cycles.
 
 from __future__ import annotations
 
+from repro._lazy import lazy_exports
 from repro.pipeline.registry import Registry
 
 _LAZY_EXPORTS = {
     "DATASET_GENERATORS": "repro.pipeline.components",
+    "INDEXES": "repro.pipeline.components",
     "LOSSES": "repro.pipeline.components",
     "MODELS": "repro.pipeline.components",
     "NEGATIVE_SAMPLERS": "repro.pipeline.components",
@@ -36,14 +38,17 @@ _LAZY_EXPORTS = {
     "OPTIMIZERS": "repro.pipeline.components",
     "DatasetSection": "repro.pipeline.config",
     "EvalSection": "repro.pipeline.config",
+    "IndexSection": "repro.pipeline.config",
     "ModelSection": "repro.pipeline.config",
     "ParallelSection": "repro.pipeline.config",
     "RunConfig": "repro.pipeline.config",
     "TrainingSection": "repro.pipeline.config",
     "LoadedRun": "repro.pipeline.runner",
     "RunResult": "repro.pipeline.runner",
+    "build_run_index": "repro.pipeline.runner",
     "evaluate_run": "repro.pipeline.runner",
     "load_run": "repro.pipeline.runner",
+    "load_run_index": "repro.pipeline.runner",
     "run_pipeline": "repro.pipeline.runner",
     "serve_run": "repro.pipeline.runner",
     "train_and_evaluate": "repro.pipeline.runner",
@@ -55,22 +60,4 @@ _LAZY_EXPORTS = {
 
 __all__ = ["Registry", *sorted(_LAZY_EXPORTS)]
 
-
-def __getattr__(name: str):
-    module_name = _LAZY_EXPORTS.get(name)
-    if module_name is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    import importlib
-
-    value = getattr(importlib.import_module(module_name), name)
-    # Cache the resolved attribute.  Not just an optimisation: for an
-    # export whose name equals its host submodule (``sweep``), importing
-    # the submodule binds the *module object* onto this package, and
-    # ``from repro.pipeline import sweep`` would then pick up the module
-    # instead of the function.  Writing the resolved value last wins.
-    globals()[name] = value
-    return value
-
-
-def __dir__() -> list[str]:
-    return sorted(set(globals()) | set(__all__))
+__getattr__, __dir__ = lazy_exports(__name__, globals(), _LAZY_EXPORTS)

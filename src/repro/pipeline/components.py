@@ -26,11 +26,13 @@ from repro.training.negatives import NEGATIVE_SAMPLERS
 
 __all__ = [
     "DATASET_GENERATORS",
+    "INDEXES",
     "LOSSES",
     "MODELS",
     "NEGATIVE_SAMPLERS",
     "OMEGA_PRESETS",
     "OPTIMIZERS",
+    "build_index",
 ]
 
 #: Dataset generators; entries are called as ``generator(params_dict)``
@@ -60,6 +62,51 @@ def _synthetic_fb15k(params: dict) -> KGDataset:
     """The synthetic FB15k-flavoured graph (see :mod:`repro.kg.synthetic_fb`)."""
     config = _build_config(SyntheticFBConfig, params, "synthetic_fb15k")
     return generate_synthetic_fb15k(config)
+
+
+#: Retrieval-index factories; entries are called as
+#: ``factory(model, section, workers=0)`` with an
+#: :class:`~repro.pipeline.config.IndexSection` and return a
+#: :class:`~repro.index.base.CandidateIndex`.  The heavyweight index
+#: modules are imported inside the factories so registering them keeps
+#: ``import repro.pipeline`` cheap.
+INDEXES: Registry = Registry("retrieval index")
+
+
+@INDEXES.register("ivf")
+def _ivf_index(model, section, workers: int = 0):
+    """K-means inverted file (see :mod:`repro.index.ivf`)."""
+    from repro.index.ivf import IVFIndex
+
+    return IVFIndex(
+        model,
+        nlist=section.nlist,
+        nprobe=section.nprobe,
+        seed=section.seed,
+        iters=section.iters,
+        spill=section.spill,
+        on_stale=section.on_stale,
+        workers=workers,
+    )
+
+
+@INDEXES.register("exact")
+def _exact_index(model, section, workers: int = 0):
+    """Brute-force oracle index (see :mod:`repro.index.exact`)."""
+    from repro.index.exact import ExactIndex
+
+    return ExactIndex(model, on_stale=section.on_stale)
+
+
+def build_index(model, section, workers: int = 0):
+    """Construct the index selected by an :class:`IndexSection`.
+
+    Returns ``None`` for ``kind="none"``; partitions are built lazily —
+    call ``index.build()`` for an eager (optionally fanned-out) build.
+    """
+    if not section.enabled:
+        return None
+    return INDEXES.get(section.kind)(model, section, workers=workers)
 
 
 @DATASET_GENERATORS.register("directory")

@@ -194,6 +194,67 @@ class EvalSection:
             )
 
 
+_INDEX_KINDS = ("none", "ivf", "exact")
+_STALE_POLICIES = ("rebuild", "error")
+
+
+@dataclass(frozen=True)
+class IndexSection:
+    """Approximate-retrieval index settings for serving a run.
+
+    ``kind="none"`` (default) serves exact full sweeps.  ``"ivf"``
+    builds the k-means inverted file of :mod:`repro.index.ivf` (with
+    ``nlist``/``nprobe`` defaulting from the entity count), ``"exact"``
+    the brute-force oracle.  With a run directory the index is built
+    after training and persisted next to the checkpoint, so
+    ``serve_run``/the ``predict`` CLI can reload it without rebuilding.
+    """
+
+    kind: str = "none"
+    nlist: int | None = None
+    nprobe: int | None = None
+    seed: int = 0
+    iters: int = 10
+    spill: int = 2
+    on_stale: str = "rebuild"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _INDEX_KINDS:
+            raise ConfigError(
+                f"index.kind must be one of {list(_INDEX_KINDS)}, got {self.kind!r}"
+            )
+        if self.nlist is not None and self.nlist < 1:
+            raise ConfigError(f"index.nlist must be >= 1 or null, got {self.nlist}")
+        if self.nprobe is not None and self.nprobe < 1:
+            raise ConfigError(f"index.nprobe must be >= 1 or null, got {self.nprobe}")
+        if (
+            self.nlist is not None
+            and self.nprobe is not None
+            and self.nprobe > self.nlist
+        ):
+            # Catch the typo at config time, not after an hours-long
+            # training run when the index finally builds.
+            raise ConfigError(
+                f"index.nprobe must be <= index.nlist, got {self.nprobe} > {self.nlist}"
+            )
+        if self.seed < 0:
+            raise ConfigError(f"index.seed must be >= 0, got {self.seed}")
+        if self.iters < 1:
+            raise ConfigError(f"index.iters must be >= 1, got {self.iters}")
+        if self.spill < 1:
+            raise ConfigError(f"index.spill must be >= 1, got {self.spill}")
+        if self.on_stale not in _STALE_POLICIES:
+            raise ConfigError(
+                f"index.on_stale must be one of {list(_STALE_POLICIES)}, "
+                f"got {self.on_stale!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this section selects any index at all."""
+        return self.kind != "none"
+
+
 _SHARD_AXES = ("triples", "entities")
 
 
@@ -245,6 +306,7 @@ class RunConfig:
     training: TrainingSection = field(default_factory=TrainingSection)
     evaluation: EvalSection = field(default_factory=EvalSection)
     parallel: ParallelSection = field(default_factory=ParallelSection)
+    index: IndexSection = field(default_factory=IndexSection)
     seed: int = 0
     label: str | None = None
 
@@ -255,6 +317,7 @@ class RunConfig:
             ("training", TrainingSection),
             ("evaluation", EvalSection),
             ("parallel", ParallelSection),
+            ("index", IndexSection),
         ):
             if not isinstance(getattr(self, name), cls):
                 raise ConfigError(f"RunConfig.{name} must be a {cls.__name__}")
@@ -292,6 +355,7 @@ class RunConfig:
             parallel=_section_from_dict(
                 ParallelSection, data.get("parallel", {}), "parallel"
             ),
+            index=_section_from_dict(IndexSection, data.get("index", {}), "index"),
             seed=seed,
             label=data.get("label"),
         )

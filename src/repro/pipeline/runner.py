@@ -44,6 +44,7 @@ _CONFIG_FILE = "config.json"
 _CHECKPOINT_DIR = "checkpoint"
 _HISTORY_FILE = "history.json"
 _METRICS_FILE = "metrics.json"
+_INDEX_DIR = "index"
 
 
 @dataclass
@@ -187,6 +188,18 @@ def train_and_evaluate(
     )
     if run_dir is not None:
         result.run_dir = write_run_dir(result, run_dir)
+        if config.index.enabled:
+            # Persist the retrieval index next to the checkpoint so
+            # serve_run / `predict --index` can reload it without a
+            # rebuild.  Metrics above are unaffected: evaluation always
+            # ranks exactly.
+            from repro.pipeline.components import build_index
+
+            index = build_index(
+                result.model, config.index, workers=config.parallel.eval_workers
+            )
+            index.build(workers=config.parallel.eval_workers)
+            index.save(result.run_dir / _INDEX_DIR)
     return result
 
 
@@ -310,13 +323,74 @@ def evaluate_run(
     return _evaluate(loaded.config, dataset, loaded.model)
 
 
+def build_run_index(
+    run_dir: str | Path,
+    section=None,
+    workers: int = 0,
+    sides: tuple[str, ...] = ("tail", "head"),
+):
+    """Build (and persist) the retrieval index of a stored run.
+
+    *section* overrides the stored config's index section; when neither
+    selects an index kind, an IVF index with default knobs is built.
+    Returns the built :class:`~repro.index.base.CandidateIndex`.
+    """
+    from repro.pipeline.components import build_index
+    from repro.pipeline.config import IndexSection
+
+    loaded = load_run(run_dir)
+    if section is None:
+        section = loaded.config.index
+    if not section.enabled:
+        section = IndexSection(kind="ivf")
+    index = build_index(loaded.model, section, workers=workers)
+    index.build(sides=sides, workers=workers)
+    index.save(Path(run_dir) / _INDEX_DIR)
+    return index
+
+
+def load_run_index(run_dir: str | Path, model, on_stale: str = "rebuild"):
+    """Load the persisted index of a run directory, or None if absent."""
+    index_dir = Path(run_dir) / _INDEX_DIR
+    if not index_dir.exists():
+        return None
+    from repro.index import load_index
+
+    return load_index(index_dir, model, on_stale=on_stale)
+
+
 def serve_run(
     run_dir: str | Path,
     dataset: KGDataset | None = None,
+    index: object = None,
     **predictor_kwargs: object,
 ) -> LinkPredictor:
-    """Stand up a :class:`LinkPredictor` from a stored run directory."""
+    """Stand up a :class:`LinkPredictor` from a stored run directory.
+
+    ``index="auto"`` attaches the run's persisted index when one exists
+    (approximate serving); ``index="require"`` additionally builds one
+    (per the stored config, or IVF defaults) when none was saved.  The
+    default ``None`` serves exact full sweeps.
+    """
     loaded = load_run(run_dir)
     if dataset is None:
         dataset = loaded.build_dataset()
-    return LinkPredictor(loaded.model, dataset, **predictor_kwargs)
+    resolved = None
+    if index == "auto" or index == "require":
+        resolved = load_run_index(
+            run_dir, loaded.model, on_stale=loaded.config.index.on_stale
+        )
+        if resolved is None and index == "require":
+            from repro.pipeline.components import build_index
+            from repro.pipeline.config import IndexSection
+
+            section = loaded.config.index
+            if not section.enabled:
+                section = IndexSection(kind="ivf")
+            resolved = build_index(loaded.model, section)
+    elif index is not None:
+        raise ConfigError(
+            'serve_run index must be None, "auto" or "require"; pass a prebuilt '
+            "index directly to LinkPredictor instead"
+        )
+    return LinkPredictor(loaded.model, dataset, index=resolved, **predictor_kwargs)

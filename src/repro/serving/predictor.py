@@ -11,13 +11,20 @@ connect (h, t)?"* for whole batches of queries at once, with
   model's parameters change,
 * optional filtered-candidate masking that pushes already-known true
   triples out of the top-k (the serving twin of the evaluation
-  protocol's filtered setting), and
+  protocol's filtered setting),
 * optional explicit candidate sets served through the models'
-  ``score_candidates`` fast paths.
+  ``score_candidates`` fast paths, and
+* optional **approximate retrieval** through a
+  :class:`~repro.index.base.CandidateIndex`: the index proposes a
+  per-query shortlist (O(num_probed) instead of O(num_entities)) and
+  the predictor re-ranks it with true model scores, tracking probed
+  fraction and (sampled) recall in :attr:`LinkPredictor.index_stats`.
 
 Ties are broken deterministically in favour of the lower entity id
 (stable sort on descending score), so repeated and batched calls always
-agree with a brute-force per-triple ranking.
+agree with a brute-force per-triple ranking.  The index path keeps the
+same tie rule (shortlists arrive id-ascending); a shortlist shorter than
+``k`` pads its result rows with id ``-1`` / score ``-inf``.
 """
 
 from __future__ import annotations
@@ -80,6 +87,19 @@ class LinkPredictor:
     chunk_size:
         Max query rows per underlying sweep (memory bound); ``None``
         derives it from the scorer's element budget.
+    index:
+        Optional :class:`~repro.index.base.CandidateIndex` built over
+        this same model.  Full-sweep entity queries (no explicit
+        candidates) are then answered from the index's shortlists with
+        exact re-ranking; a shortlist that covers every entity (e.g.
+        ``nprobe == nlist``) takes the ordinary full-sweep path and is
+        bit-identical to serving without an index.
+    recall_sample_every:
+        When an index is active and this is ``> 0``, every Nth
+        approximate query is additionally answered exactly and the
+        recall@k overlap recorded in :attr:`index_stats` (``0`` — the
+        default — disables sampling; each sampled query pays one full
+        sweep).
     """
 
     def __init__(
@@ -91,15 +111,31 @@ class LinkPredictor:
         folded: bool | str = "auto",
         cache_size: int = 4096,
         chunk_size: int | None = None,
+        index=None,
+        recall_sample_every: int = 0,
     ) -> None:
         if cache_size < 0:
             raise ServingError("cache_size must be >= 0")
+        if recall_sample_every < 0:
+            raise ServingError("recall_sample_every must be >= 0")
         self.model = model
         self.dataset = dataset
         self.scorer = BatchedScorer(model, folded=folded, chunk_size=chunk_size)
         self._filter_index = filter_index
         self.cache = LRUScoreCache(cache_size) if cache_size else None
         self._model_version = model.scoring_version
+        self.index = index
+        self.recall_sample_every = int(recall_sample_every)
+        self._index_stats = None
+        if index is not None:
+            if index.model is not model:
+                raise ServingError(
+                    "index was built over a different model instance; build the "
+                    "index from the same model the predictor serves"
+                )
+            from repro.index.base import IndexUsageStats
+
+            self._index_stats = IndexUsageStats(num_entities=model.num_entities)
 
     # ------------------------------------------------------------- plumbing
     @property
@@ -117,16 +153,25 @@ class LinkPredictor:
         """LRU cache counters, or None when caching is disabled."""
         return self.cache.stats if self.cache is not None else None
 
-    def clear_cache(self) -> None:
-        """Drop cached scores and folded tensors (e.g. after weight surgery).
+    @property
+    def index_stats(self):
+        """Index usage counters (:class:`~repro.index.base.IndexUsageStats`),
+        or None when no index is attached."""
+        return self._index_stats
 
-        Training invalidates both automatically via ``scoring_version``;
-        this is the recovery path for in-place parameter edits that
-        bypass ``train_step`` and therefore never bump the version.
+    def clear_cache(self) -> None:
+        """Drop cached scores, folded tensors and index partitions.
+
+        Training invalidates all of them automatically via
+        ``scoring_version``; this is the recovery path for in-place
+        parameter edits that bypass ``train_step`` and therefore never
+        bump the version.
         """
         if self.cache is not None:
             self.cache.clear()
         self.scorer.refresh()
+        if self.index is not None:
+            self.index.invalidate()
         self._model_version = self.model.scoring_version
 
     def _sync_version(self) -> None:
@@ -198,6 +243,91 @@ class LinkPredictor:
         order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
         return TopKResult(ids=order, scores=np.take_along_axis(scores, order, axis=1))
 
+    def _full_top_k(
+        self, anchors: np.ndarray, relations: np.ndarray, side: str, filtered: bool, k: int
+    ) -> TopKResult:
+        """Exact top-k over every entity (the index-free reference path)."""
+        # _full_scores always returns a fresh matrix (cached rows are
+        # copied into it), so masking in place is safe — no extra copy.
+        scores = self._full_scores(anchors, relations, side)
+        if filtered:
+            self._mask_known(scores, anchors, relations, side)
+        return self._select_top_k(scores, min(k, self.model.num_entities))
+
+    def _top_k_via_index(
+        self, anchors: np.ndarray, relations: np.ndarray, k: int, side: str, filtered: bool
+    ) -> TopKResult:
+        """Index-served top-k: probe, exact re-rank, keep the tie rule.
+
+        Shortlists arrive id-ascending, so the stable descending-score
+        sort breaks ties toward the lower id exactly like the full
+        sweep.  Batches flagged ``covers_all`` (``nprobe == nlist``,
+        :class:`~repro.index.exact.ExactIndex`) are delegated to the
+        full-sweep path and therefore bit-identical to it.
+        """
+        stats = self._index_stats
+        batch = self.index.candidate_lists(anchors, relations, side)
+        first_query = stats.queries
+        stats.queries += len(anchors)
+        stats.entities_scored += batch.num_scored
+        if batch.covers_all:
+            stats.exhaustive_queries += len(anchors)
+            return self._full_top_k(anchors, relations, side, filtered, k)
+        num_entities = self.model.num_entities
+        k_out = min(k, num_entities)
+        out_ids = np.full((len(anchors), k_out), -1, dtype=np.int64)
+        out_scores = np.full((len(anchors), k_out), -np.inf, dtype=np.float64)
+        chunk = self.scorer.effective_chunk_size()
+        for start in range(0, len(anchors), chunk):
+            stop = min(start + chunk, len(anchors))
+            rows = batch.rows[start:stop]
+            lengths = np.array([len(row) for row in rows], dtype=np.int64)
+            width = int(lengths.max())
+            cands = np.empty((len(rows), width), dtype=np.int64)
+            for i, row in enumerate(rows):
+                cands[i, : len(row)] = row
+                if len(row) < width:  # pad with the row's last id; masked below
+                    cands[i, len(row):] = row[-1]
+            scores = np.asarray(
+                self.scorer.score_candidates(
+                    anchors[start:stop], relations[start:stop], cands, side
+                ),
+                dtype=np.float64,
+            )
+            pad_mask = np.arange(width)[None, :] >= lengths[:, None]
+            scores[pad_mask] = -np.inf
+            if filtered:
+                self._mask_known(
+                    scores, anchors[start:stop], relations[start:stop], side, cands
+                )
+            picked = self._select_top_k(scores, min(k_out, width))
+            ids = np.take_along_axis(cands, picked.ids, axis=1)
+            ids[np.take_along_axis(pad_mask, picked.ids, axis=1)] = -1
+            out_ids[start:stop, : ids.shape[1]] = ids
+            out_scores[start:stop, : ids.shape[1]] = picked.scores
+        result = TopKResult(ids=out_ids, scores=out_scores)
+        if self.recall_sample_every:
+            self._sample_recall(
+                anchors, relations, side, filtered, k_out, result, first_query
+            )
+        return result
+
+    def _sample_recall(
+        self, anchors, relations, side, filtered, k_out, result, first_query
+    ) -> None:
+        """Exact-check every Nth approximate query and record recall@k."""
+        stats = self._index_stats
+        for row in range(len(anchors)):
+            if (first_query + row) % self.recall_sample_every:
+                continue
+            exact = self._full_top_k(
+                anchors[row : row + 1], relations[row : row + 1], side, filtered, k_out
+            )
+            approx_ids = result.ids[row]
+            overlap = np.intersect1d(approx_ids[approx_ids >= 0], exact.ids[0]).size
+            stats.recall_checks += 1
+            stats.recall_total += overlap / exact.ids.shape[1]
+
     def _top_k_one_side(
         self,
         anchors,
@@ -234,12 +364,9 @@ class LinkPredictor:
                 ids=np.take_along_axis(candidates, picked.ids, axis=1),
                 scores=picked.scores,
             )
-        # _full_scores always returns a fresh matrix (cached rows are
-        # copied into it), so masking in place is safe — no extra copy.
-        scores = self._full_scores(anchors, relations, side)
-        if filtered:
-            self._mask_known(scores, anchors, relations, side)
-        return self._select_top_k(scores, min(k, self.model.num_entities))
+        if self.index is not None:
+            return self._top_k_via_index(anchors, relations, k, side, filtered)
+        return self._full_top_k(anchors, relations, side, filtered, k)
 
     # --------------------------------------------------------------- queries
     def top_k_tails(
@@ -332,4 +459,11 @@ class LinkPredictor:
             result = self.top_k_tails([entities.index(head)], [rel_id], k, filtered=filtered)
         else:
             result = self.top_k_heads([entities.index(tail)], [rel_id], k, filtered=filtered)
+        # An index-served shortlist smaller than k pads with id -1; those
+        # rows carry no candidate to name, so drop them here.
+        keep = result.ids[0] >= 0
+        if not keep.all():
+            result = TopKResult(
+                ids=result.ids[:, keep], scores=result.scores[:, keep]
+            )
         return result.labeled(entities)[0]

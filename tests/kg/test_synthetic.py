@@ -91,6 +91,47 @@ class TestGeneration:
         assert 0.02 * total < len(ds.test) <= 0.055 * total
 
 
+class TestScaleKnob:
+    def test_scale_one_is_the_identity(self):
+        config = SyntheticKGConfig(num_entities=120, num_clusters=8, num_domains=3)
+        assert config.apply_scale() is config
+
+    def test_scale_multiplies_counts(self):
+        config = SyntheticKGConfig(
+            num_entities=120, num_clusters=8, num_domains=3, scale=2.5
+        )
+        scaled = config.apply_scale()
+        assert scaled.num_entities == 300
+        assert scaled.num_clusters == 20
+        assert scaled.num_domains == 8
+        assert scaled.scale == 1.0
+
+    def test_scaled_generation_is_deterministic(self):
+        config = SyntheticKGConfig(
+            num_entities=100, num_clusters=8, num_domains=3, seed=9, scale=3.0
+        )
+        first = generate_synthetic_kg(config)
+        second = generate_synthetic_kg(config)
+        assert first.num_entities == 300
+        np.testing.assert_array_equal(first.train.array, second.train.array)
+        np.testing.assert_array_equal(first.test.array, second.test.array)
+
+    def test_scaled_config_equivalent_to_explicit_counts(self):
+        scaled = generate_synthetic_kg(
+            SyntheticKGConfig(
+                num_entities=100, num_clusters=8, num_domains=3, seed=9, scale=2.0
+            )
+        )
+        explicit = generate_synthetic_kg(
+            SyntheticKGConfig(num_entities=200, num_clusters=16, num_domains=6, seed=9)
+        )
+        np.testing.assert_array_equal(scaled.train.array, explicit.train.array)
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            SyntheticKGConfig(scale=0.0)
+
+
 class TestWN18Structure:
     """The properties that make the paper's findings reproducible."""
 

@@ -1,0 +1,79 @@
+"""Tier-1 smoke run of the index-recall benchmark.
+
+Runs ``benchmarks/bench_index_recall.py`` in fast mode (4k-entity scaled
+graph, short hot-lr training): the JSON payload must have the documented
+schema and — this is the subsystem's acceptance criterion — some
+``nprobe`` operating point must reach recall@10 ≥ 0.95 while scoring at
+least 5x fewer entities than the exact sweep.  Wall-clock *speedup*
+assertions belong to the slow full-scale run only (python-level probe
+overhead dominates at smoke scale).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.index
+
+BENCH_PATH = Path(__file__).parent.parent / "benchmarks" / "bench_index_recall.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_index_recall", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def smoke_results(bench_module, tmp_path_factory):
+    json_path = tmp_path_factory.mktemp("bench") / "BENCH_index.json"
+    results = bench_module.run_benchmark(fast=True, json_path=json_path)
+    return results, json_path
+
+
+def test_json_written_with_schema(smoke_results):
+    results, json_path = smoke_results
+    on_disk = json.loads(json_path.read_text(encoding="utf-8"))
+    assert on_disk["config"]["fast"] is True
+    assert on_disk["dataset"]["num_entities"] == results["dataset"]["num_entities"]
+    assert on_disk["curve"]
+    for point in on_disk["curve"]:
+        for key in (
+            "nprobe",
+            "recall_at_10",
+            "probed_fraction",
+            "scored_reduction",
+            "batch_seconds",
+            "speedup_vs_exact",
+        ):
+            assert key in point
+        assert 0.0 <= point["recall_at_10"] <= 1.0
+        assert 0.0 < point["probed_fraction"] <= 1.0
+    assert "acceptance" in on_disk
+
+
+def test_curve_is_monotone_in_probe_budget(smoke_results):
+    """More probes ⇒ more entities scored and (weakly) better recall."""
+    results, _ = smoke_results
+    curve = results["curve"]
+    fractions = [point["probed_fraction"] for point in curve]
+    assert fractions == sorted(fractions)
+    recalls = [point["recall_at_10"] for point in curve]
+    # Allow tiny non-monotonic wiggles from tie-boundary reassociation.
+    for earlier, later in zip(recalls, recalls[1:]):
+        assert later >= earlier - 0.02
+
+
+def test_acceptance_recall_at_reduced_probing(smoke_results, bench_module):
+    """The headline claim: ≥0.95 recall@10 with ≥5x fewer entities scored."""
+    results, _ = smoke_results
+    assert results["acceptance"]["achieved"], results["curve"]
+    best = results["acceptance"]["best_point"]
+    assert best["recall_at_10"] >= bench_module.RECALL_TARGET
+    assert best["scored_reduction"] >= bench_module.REDUCTION_TARGET

@@ -61,6 +61,7 @@ def test_ci_script_supports_quick_mode():
     assert "not slow and not pipeline" in text
     assert "test_bench_parallel_smoke" in text
     assert "test_bench_training_smoke" in text
+    assert "test_bench_index_smoke" in text
 
 
 def test_ci_script_is_executable():
