@@ -27,6 +27,7 @@ SMOKE_TESTS=(
   tests/test_bench_training_smoke.py
   tests/test_bench_parallel_smoke.py
   tests/test_bench_index_smoke.py
+  tests/test_bench_serving_smoke.py
 )
 IGNORE_SMOKE=("${SMOKE_TESTS[@]/#/--ignore=}")
 
@@ -40,3 +41,8 @@ fi
 
 echo "== benchmark smoke tests =="
 python -m pytest -q "${SMOKE_TESTS[@]}"
+
+# End-to-end daemon smoke: train a tiny run, start `repro serve` as a
+# real subprocess, drive concurrent wire requests, shut down cleanly.
+echo "== serving daemon smoke =="
+python scripts/serving_smoke.py

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the serving daemon: real process, real socket.
+
+The asyncio test suite (``tests/serving/test_server.py``) exercises the
+server in-process; this script is the missing integration layer that CI
+runs (``scripts/ci.sh``) — it proves the daemon works as an *operating
+system process*:
+
+1. train a tiny pipeline run (with an IVF index) into a temp dir,
+2. launch ``python -m repro serve <run_dir> --port 0`` as a subprocess,
+3. parse the ``REPRO-SERVE READY ... port=<n>`` line for the bound port,
+4. fire concurrent newline-delimited JSON requests over two sockets,
+5. cross-check a served answer against a direct in-process predictor,
+6. shut down over the wire and require a clean exit.
+
+Exit code 0 means every step passed.  Stdlib only — no test framework —
+so it can run anywhere the library runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+sys.path.insert(0, SRC)
+
+READY_TIMEOUT_SECONDS = 60.0
+REQUESTS_PER_CONNECTION = 24
+
+
+def build_run(run_dir: Path) -> None:
+    from repro.pipeline.config import (
+        DatasetSection,
+        IndexSection,
+        ModelSection,
+        RunConfig,
+        TrainingSection,
+    )
+    from repro.pipeline.runner import run_pipeline
+
+    config = RunConfig(
+        dataset=DatasetSection(
+            generator="synthetic_wn18",
+            params={"num_entities": 120, "num_clusters": 6, "seed": 3},
+        ),
+        model=ModelSection(name="complex", total_dim=8),
+        training=TrainingSection(epochs=2, batch_size=256),
+        index=IndexSection(kind="ivf", nlist=8, nprobe=8),
+    )
+    run_pipeline(config, run_dir=run_dir)
+
+
+def wait_for_ready(process: subprocess.Popen) -> int:
+    """Read daemon stdout until the READY line; return the bound port."""
+    deadline = time.monotonic() + READY_TIMEOUT_SECONDS
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"daemon exited before READY (rc={process.poll()})"
+            )
+        sys.stdout.write(f"  [daemon] {line}")
+        if line.startswith("REPRO-SERVE READY"):
+            fields = dict(
+                part.split("=", 1) for part in line.split() if "=" in part
+            )
+            return int(fields["port"])
+    raise RuntimeError("timed out waiting for REPRO-SERVE READY")
+
+
+def drive_connection(port: int, offset: int) -> list[dict]:
+    """Write a burst of pipelined requests, then collect every response."""
+    requests = []
+    for i in range(REQUESTS_PER_CONNECTION):
+        requests.append(
+            {
+                "id": offset + i,
+                "op": "top_k",
+                "side": "tail",
+                "head": (offset + 7 * i) % 120,
+                "relation": i % 3,
+                "k": 5,
+                "filtered": i % 2 == 0,
+            }
+        )
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as conn:
+        conn.sendall(
+            "".join(json.dumps(r) + "\n" for r in requests).encode()
+        )
+        reader = conn.makefile("r", encoding="utf-8")
+        responses = [json.loads(reader.readline()) for _ in requests]
+    by_id = {r["id"]: r for r in responses}
+    for request in requests:
+        response = by_id[request["id"]]
+        assert response["ok"] is True, f"request {request} failed: {response}"
+        assert len(response["ids"]) == 5, response
+        finite = [s for s in response["scores"] if s is not None]
+        assert finite == sorted(finite, reverse=True), response
+    return responses
+
+
+def cross_check(run_dir: Path, port: int) -> None:
+    """One wire answer must match the in-process predictor exactly."""
+    from repro.pipeline.runner import serve_run
+    from repro.serving.server import k_bucket
+
+    predictor = serve_run(str(run_dir), index="auto", on_stale="error")
+    expected = predictor.top_k_tails([11], [1], k=k_bucket(5), filtered=True)
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as conn:
+        conn.sendall(
+            json.dumps(
+                {"id": 0, "op": "top_k", "side": "tail", "head": 11,
+                 "relation": 1, "k": 5, "filtered": True}
+            ).encode() + b"\n"
+        )
+        response = json.loads(conn.makefile("r", encoding="utf-8").readline())
+    assert response["ok"] is True, response
+    assert response["ids"] == [int(i) for i in expected.ids[0, :5]], (
+        f"wire ids {response['ids']} != direct {expected.ids[0, :5]}"
+    )
+
+
+def shutdown_over_wire(port: int) -> None:
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as conn:
+        conn.sendall(b'{"id": 0, "op": "stats"}\n{"id": 1, "op": "shutdown"}\n')
+        reader = conn.makefile("r", encoding="utf-8")
+        stats = json.loads(reader.readline())
+        closing = json.loads(reader.readline())
+    assert stats["stats"]["served"] >= 2 * REQUESTS_PER_CONNECTION, stats
+    assert closing["ok"] is True and closing["closing"] is True, closing
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serving-smoke-") as tmp:
+        run_dir = Path(tmp) / "run"
+        print("== serving smoke: training tiny run ==")
+        build_run(run_dir)
+
+        print("== serving smoke: launching daemon ==")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(run_dir), "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        try:
+            port = wait_for_ready(process)
+            print(f"== serving smoke: daemon ready on port {port} ==")
+            drive_connection(port, offset=100)
+            drive_connection(port, offset=200)
+            print("== serving smoke: 48 concurrent wire requests served ==")
+            cross_check(run_dir, port)
+            print("== serving smoke: wire answer matches direct predictor ==")
+            shutdown_over_wire(port)
+            rc = process.wait(timeout=30)
+            remainder = process.stdout.read()
+            for line in remainder.splitlines():
+                sys.stdout.write(f"  [daemon] {line}\n")
+            assert rc == 0, f"daemon exited with rc={rc}"
+            assert "REPRO-SERVE STOPPED" in remainder, remainder
+            print("== serving smoke: clean shutdown ==")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+    print("serving smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ Commands
   ``--stats`` reports cache/index effectiveness.
 * ``build-index`` — build and persist the approximate retrieval index
   of a pipeline run directory.
+* ``serve``    — run the micro-batched async serving daemon
+  (:mod:`repro.serving.server`) over a pipeline run directory.
 * ``table``    — regenerate paper Table 2, 3 or 4 end-to-end.
 * ``weights``  — list ω presets with their §6.1.2 property analysis.
 
@@ -146,6 +148,27 @@ def build_parser() -> argparse.ArgumentParser:
     build_ix.add_argument("--workers", type=int, default=0,
                           help="worker processes for the per-partition build fan-out "
                                "(0 = in-process)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the micro-batched async serving daemon over a pipeline run",
+    )
+    serve.add_argument("run_dir", help="pipeline run directory (train --run-dir)")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default: the run config's serving.host)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: the run config's serving.port)")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="requests coalesced into one micro-batch per tick")
+    serve.add_argument("--max-wait-ms", type=float, default=None,
+                       help="max milliseconds a tick waits for stragglers")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="admission cap; requests beyond it fast-fail "
+                            "with a retry-after hint")
+    serve.add_argument("--index", choices=("none", "auto", "require"), default=None,
+                       help="attach the run's retrieval index (auto: persisted "
+                            "only; require: build if missing; none: exact sweeps)")
 
     sub.add_parser("weights", help="list weight-vector presets and their properties")
 
@@ -400,6 +423,41 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.pipeline.runner import load_run
+    from repro.serving.server import serve_forever
+
+    # The stored config's serving section supplies the defaults; CLI
+    # flags override field by field.
+    section = load_run(args.run_dir).config.serving
+    overrides = {
+        field_name: value
+        for field_name, value in (
+            ("host", args.host),
+            ("port", args.port),
+            ("max_batch", args.max_batch),
+            ("max_wait_ms", args.max_wait_ms),
+            ("queue_depth", args.queue_depth),
+            ("index", args.index),
+        )
+        if value is not None
+    }
+    if overrides:
+        section = dataclasses.replace(section, **overrides)
+    serve_forever(
+        args.run_dir,
+        host=section.host,
+        port=section.port,
+        max_batch=section.max_batch,
+        max_wait_ms=section.max_wait_ms,
+        queue_depth=section.queue_depth,
+        index=section.index_mode,
+    )
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentSettings, build_dataset, format_table
     from repro.paper_tables import run_table2, run_table3, run_table4
@@ -469,6 +527,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
     "predict": _cmd_predict,
+    "serve": _cmd_serve,
     "table": _cmd_table,
     "train": _cmd_train,
     "weights": _cmd_weights,

@@ -48,6 +48,29 @@ class ServingError(ReproError):
     """A serving-layer request was malformed or unserveable."""
 
 
+class ServerClosedError(ServingError):
+    """A request reached the serving daemon during/after shutdown.
+
+    Raised by :class:`~repro.serving.server.PredictionServer` once
+    shutdown has begun: queued requests still drain, but no new work is
+    admitted.
+    """
+
+
+class ServerOverloadedError(ServingError):
+    """The serving daemon's request queue is at its admission cap.
+
+    Fast-fail backpressure: rather than queueing unboundedly under
+    overload, the daemon rejects immediately with a ``retry_after_ms``
+    hint derived from the current queue depth and the measured
+    per-request service time.
+    """
+
+    def __init__(self, message: str, retry_after_ms: float = 50.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)
+
+
 class StaleIndexError(ServingError):
     """A retrieval index no longer matches its model's parameters.
 

@@ -42,6 +42,7 @@ _LAZY_EXPORTS = {
     "ModelSection": "repro.pipeline.config",
     "ParallelSection": "repro.pipeline.config",
     "RunConfig": "repro.pipeline.config",
+    "ServingSection": "repro.pipeline.config",
     "TrainingSection": "repro.pipeline.config",
     "LoadedRun": "repro.pipeline.runner",
     "RunResult": "repro.pipeline.runner",

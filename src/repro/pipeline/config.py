@@ -297,6 +297,61 @@ class ParallelSection:
         return self.eval_shards == 1 and self.eval_workers == 0
 
 
+_SERVING_INDEX_MODES = ("none", "auto", "require")
+
+
+@dataclass(frozen=True)
+class ServingSection:
+    """Serving-daemon settings for a run (the ``serve`` CLI command).
+
+    Knobs of the micro-batching loop in :mod:`repro.serving.server`:
+    ``max_batch`` requests are drained per tick, a tick waits at most
+    ``max_wait_ms`` for stragglers, and requests beyond ``queue_depth``
+    fast-fail with a retry-after hint instead of queueing unboundedly.
+    ``index`` selects how the daemon attaches the run's retrieval index
+    (``"auto"`` uses a persisted one when present, ``"require"`` builds
+    one if missing, ``"none"`` serves exact sweeps); stale persisted
+    indexes are always *refused* at swap time, never rebuilt on the
+    request path.  ``port=0`` binds an ephemeral port.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    queue_depth: int = 1024
+    default_k: int = 10
+    index: str = "auto"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigError(f"serving.host must be a nonempty string, got {self.host!r}")
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"serving.port must be in [0, 65535], got {self.port}")
+        if self.max_batch < 1:
+            raise ConfigError(f"serving.max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ConfigError(
+                f"serving.max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigError(
+                f"serving.queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.default_k < 1:
+            raise ConfigError(f"serving.default_k must be >= 1, got {self.default_k}")
+        if self.index not in _SERVING_INDEX_MODES:
+            raise ConfigError(
+                f"serving.index must be one of {list(_SERVING_INDEX_MODES)}, "
+                f"got {self.index!r}"
+            )
+
+    @property
+    def index_mode(self) -> str | None:
+        """The ``serve_run``/daemon index argument (None for ``"none"``)."""
+        return None if self.index == "none" else self.index
+
+
 @dataclass(frozen=True)
 class RunConfig:
     """A complete, serializable description of one training/eval run."""
@@ -307,6 +362,7 @@ class RunConfig:
     evaluation: EvalSection = field(default_factory=EvalSection)
     parallel: ParallelSection = field(default_factory=ParallelSection)
     index: IndexSection = field(default_factory=IndexSection)
+    serving: ServingSection = field(default_factory=ServingSection)
     seed: int = 0
     label: str | None = None
 
@@ -318,6 +374,7 @@ class RunConfig:
             ("evaluation", EvalSection),
             ("parallel", ParallelSection),
             ("index", IndexSection),
+            ("serving", ServingSection),
         ):
             if not isinstance(getattr(self, name), cls):
                 raise ConfigError(f"RunConfig.{name} must be a {cls.__name__}")
@@ -356,6 +413,9 @@ class RunConfig:
                 ParallelSection, data.get("parallel", {}), "parallel"
             ),
             index=_section_from_dict(IndexSection, data.get("index", {}), "index"),
+            serving=_section_from_dict(
+                ServingSection, data.get("serving", {}), "serving"
+            ),
             seed=seed,
             label=data.get("label"),
         )

@@ -363,6 +363,7 @@ def serve_run(
     run_dir: str | Path,
     dataset: KGDataset | None = None,
     index: object = None,
+    on_stale: str | None = None,
     **predictor_kwargs: object,
 ) -> LinkPredictor:
     """Stand up a :class:`LinkPredictor` from a stored run directory.
@@ -370,7 +371,11 @@ def serve_run(
     ``index="auto"`` attaches the run's persisted index when one exists
     (approximate serving); ``index="require"`` additionally builds one
     (per the stored config, or IVF defaults) when none was saved.  The
-    default ``None`` serves exact full sweeps.
+    default ``None`` serves exact full sweeps.  ``on_stale`` overrides
+    the stored config's staleness policy for the persisted index — the
+    serving daemon passes ``"error"`` so a hot-swap can *refuse* an
+    index whose fingerprint no longer matches the checkpoint instead of
+    silently rebuilding it on the request path.
     """
     loaded = load_run(run_dir)
     if dataset is None:
@@ -378,7 +383,7 @@ def serve_run(
     resolved = None
     if index == "auto" or index == "require":
         resolved = load_run_index(
-            run_dir, loaded.model, on_stale=loaded.config.index.on_stale
+            run_dir, loaded.model, on_stale=on_stale or loaded.config.index.on_stale
         )
         if resolved is None and index == "require":
             from repro.pipeline.components import build_index

@@ -69,12 +69,24 @@ from repro.serving.cache import CacheStats, LRUScoreCache
 from repro.serving.folded import RelationFoldedScorer
 from repro.serving.predictor import LinkPredictor, TopKResult
 from repro.serving.scorer import BatchedScorer
+from repro.serving.server import (
+    Deployment,
+    PredictionServer,
+    ServedTopK,
+    serve_forever,
+    start_tcp_server,
+)
 
 __all__ = [
     "BatchedScorer",
     "CacheStats",
+    "Deployment",
     "LRUScoreCache",
     "LinkPredictor",
+    "PredictionServer",
     "RelationFoldedScorer",
+    "ServedTopK",
     "TopKResult",
+    "serve_forever",
+    "start_tcp_server",
 ]

@@ -59,12 +59,27 @@ class TopKResult:
 
     def labeled(self, names) -> list[list[tuple[str, float]]]:
         """Resolve ids through a vocabulary-like ``names(ids)`` callable
-        or :class:`~repro.kg.vocab.Vocabulary`; one list per query."""
+        or :class:`~repro.kg.vocab.Vocabulary`; one list per query.
+
+        Pad ids (``-1``, produced by index-served shortlists shorter
+        than ``k``) carry no candidate to name and are dropped from
+        every row, so a padded row simply comes back shorter — they are
+        never resolved through the vocabulary (where ``-1`` would
+        silently name the *last* entity).
+        """
         resolve = names.names if hasattr(names, "names") else names
-        return [
-            list(zip(resolve(list(row_ids)), [float(s) for s in row_scores]))
-            for row_ids, row_scores in zip(self.ids, self.scores)
-        ]
+        labeled_rows = []
+        for row_ids, row_scores in zip(self.ids, self.scores):
+            keep = row_ids >= 0
+            labeled_rows.append(
+                list(
+                    zip(
+                        resolve([int(i) for i in row_ids[keep]]),
+                        [float(s) for s in row_scores[keep]],
+                    )
+                )
+            )
+        return labeled_rows
 
 
 class LinkPredictor:
@@ -174,7 +189,23 @@ class LinkPredictor:
             self.index.invalidate()
         self._model_version = self.model.scoring_version
 
+    @property
+    def model_version(self) -> int:
+        """The model ``scoring_version`` this predictor last synced to.
+
+        Every query path syncs before answering, so after any
+        ``top_k_*``/``predict`` call this equals the version the answer
+        was computed at — the serving daemon tags responses with it.
+        """
+        return self._model_version
+
     def _sync_version(self) -> None:
+        """Reconcile with the model's current ``scoring_version``.
+
+        Runs at the top of every query path — including with caching
+        disabled, so ``model_version`` bookkeeping never drifts after
+        training (``cache_size=0`` used to skip it entirely).
+        """
         version = self.model.scoring_version
         if version != self._model_version:
             if self.cache is not None:
@@ -186,10 +217,11 @@ class LinkPredictor:
 
         Cached vectors are always the *raw* scores; filtering masks a
         copy, so the same cache serves filtered and unfiltered queries.
+        Callers have already synced the model version (every public
+        query path starts with ``_sync_version``).
         """
         if self.cache is None:
             return self.scorer.all_scores(anchors, relations, side)
-        self._sync_version()
         out = np.empty((len(anchors), self.model.num_entities), dtype=np.float64)
         missing: dict[tuple[int, int, str], list[int]] = {}
         for row in range(len(anchors)):
@@ -238,10 +270,44 @@ class LinkPredictor:
 
     @staticmethod
     def _select_top_k(scores: np.ndarray, k: int) -> TopKResult:
-        # Stable sort on the negated scores: descending score, ties by
-        # ascending candidate position — the documented tie policy.
-        order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
-        return TopKResult(ids=order, scores=np.take_along_axis(scores, order, axis=1))
+        """Top-k columns per row: descending score, ties by ascending
+        candidate position — the documented tie policy.
+
+        ``argpartition`` + a k-wide sort instead of a full row sort:
+        O(N + k log k) per row, which is what lets a serving micro-batch
+        amortise — a full ``argsort`` over ``(b, N)`` dominated batched
+        latency.  ``argpartition`` splits ties *at* the k-th value
+        arbitrarily, so rows whose boundary value also occurs outside
+        the kept set are repaired to keep the lowest positions before
+        ordering; everything else is exact by construction.
+        """
+        num_cols = scores.shape[1]
+        if k >= num_cols:
+            order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+            return TopKResult(
+                ids=order, scores=np.take_along_axis(scores, order, axis=1)
+            )
+        kept = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+        kept_scores = np.take_along_axis(scores, kept, axis=1)
+        threshold = kept_scores.min(axis=1)
+        tied = scores == threshold[:, None]
+        ambiguous = np.flatnonzero(
+            tied.sum(axis=1) != (kept_scores == threshold[:, None]).sum(axis=1)
+        )
+        for row in ambiguous:
+            above = kept[row][kept_scores[row] > threshold[row]]
+            ties = np.flatnonzero(tied[row])  # ascending position
+            kept[row, : len(above)] = above
+            kept[row, len(above):] = ties[: k - len(above)]
+        # Ascending-position order first, then a stable descending-score
+        # sort: ties therefore resolve toward the lower position.
+        kept.sort(axis=1)
+        kept_scores = np.take_along_axis(scores, kept, axis=1)
+        order = np.argsort(-kept_scores, axis=1, kind="stable")
+        return TopKResult(
+            ids=np.take_along_axis(kept, order, axis=1),
+            scores=np.take_along_axis(kept_scores, order, axis=1),
+        )
 
     def _full_top_k(
         self, anchors: np.ndarray, relations: np.ndarray, side: str, filtered: bool, k: int
@@ -282,12 +348,19 @@ class LinkPredictor:
             stop = min(start + chunk, len(anchors))
             rows = batch.rows[start:stop]
             lengths = np.array([len(row) for row in rows], dtype=np.int64)
-            width = int(lengths.max())
+            width = int(lengths.max()) if len(lengths) else 0
+            if width == 0:
+                # Every shortlist in this chunk is empty (degenerate
+                # partitions): the output rows stay all-pad (-1/-inf).
+                continue
             cands = np.empty((len(rows), width), dtype=np.int64)
             for i, row in enumerate(rows):
                 cands[i, : len(row)] = row
-                if len(row) < width:  # pad with the row's last id; masked below
-                    cands[i, len(row):] = row[-1]
+                if len(row) < width:
+                    # Pad with a valid id so scoring never indexes out of
+                    # range; an empty row has no last id, so fall back to
+                    # id 0.  Pad columns are masked to -inf below either way.
+                    cands[i, len(row):] = row[-1] if len(row) else 0
             scores = np.asarray(
                 self.scorer.score_candidates(
                     anchors[start:stop], relations[start:stop], cands, side
@@ -339,6 +412,7 @@ class LinkPredictor:
     ) -> TopKResult:
         if k < 1:
             raise ServingError("k must be >= 1")
+        self._sync_version()
         anchors = np.atleast_1d(np.asarray(anchors, dtype=np.int64))
         relations = np.atleast_1d(np.asarray(relations, dtype=np.int64))
         if anchors.shape != relations.shape or anchors.ndim != 1:
@@ -394,6 +468,7 @@ class LinkPredictor:
         """
         if k < 1:
             raise ServingError("k must be >= 1")
+        self._sync_version()
         heads = np.atleast_1d(np.asarray(heads, dtype=np.int64))
         tails = np.atleast_1d(np.asarray(tails, dtype=np.int64))
         if heads.shape != tails.shape or heads.ndim != 1:
@@ -419,6 +494,7 @@ class LinkPredictor:
         """Precompute and cache the sweeps for the given queries."""
         if self.cache is None:
             raise ServingError("warm_cache needs caching enabled (cache_size > 0)")
+        self._sync_version()
         anchors = np.atleast_1d(np.asarray(anchors, dtype=np.int64))
         relations = np.atleast_1d(np.asarray(relations, dtype=np.int64))
         self._full_scores(anchors, relations, side)
@@ -459,11 +535,5 @@ class LinkPredictor:
             result = self.top_k_tails([entities.index(head)], [rel_id], k, filtered=filtered)
         else:
             result = self.top_k_heads([entities.index(tail)], [rel_id], k, filtered=filtered)
-        # An index-served shortlist smaller than k pads with id -1; those
-        # rows carry no candidate to name, so drop them here.
-        keep = result.ids[0] >= 0
-        if not keep.all():
-            result = TopKResult(
-                ids=result.ids[:, keep], scores=result.scores[:, keep]
-            )
+        # labeled() drops index-shortlist pad ids (-1) from every row.
         return result.labeled(entities)[0]

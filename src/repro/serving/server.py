@@ -1,0 +1,768 @@
+"""Micro-batched asyncio serving daemon over :class:`LinkPredictor`.
+
+The library's serving layer already amortises the folded matmul across
+*batched* calls — but production traffic arrives as many small
+concurrent requests, not as pre-assembled batches.  This module closes
+that gap with a stdlib-only asyncio service:
+
+``PredictionServer``
+    The core loop.  Concurrent ``top_k_tails``/``top_k_heads``/
+    ``top_k_relations`` awaits land in one bounded queue; a batcher task
+    drains up to ``max_batch`` requests per tick (waiting at most
+    ``max_wait_ms`` for stragglers), groups them by
+    ``(side, filtered, k-bucket)`` and dispatches **one**
+    :class:`~repro.serving.predictor.LinkPredictor` call per group —
+    exactly the way :class:`~repro.serving.scorer.BatchedScorer` batches
+    evaluation.  Each request's future resolves to a
+    :class:`ServedTopK` carrying the answer plus the deployment
+    generation and model ``scoring_version`` it was computed at.
+
+    *Admission control*: when the queue is at ``queue_depth`` the
+    request fast-fails with :class:`~repro.errors.ServerOverloadedError`
+    and a ``retry_after_ms`` hint, instead of queueing unboundedly.
+
+    *Hot-swap*: :meth:`PredictionServer.load_run` builds a new
+    predictor from a run directory **off the event loop**, refuses
+    persisted indexes whose fingerprint no longer matches the
+    checkpoint (``on_stale="error"``), waits for the in-flight
+    micro-batch to finish, and flips the active deployment atomically —
+    no response ever mixes old and new model versions, and the old
+    deployment keeps serving until the instant of the flip.
+
+    *Shutdown*: :meth:`PredictionServer.close` stops admission, drains
+    queued requests (or fails them fast with
+    :class:`~repro.errors.ServerClosedError` when ``drain=False``) and
+    retires the batcher task.
+
+``start_tcp_server`` / ``serve_forever``
+    A newline-delimited-JSON TCP front-end and the blocking entry point
+    behind the ``repro-kge serve`` CLI command.  Protocol: one JSON
+    object per line with an ``op`` of ``top_k``, ``stats``, ``ping``,
+    ``swap`` or ``shutdown``; responses echo the request ``id`` and
+    carry either the payload (``ok: true``) or a structured error with
+    a machine-readable ``code`` (``ok: false``).  Filtered-out
+    candidates' ``-inf`` scores are transported as ``null``.
+
+Everything here is plain CPython stdlib (asyncio + json + numpy already
+required by the library); there is no third-party server framework.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import (
+    ReproError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+    StaleIndexError,
+)
+from repro.serving.predictor import LinkPredictor
+
+def k_bucket(k: int) -> int:
+    """The power-of-two bucket a requested ``k`` coalesces into.
+
+    Requests whose k rounds up to the same bucket share one predictor
+    call; each answer is sliced back to its own k afterwards (a top-k
+    prefix of a larger top-k is exact under the stable tie rule).
+    """
+    if k < 1:
+        raise ServingError("k must be >= 1")
+    return 1 << (int(k) - 1).bit_length()
+
+
+_SIDES = ("tail", "head", "relation")
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """One warm, servable model: a predictor plus its identity tags."""
+
+    predictor: LinkPredictor
+    generation: int
+    run_dir: str | None = None
+    label: str | None = None
+
+    @property
+    def scoring_version(self) -> int:
+        return self.predictor.model.scoring_version
+
+
+@dataclass(frozen=True)
+class ServedTopK:
+    """One request's answer, tagged with the deployment that served it.
+
+    ``ids``/``scores`` are 1-D arrays of length ≤ k (index-served
+    shortlists may pad with ``-1``/``-inf``; see
+    :class:`~repro.serving.predictor.TopKResult`).  ``generation`` and
+    ``scoring_version`` identify the deployment snapshot — a hot-swap
+    test can assert no response mixes versions.  ``coalesced`` is the
+    size of the predictor call that served this request (how much
+    micro-batching actually happened) and ``waited_ms`` the time the
+    request spent queued before dispatch.
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+    generation: int
+    scoring_version: int
+    coalesced: int
+    waited_ms: float
+
+
+@dataclass
+class ServerStats:
+    """Monotonic counters exposed by :meth:`PredictionServer.stats`."""
+
+    submitted: int = 0
+    served: int = 0
+    rejected: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    batches: int = 0
+    dispatch_calls: int = 0
+    coalesced_total: int = 0
+    coalesced_max: int = 0
+    swaps: int = 0
+    peak_depth: int = 0
+
+    @property
+    def mean_coalesced(self) -> float:
+        """Mean requests per predictor call (the amortisation factor)."""
+        if not self.dispatch_calls:
+            return 0.0
+        return self.coalesced_total / self.dispatch_calls
+
+
+@dataclass
+class _Pending:
+    side: str
+    first: int
+    second: int
+    k: int
+    filtered: bool
+    future: asyncio.Future
+    enqueued_at: float
+    bucket: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.bucket = k_bucket(self.k)
+
+
+class PredictionServer:
+    """Coalesce concurrent top-k requests into micro-batched sweeps.
+
+    Parameters
+    ----------
+    predictor:
+        The initial deployment, or ``None`` to start empty (deploy later
+        via :meth:`swap_predictor`/:meth:`load_run`).
+    max_batch:
+        Most requests drained into one micro-batch per tick.
+    max_wait_ms:
+        How long a tick waits for stragglers once it has at least one
+        request but fewer than ``max_batch``.  ``0`` dispatches
+        immediately — with a single closed-loop client that degenerates
+        to request-at-a-time serving (the benchmark's baseline).
+    queue_depth:
+        Admission cap; requests beyond it fast-fail with
+        :class:`~repro.errors.ServerOverloadedError`.
+    label:
+        Optional deployment label echoed in :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        predictor: LinkPredictor | None = None,
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        queue_depth: int = 1024,
+        label: str | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ServingError("max_wait_ms must be >= 0")
+        if queue_depth < 1:
+            raise ServingError("queue_depth must be >= 1")
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.queue_depth = int(queue_depth)
+        self.stats = ServerStats()
+        self._pending: collections.deque[_Pending] = collections.deque()
+        self._wake = asyncio.Event()
+        self._swap_lock = asyncio.Lock()
+        self._task: asyncio.Task | None = None
+        self._closing = False
+        self._closed = False
+        self._generation = 0
+        self._active: Deployment | None = None
+        #: EMA of per-request service seconds; feeds the retry-after hint.
+        self._service_ema: float | None = None
+        if predictor is not None:
+            self._generation = 1
+            self._active = Deployment(predictor, 1, label=label)
+
+    # ---------------------------------------------------------------- state
+    @property
+    def deployment(self) -> Deployment | None:
+        """The currently active deployment (None before the first deploy)."""
+        return self._active
+
+    @property
+    def generation(self) -> int:
+        """Monotonic deployment counter; bumps on every hot-swap."""
+        return self._generation
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._pending)
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    def stats_dict(self) -> dict:
+        """JSON-compatible snapshot of the server's counters and state."""
+        active = self._active
+        return {
+            "generation": self._generation,
+            "scoring_version": active.scoring_version if active else None,
+            "run_dir": active.run_dir if active else None,
+            "label": active.label if active else None,
+            "queue_len": len(self._pending),
+            "queue_depth": self.queue_depth,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "closing": self._closing,
+            "submitted": self.stats.submitted,
+            "served": self.stats.served,
+            "rejected": self.stats.rejected,
+            "failed": self.stats.failed,
+            "cancelled": self.stats.cancelled,
+            "batches": self.stats.batches,
+            "dispatch_calls": self.stats.dispatch_calls,
+            "mean_coalesced": self.stats.mean_coalesced,
+            "coalesced_max": self.stats.coalesced_max,
+            "swaps": self.stats.swaps,
+            "peak_depth": self.stats.peak_depth,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> "PredictionServer":
+        """Spawn the batcher task on the running loop; idempotent."""
+        if self._closed:
+            raise ServerClosedError("server already closed")
+        if self._task is None:
+            self._task = asyncio.create_task(self._batch_loop(), name="repro-batcher")
+        return self
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop admission, then drain (default) or fail queued requests."""
+        if self._closed:
+            return
+        self._closing = True
+        if not drain:
+            while self._pending:
+                request = self._pending.popleft()
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServerClosedError("server shut down before dispatch")
+                    )
+                    self.stats.failed += 1
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        self._closed = True
+
+    async def __aenter__(self) -> "PredictionServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------- hot swap
+    async def swap_predictor(
+        self,
+        predictor: LinkPredictor,
+        *,
+        run_dir: str | None = None,
+        label: str | None = None,
+    ) -> Deployment:
+        """Atomically flip serving to *predictor*.
+
+        Waits for the in-flight micro-batch (the dispatch lock), so a
+        batch is always answered entirely by the deployment it started
+        under.  A stale attached index (``on_stale="error"``) raises
+        :class:`~repro.errors.StaleIndexError` *before* the flip — the
+        old deployment keeps serving.
+        """
+        if predictor.index is not None:
+            # Surface staleness now, not lazily on the first request.
+            predictor.index.ensure_fresh()
+        async with self._swap_lock:
+            self._generation += 1
+            self._active = Deployment(
+                predictor, self._generation, run_dir=run_dir, label=label
+            )
+            self.stats.swaps += 1
+            return self._active
+
+    async def load_run(
+        self,
+        run_dir: str | Path,
+        *,
+        index: str | None = "auto",
+        label: str | None = None,
+        **predictor_kwargs,
+    ) -> Deployment:
+        """Load a run directory in the background and hot-swap onto it.
+
+        The checkpoint/dataset/index load happens in a worker thread —
+        in-flight and newly arriving requests keep being served by the
+        current deployment throughout.  Persisted indexes are loaded
+        with ``on_stale="error"``: a fingerprint mismatch (the model
+        trained after the index was built) raises
+        :class:`~repro.errors.StaleIndexError` and the swap is refused.
+        """
+
+        def _build() -> LinkPredictor:
+            from repro.pipeline.runner import serve_run
+
+            return serve_run(
+                str(run_dir), index=index, on_stale="error", **predictor_kwargs
+            )
+
+        predictor = await asyncio.to_thread(_build)
+        return await self.swap_predictor(
+            predictor, run_dir=str(run_dir), label=label
+        )
+
+    # ------------------------------------------------------------- requests
+    def _submit(
+        self, side: str, first: int, second: int, k: int, filtered: bool
+    ) -> asyncio.Future:
+        if side not in _SIDES:
+            raise ServingError(f"unknown side {side!r}; known: {_SIDES}")
+        if k < 1:
+            raise ServingError("k must be >= 1")
+        if self._closing:
+            raise ServerClosedError("server is shutting down; request refused")
+        if self._active is None:
+            raise ServingError("no model deployed; call load_run/swap_predictor first")
+        if len(self._pending) >= self.queue_depth:
+            self.stats.rejected += 1
+            raise ServerOverloadedError(
+                f"request queue at admission cap ({self.queue_depth}); retry later",
+                retry_after_ms=self._retry_after_ms(),
+            )
+        loop = asyncio.get_running_loop()
+        request = _Pending(
+            side=side,
+            first=int(first),
+            second=int(second),
+            k=int(k),
+            filtered=bool(filtered),
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
+        )
+        self._pending.append(request)
+        self.stats.submitted += 1
+        self.stats.peak_depth = max(self.stats.peak_depth, len(self._pending))
+        self._wake.set()
+        return request.future
+
+    def _retry_after_ms(self) -> float:
+        service = self._service_ema if self._service_ema is not None else 0.05
+        backlog = len(self._pending) * service / max(1, self.max_batch)
+        return max(1.0, 1000.0 * backlog + self.max_wait_ms)
+
+    async def top_k_tails(
+        self, head: int, relation: int, *, k: int = 10, filtered: bool = False
+    ) -> ServedTopK:
+        """Await the best tail completions of ``(head, ?, relation)``."""
+        return await self._submit("tail", head, relation, k, filtered)
+
+    async def top_k_heads(
+        self, tail: int, relation: int, *, k: int = 10, filtered: bool = False
+    ) -> ServedTopK:
+        """Await the best head completions of ``(?, tail, relation)``."""
+        return await self._submit("head", tail, relation, k, filtered)
+
+    async def top_k_relations(self, head: int, tail: int, *, k: int = 10) -> ServedTopK:
+        """Await the best relation completions of ``(head, ?, tail)``."""
+        return await self._submit("relation", head, tail, k, False)
+
+    # -------------------------------------------------------------- batcher
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._closing:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            # Tick: wait (bounded) for the batch to fill before dispatch.
+            if (
+                not self._closing
+                and self.max_wait_ms > 0
+                and len(self._pending) < self.max_batch
+            ):
+                deadline = loop.time() + self.max_wait_ms / 1000.0
+                while not self._closing and len(self._pending) < self.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    self._wake.clear()
+                    try:
+                        await asyncio.wait_for(self._wake.wait(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+            batch = [
+                self._pending.popleft()
+                for _ in range(min(self.max_batch, len(self._pending)))
+            ]
+            await self._dispatch(batch, loop)
+
+    async def _dispatch(self, batch: list[_Pending], loop) -> None:
+        self.stats.batches += 1
+        groups: dict[tuple[str, bool, int], list[_Pending]] = {}
+        for request in batch:
+            if request.future.cancelled():
+                self.stats.cancelled += 1
+                continue
+            key = (request.side, request.filtered, request.bucket)
+            groups.setdefault(key, []).append(request)
+        # Hold the dispatch lock across the whole micro-batch: a swap can
+        # only land between batches, so every response in this batch comes
+        # from one deployment snapshot.
+        async with self._swap_lock:
+            deployment = self._active
+            for (side, filtered, bucket), requests in groups.items():
+                await self._dispatch_group(
+                    deployment, side, filtered, bucket, requests, loop
+                )
+
+    async def _dispatch_group(
+        self,
+        deployment: Deployment,
+        side: str,
+        filtered: bool,
+        bucket: int,
+        requests: list[_Pending],
+        loop,
+    ) -> None:
+        predictor = deployment.predictor
+        first = np.array([r.first for r in requests], dtype=np.int64)
+        second = np.array([r.second for r in requests], dtype=np.int64)
+
+        def _score():
+            if side == "tail":
+                return predictor.top_k_tails(first, second, k=bucket, filtered=filtered)
+            if side == "head":
+                return predictor.top_k_heads(first, second, k=bucket, filtered=filtered)
+            return predictor.top_k_relations(first, second, k=bucket)
+
+        started = loop.time()
+        try:
+            # Score off the event loop so admission/IO stay responsive
+            # while numpy sweeps; the dispatch lock still serialises
+            # scoring with hot-swaps.
+            result = await asyncio.to_thread(_score)
+        except BaseException as error:  # noqa: BLE001 — forwarded to callers
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(error)
+                    self.stats.failed += 1
+            return
+        elapsed = loop.time() - started
+        per_request = elapsed / len(requests)
+        self._service_ema = (
+            per_request
+            if self._service_ema is None
+            else 0.8 * self._service_ema + 0.2 * per_request
+        )
+        self.stats.dispatch_calls += 1
+        self.stats.coalesced_total += len(requests)
+        self.stats.coalesced_max = max(self.stats.coalesced_max, len(requests))
+        now = loop.time()
+        for row, request in enumerate(requests):
+            if request.future.done():
+                self.stats.cancelled += 1
+                continue
+            width = min(request.k, result.ids.shape[1])
+            request.future.set_result(
+                ServedTopK(
+                    ids=result.ids[row, :width].copy(),
+                    scores=result.scores[row, :width].copy(),
+                    generation=deployment.generation,
+                    scoring_version=deployment.scoring_version,
+                    coalesced=len(requests),
+                    waited_ms=1000.0 * (now - request.enqueued_at),
+                )
+            )
+            self.stats.served += 1
+
+
+# ------------------------------------------------------------------ TCP layer
+_ERROR_CODES = {
+    ServerOverloadedError: "overloaded",
+    ServerClosedError: "closed",
+    StaleIndexError: "stale_index",
+}
+
+
+def _error_payload(error: Exception) -> dict:
+    code = "internal"
+    for cls, name in _ERROR_CODES.items():
+        if isinstance(error, cls):
+            code = name
+            break
+    else:
+        if isinstance(error, ReproError):
+            code = "bad_request"
+    payload = {"code": code, "message": str(error)}
+    if isinstance(error, ServerOverloadedError):
+        payload["retry_after_ms"] = error.retry_after_ms
+    return payload
+
+
+def _json_scores(scores: np.ndarray) -> list:
+    """Scores as JSON numbers; non-finite (filtered/pad -inf) become null."""
+    return [float(s) if math.isfinite(s) else None for s in scores]
+
+
+async def _handle_top_k(server: PredictionServer, message: dict) -> dict:
+    side = message.get("side", "tail")
+    k = message.get("k", 10)
+    filtered = bool(message.get("filtered", False))
+    if not isinstance(k, int) or isinstance(k, bool):
+        raise ServingError("k must be an integer")
+    fields = {"tail": ("head", "relation"), "head": ("tail", "relation"),
+              "relation": ("head", "tail")}
+    if side not in fields:
+        raise ServingError(f"unknown side {side!r}; known: {sorted(fields)}")
+    names = fields[side]
+    values = []
+    for name in names:
+        value = message.get(name)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ServingError(f"top_k side={side!r} needs integer {names[0]!r} and "
+                               f"{names[1]!r} ids")
+        values.append(value)
+    if side == "tail":
+        served = await server.top_k_tails(values[0], values[1], k=k, filtered=filtered)
+    elif side == "head":
+        served = await server.top_k_heads(values[0], values[1], k=k, filtered=filtered)
+    else:
+        served = await server.top_k_relations(values[0], values[1], k=k)
+    return {
+        "ids": [int(i) for i in served.ids],
+        "scores": _json_scores(served.scores),
+        "generation": served.generation,
+        "scoring_version": served.scoring_version,
+        "coalesced": served.coalesced,
+        "waited_ms": served.waited_ms,
+    }
+
+
+async def _handle_message(
+    server: PredictionServer, message: dict, shutdown: asyncio.Event | None
+) -> dict:
+    op = message.get("op", "top_k")
+    if op == "top_k":
+        return await _handle_top_k(server, message)
+    if op == "stats":
+        return {"stats": server.stats_dict()}
+    if op == "ping":
+        return {"pong": True, "generation": server.generation}
+    if op == "swap":
+        run_dir = message.get("run_dir")
+        if not isinstance(run_dir, str) or not run_dir:
+            raise ServingError("swap needs a run_dir string")
+        deployment = await server.load_run(
+            run_dir, index=message.get("index", "auto")
+        )
+        return {
+            "generation": deployment.generation,
+            "scoring_version": deployment.scoring_version,
+            "run_dir": deployment.run_dir,
+        }
+    if op == "shutdown":
+        if shutdown is None:
+            raise ServingError("shutdown is not enabled on this frontend")
+        shutdown.set()
+        return {"closing": True}
+    raise ServingError(
+        f"unknown op {op!r}; known: top_k, stats, ping, swap, shutdown"
+    )
+
+
+async def _serve_connection(
+    server: PredictionServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    shutdown: asyncio.Event | None,
+) -> None:
+    write_lock = asyncio.Lock()
+    tasks: set[asyncio.Task] = set()
+
+    async def respond(request_id, coro) -> None:
+        try:
+            payload = {"id": request_id, "ok": True, **await coro}
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — wire errors are structured
+            payload = {"id": request_id, "ok": False, "error": _error_payload(error)}
+        line = json.dumps(payload) + "\n"
+        async with write_lock:
+            writer.write(line.encode("utf-8"))
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except ConnectionError:
+                break
+            if not line:
+                break
+            text = line.decode("utf-8").strip()
+            if not text:
+                continue
+            try:
+                message = json.loads(text)
+                if not isinstance(message, dict):
+                    raise ServingError("requests must be JSON objects")
+            except json.JSONDecodeError as error:
+                await respond(None, _raise_async(ServingError(f"invalid JSON: {error}")))
+                continue
+            except ServingError as error:
+                await respond(None, _raise_async(error))
+                continue
+            # Each request runs concurrently so one connection can keep
+            # many in flight — that concurrency is what the batcher
+            # coalesces.
+            task = asyncio.create_task(
+                respond(message.get("id"), _handle_message(server, message, shutdown))
+            )
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+    except asyncio.CancelledError:
+        # Daemon teardown cancels handlers still parked in readline();
+        # exiting normally keeps the streams connection_made callback
+        # from logging the cancellation as an error.
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+
+async def _raise_async(error: Exception):
+    raise error
+
+
+async def start_tcp_server(
+    server: PredictionServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    shutdown: asyncio.Event | None = None,
+) -> asyncio.AbstractServer:
+    """Expose *server* over newline-delimited JSON on ``host:port``.
+
+    ``port=0`` binds an ephemeral port — read the real one off
+    ``tcp.sockets[0].getsockname()``.  When a *shutdown* event is given,
+    the wire op ``{"op": "shutdown"}`` sets it (used by
+    :func:`serve_forever` for clean remote shutdown).
+    """
+    await server.start()
+    return await asyncio.start_server(
+        lambda reader, writer: _serve_connection(server, reader, writer, shutdown),
+        host=host,
+        port=port,
+    )
+
+
+async def _serve_forever_async(
+    run_dir: str,
+    *,
+    host: str,
+    port: int,
+    max_batch: int,
+    max_wait_ms: float,
+    queue_depth: int,
+    index: str | None,
+) -> None:
+    import signal
+
+    server = PredictionServer(
+        max_batch=max_batch, max_wait_ms=max_wait_ms, queue_depth=queue_depth
+    )
+    await server.load_run(run_dir, index=index)
+    shutdown = asyncio.Event()
+    tcp = await start_tcp_server(server, host=host, port=port, shutdown=shutdown)
+    bound_host, bound_port = tcp.sockets[0].getsockname()[:2]
+    # Machine-parseable readiness line (the CI smoke script greps for it).
+    print(
+        f"REPRO-SERVE READY host={bound_host} port={bound_port} "
+        f"run_dir={run_dir} generation={server.generation}",
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, shutdown.set)
+        except (NotImplementedError, RuntimeError):  # non-Unix event loops
+            pass
+    await shutdown.wait()
+    tcp.close()
+    await tcp.wait_closed()
+    await server.close(drain=True)
+    print("REPRO-SERVE STOPPED", flush=True)
+
+
+def serve_forever(
+    run_dir: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_batch: int = 64,
+    max_wait_ms: float = 2.0,
+    queue_depth: int = 1024,
+    index: str | None = "auto",
+) -> None:
+    """Blocking daemon entry point (the ``repro-kge serve`` command).
+
+    Loads the run directory, serves until SIGINT/SIGTERM or a wire
+    ``shutdown`` op, then drains gracefully.
+    """
+    asyncio.run(
+        _serve_forever_async(
+            str(run_dir),
+            host=host,
+            port=port,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            queue_depth=queue_depth,
+            index=index,
+        )
+    )

@@ -1,0 +1,99 @@
+"""Tier-1 smoke run of the serving-daemon benchmark.
+
+Runs ``benchmarks/bench_serving_daemon.py`` in fast mode (1.5k-entity
+graph, 300 Poisson requests): the JSON payload must have the documented
+schema, micro-batched and request-at-a-time answers must be identical,
+and the daemon's acceptance shape must hold with the smoke thresholds —
+micro-batching beats request-at-a-time by ≥ 2x QPS at a bounded p99.
+The headline ≥ 3x claim is asserted by the slow full-scale run (and by
+the committed ``BENCH_serving.json``); a noisy shared CI core gets the
+relaxed target.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.serving_daemon
+
+BENCH_PATH = Path(__file__).parent.parent / "benchmarks" / "bench_serving_daemon.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_serving_daemon", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def smoke_results(bench_module, tmp_path_factory):
+    json_path = tmp_path_factory.mktemp("bench") / "BENCH_serving.json"
+    results = bench_module.run_benchmark(fast=True, json_path=json_path)
+    return results, json_path
+
+
+def test_json_written_with_schema(smoke_results):
+    results, json_path = smoke_results
+    on_disk = json.loads(json_path.read_text(encoding="utf-8"))
+    assert on_disk["config"]["fast"] is True
+    assert on_disk["dataset"]["num_entities"] == results["dataset"]["num_entities"]
+    assert on_disk["config"]["offered_qps"] > on_disk["config"]["serial_capacity_qps"]
+    for mode in ("serial", "batched"):
+        stats = on_disk[mode]
+        for key in (
+            "qps",
+            "p50_ms",
+            "p99_ms",
+            "mean_latency_ms",
+            "mean_coalesced",
+            "max_coalesced",
+            "served",
+            "span_seconds",
+        ):
+            assert key in stats, f"{mode} missing {key}"
+        assert stats["qps"] > 0
+        assert stats["p50_ms"] <= stats["p99_ms"]
+        assert stats["served"] == on_disk["config"]["requests"]
+    for key in ("qps_ratio", "p99_within_bound", "results_identical", "achieved"):
+        assert key in on_disk["acceptance"]
+
+
+def test_serial_mode_never_coalesces(smoke_results):
+    results, _ = smoke_results
+    assert results["serial"]["mean_coalesced"] == 1.0
+    assert results["serial"]["max_coalesced"] == 1
+    assert results["batched"]["mean_coalesced"] > 1.0
+
+
+def test_batching_is_not_an_approximation(smoke_results):
+    """Both modes must return identical ids for every request."""
+    results, _ = smoke_results
+    assert results["acceptance"]["results_identical"]
+
+
+def test_acceptance_qps_ratio_at_bounded_p99(smoke_results, bench_module):
+    """The headline shape at smoke thresholds: ≥2x QPS, bounded p99."""
+    results, _ = smoke_results
+    assert results["acceptance"]["achieved"], results["acceptance"]
+    assert (
+        results["acceptance"]["qps_ratio"] >= bench_module.SMOKE_QPS_RATIO_TARGET
+    )
+    assert results["batched"]["p99_ms"] <= bench_module.SMOKE_P99_BOUND_MS
+
+
+def test_committed_artifact_is_a_passing_full_run():
+    """The repo-root BENCH_serving.json must be a real full-scale run
+    that met the ≥3x target — the committed evidence for the claim."""
+    artifact = Path(__file__).parent.parent / "BENCH_serving.json"
+    payload = json.loads(artifact.read_text(encoding="utf-8"))
+    assert payload["config"]["fast"] is False
+    assert payload["config"]["ratio_target"] >= 3.0
+    assert payload["acceptance"]["achieved"] is True
+    assert payload["acceptance"]["qps_ratio"] >= 3.0
+    assert payload["acceptance"]["results_identical"] is True

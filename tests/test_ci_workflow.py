@@ -62,6 +62,14 @@ def test_ci_script_supports_quick_mode():
     assert "test_bench_parallel_smoke" in text
     assert "test_bench_training_smoke" in text
     assert "test_bench_index_smoke" in text
+    assert "test_bench_serving_smoke" in text
+
+
+def test_ci_script_runs_the_serving_daemon_smoke():
+    """ci.sh must boot the daemon as a real subprocess after the suites."""
+    text = CI_SCRIPT.read_text(encoding="utf-8")
+    assert "scripts/serving_smoke.py" in text
+    assert (REPO_ROOT / "scripts" / "serving_smoke.py").exists()
 
 
 def test_ci_script_is_executable():
