@@ -28,6 +28,7 @@ SMOKE_TESTS=(
   tests/test_bench_parallel_smoke.py
   tests/test_bench_index_smoke.py
   tests/test_bench_serving_smoke.py
+  tests/test_bench_reliability_smoke.py
 )
 IGNORE_SMOKE=("${SMOKE_TESTS[@]/#/--ignore=}")
 
@@ -46,3 +47,9 @@ python -m pytest -q "${SMOKE_TESTS[@]}"
 # real subprocess, drive concurrent wire requests, shut down cleanly.
 echo "== serving daemon smoke =="
 python scripts/serving_smoke.py
+
+# Chaos smoke: tear a sweep child's checkpoint and resume (heal by
+# re-run), then byte-flip a persisted index and require the daemon to
+# serve degraded-but-exact answers over the wire.
+echo "== chaos smoke =="
+python scripts/chaos_smoke.py

@@ -70,6 +70,10 @@ _LAZY_EXPORTS = {
     "FoldedCandidateSource": "repro.index.folded_vectors",
     "IVFIndex": "repro.index.ivf",
     "load_index": "repro.index.base",
+    "FaultInjector": "repro.reliability",
+    "FaultPlan": "repro.reliability",
+    "FaultSpec": "repro.reliability",
+    "fault_scope": "repro.reliability",
 }
 
 __getattr__, __dir__ = lazy_exports(__name__, globals(), _LAZY_EXPORTS)
@@ -81,6 +85,9 @@ __all__ = [
     "CandidateIndex",
     "EvaluationResult",
     "ExactIndex",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FoldedCandidateSource",
     "IVFIndex",
     "KGDataset",
@@ -107,6 +114,7 @@ __all__ = [
     "analyze_weight_vector",
     "augment_with_inverses",
     "evaluate_run",
+    "fault_scope",
     "generate_synthetic_kg",
     "get_preset",
     "load_index",

@@ -25,7 +25,9 @@ import numpy as np
 from repro.core.interaction import MultiEmbeddingModel
 from repro.core.learned import LearnedWeightModel
 from repro.core.weights import WeightVector
-from repro.errors import ModelError
+from repro.errors import CorruptArtifactError, ModelError
+from repro.reliability.atomic import atomic_write_bytes, atomic_write_text, npz_bytes
+from repro.reliability.manifest import sha256_bytes, sha256_file
 
 _FORMAT_VERSION = 1
 
@@ -129,13 +131,28 @@ def model_from_state(meta: dict, arrays: dict[str, np.ndarray]) -> MultiEmbeddin
     return model
 
 
-def save_model(model: MultiEmbeddingModel, directory: str | Path) -> None:
-    """Write *model* to *directory* (created if needed)."""
+def save_model(model: MultiEmbeddingModel, directory: str | Path) -> dict[str, str]:
+    """Write *model* to *directory* (created if needed).
+
+    Both files are written crash-safely (tempfile + fsync + rename) and
+    ``meta.json`` records the sha256 of the weights payload, so a torn
+    or bit-rotted ``weights.npz`` is *detected* at load time instead of
+    surfacing as a zipfile traceback (or, worse, silently wrong
+    parameters).  Returns the ``{relative filename: sha256}`` mapping of
+    everything written — run-dir manifests aggregate it.
+    """
     meta, arrays = model_state(model)
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    np.savez(directory / "weights.npz", **arrays)
-    (directory / "meta.json").write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    weights_payload = npz_bytes(arrays)
+    meta = {**meta, "weights_sha256": sha256_bytes(weights_payload)}
+    meta_payload = json.dumps(meta, indent=2)
+    atomic_write_bytes(directory / "weights.npz", weights_payload)
+    atomic_write_text(directory / "meta.json", meta_payload)
+    return {
+        "weights.npz": meta["weights_sha256"],
+        "meta.json": sha256_bytes(meta_payload.encode("utf-8")),
+    }
 
 
 def load_model(directory: str | Path) -> MultiEmbeddingModel:
@@ -143,13 +160,35 @@ def load_model(directory: str | Path) -> MultiEmbeddingModel:
 
     The returned model scores identically to the saved one; optimizer
     state is not checkpointed (retraining restarts moments from zero).
+    Torn/corrupt checkpoint files raise
+    :class:`~repro.errors.CorruptArtifactError` naming the offending
+    path; checkpoints written before the integrity hash existed load
+    without the weights check (the npz parse still guards gross damage).
     """
     directory = Path(directory)
     meta_path = directory / "meta.json"
     npz_path = directory / "weights.npz"
     if not meta_path.exists() or not npz_path.exists():
         raise ModelError(f"not a model checkpoint directory: {directory}")
-    meta = json.loads(meta_path.read_text(encoding="utf-8"))
-    with np.load(npz_path) as payload:
-        arrays = {key: payload[key] for key in payload.files}
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CorruptArtifactError(
+            f"checkpoint metadata is torn or corrupt ({error}): {meta_path}",
+            path=meta_path,
+        ) from None
+    expected = meta.get("weights_sha256")
+    if expected is not None and sha256_file(npz_path) != expected:
+        raise CorruptArtifactError(
+            "checkpoint weights failed their integrity check (sha256 mismatch "
+            f"against meta.json): {npz_path}",
+            path=npz_path,
+        )
+    try:
+        with np.load(npz_path) as payload:
+            arrays = {key: payload[key] for key in payload.files}
+    except Exception as error:  # zipfile.BadZipFile, ValueError, OSError
+        raise CorruptArtifactError(
+            f"checkpoint weights are unreadable ({error}): {npz_path}", path=npz_path
+        ) from None
     return model_from_state(meta, arrays)

@@ -44,6 +44,58 @@ class SweepError(ReproError):
     """A sweep child failed in a worker process (carries its traceback)."""
 
 
+class TransientError(ReproError):
+    """An error that is expected to succeed on retry.
+
+    The parallel pool's retry machinery re-runs tasks that die with a
+    ``TransientError`` (or that take the worker process down with them);
+    any other exception is treated as deterministic and fails fast.
+    """
+
+
+class InjectedFault(TransientError):
+    """A fault raised deliberately by the fault-injection harness.
+
+    Carries the injection ``site`` and ``context`` so chaos tests can
+    assert exactly which planned fault fired.
+    """
+
+    def __init__(self, message: str, site: str = "", context: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+        self.context = context
+
+
+class TaskTimeoutError(TransientError):
+    """A pool task exceeded its ``task_timeout`` and was abandoned."""
+
+
+class ArtifactError(ReproError):
+    """A persisted artifact (checkpoint, run-dir file, index) is unusable.
+
+    Carries the offending ``path`` so operators see *which* file to
+    inspect, not just that some JSON somewhere failed to parse.
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+
+
+class MissingArtifactError(ArtifactError):
+    """An artifact recorded in a manifest (or required by a loader) is gone."""
+
+
+class CorruptArtifactError(ArtifactError):
+    """An artifact exists but is torn or bit-rotted.
+
+    Raised when a file fails its sha256 manifest check or cannot be
+    parsed (truncated JSON, clipped npz).  Loaders raise this instead of
+    leaking ``JSONDecodeError``/``zipfile.BadZipFile``, and resume paths
+    treat it as "re-create from the last good state" rather than a crash.
+    """
+
+
 class ServingError(ReproError):
     """A serving-layer request was malformed or unserveable."""
 
@@ -69,6 +121,16 @@ class ServerOverloadedError(ServingError):
     def __init__(self, message: str, retry_after_ms: float = 50.0) -> None:
         super().__init__(message)
         self.retry_after_ms = float(retry_after_ms)
+
+
+class DeadlineExceededError(ServingError):
+    """A serving request's deadline expired before it was dispatched.
+
+    Raised into the request's future by the micro-batcher when a
+    ``deadline_ms`` (per request, or the server-wide default) elapses
+    while the request is still queued — the caller gets a fast, typed
+    failure instead of a stale answer.
+    """
 
 
 class StaleIndexError(ServingError):

@@ -35,7 +35,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.interaction import MultiEmbeddingModel
-from repro.errors import ServingError, StaleIndexError
+from repro.errors import CorruptArtifactError, ServingError, StaleIndexError
+from repro.reliability.atomic import atomic_write_bytes, atomic_write_json, npz_bytes
+from repro.reliability.manifest import sha256_bytes, sha256_file
 
 #: Files that make up a saved index directory.
 INDEX_META_FILE = "meta.json"
@@ -205,7 +207,15 @@ class CandidateIndex(abc.ABC):
         return {}
 
     def save(self, directory: str | Path) -> Path:
-        """Write the index next to a checkpoint; returns the directory."""
+        """Write the index next to a checkpoint; returns the directory.
+
+        Crash-safe: both files go through atomic writes, and the meta
+        records the sha256 of the arrays payload so a torn or
+        bit-flipped ``arrays.npz`` raises
+        :class:`~repro.errors.CorruptArtifactError` at load time (the
+        serving layer then degrades to exact sweeps instead of serving
+        from a silently damaged partition table).
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         meta = {
@@ -215,27 +225,63 @@ class CandidateIndex(abc.ABC):
             "fingerprint": model_fingerprint(self.model),
             **self._meta(),
         }
-        (directory / INDEX_META_FILE).write_text(
-            json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-        )
         arrays = self._arrays()
         if arrays:
-            np.savez(directory / INDEX_ARRAYS_FILE, **arrays)
+            payload = npz_bytes(arrays)
+            meta["arrays_sha256"] = sha256_bytes(payload)
+            atomic_write_bytes(directory / INDEX_ARRAYS_FILE, payload)
+        atomic_write_json(directory / INDEX_META_FILE, meta, sort_keys=True)
         return directory
 
 
 def read_index_meta(directory: str | Path) -> dict:
-    """The ``meta.json`` of a saved index directory."""
+    """The ``meta.json`` of a saved index directory.
+
+    A meta file that exists but cannot be parsed raises
+    :class:`~repro.errors.CorruptArtifactError` (torn write / bit rot),
+    not a raw ``JSONDecodeError``.
+    """
     directory = Path(directory)
     meta_path = directory / INDEX_META_FILE
     if not meta_path.exists():
         raise ServingError(f"not an index directory (no {INDEX_META_FILE}): {directory}")
-    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CorruptArtifactError(
+            f"index metadata is torn or corrupt ({error}): {meta_path}", path=meta_path
+        ) from None
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ServingError(
             f"unsupported index format version: {meta.get('format_version')}"
         )
     return meta
+
+
+def verify_index_arrays(directory: str | Path, meta: dict) -> Path:
+    """Integrity-check a saved index's arrays file against its meta.
+
+    Returns the arrays path.  Raises
+    :class:`~repro.errors.CorruptArtifactError` when the file is
+    missing-but-promised or fails the sha256 recorded at save time;
+    indexes saved before the hash existed skip the check.
+    """
+    npz_path = Path(directory) / INDEX_ARRAYS_FILE
+    expected = meta.get("arrays_sha256")
+    if not npz_path.exists():
+        if expected is not None:
+            raise CorruptArtifactError(
+                f"index arrays recorded in meta.json are missing: {npz_path}",
+                path=npz_path,
+            )
+        return npz_path
+    if expected is not None and sha256_file(npz_path) != expected:
+        raise CorruptArtifactError(
+            "index arrays failed their integrity check (sha256 mismatch against "
+            f"meta.json): {npz_path}",
+            path=npz_path,
+        )
+    return npz_path
 
 
 def check_loaded_meta(meta: dict, model, on_stale: str) -> bool:

@@ -35,13 +35,14 @@ import time
 import numpy as np
 
 from repro.core.interaction import MultiEmbeddingModel
-from repro.errors import ServingError
+from repro.errors import CorruptArtifactError, ServingError
 from repro.index.base import (
     CandidateBatch,
     CandidateIndex,
     IndexBuildReport,
     check_loaded_meta,
     read_index_meta,
+    verify_index_arrays,
 )
 from repro.index.folded_vectors import FoldedCandidateSource
 from repro.parallel.payload import ModelPayload, model_from_payload, model_to_payload
@@ -441,10 +442,6 @@ class IVFIndex(CandidateIndex):
         the saved hyperparameters but no partitions (they rebuild
         lazily), and ``"error"`` raises.
         """
-        from pathlib import Path
-
-        from repro.index.base import INDEX_ARRAYS_FILE
-
         meta = read_index_meta(directory)
         if meta.get("kind") != cls.kind:
             raise ServingError(f"not an IVF index directory: {directory}")
@@ -461,17 +458,27 @@ class IVFIndex(CandidateIndex):
             return index
         partitions = [tuple(entry) for entry in meta.get("partitions", [])]
         if partitions:
-            npz_path = Path(directory) / INDEX_ARRAYS_FILE
+            npz_path = verify_index_arrays(directory, meta)
             if not npz_path.exists():
                 raise ServingError(f"index arrays missing: {npz_path}")
-            with np.load(npz_path) as payload:
-                for relation, side in partitions:
-                    prefix = f"{side}_{relation}"
-                    index._partitions[(int(relation), side)] = _Partition(
-                        payload[f"{prefix}_centroids"],
-                        payload[f"{prefix}_members"],
-                        payload[f"{prefix}_offsets"],
-                    )
+            try:
+                with np.load(npz_path) as payload:
+                    for relation, side in partitions:
+                        prefix = f"{side}_{relation}"
+                        index._partitions[(int(relation), side)] = _Partition(
+                            payload[f"{prefix}_centroids"],
+                            payload[f"{prefix}_members"],
+                            payload[f"{prefix}_offsets"],
+                        )
+            except KeyError as error:
+                raise CorruptArtifactError(
+                    f"index arrays are missing partition data ({error}): {npz_path}",
+                    path=npz_path,
+                ) from None
+            except (OSError, ValueError) as error:  # zipfile damage, bad npy headers
+                raise CorruptArtifactError(
+                    f"index arrays are unreadable ({error}): {npz_path}", path=npz_path
+                ) from None
         return index
 
     def __repr__(self) -> str:

@@ -20,20 +20,49 @@ deliberately has a tiny contract —
   unfinished task reports it (``multiprocessing.Pool.map`` would
   respawn workers and block forever on the lost task).
 
+On top of that sits the fault-tolerance contract (``retries=``,
+``task_timeout=``, ``backoff=``):
+
+* failures are **classified** — a task that dies with a
+  :class:`~repro.errors.TransientError` (including injected faults), a
+  hard worker death, or a timeout is *retryable*; any other exception is
+  deterministic and never retried (re-running a ``ValueError`` burns
+  cycles to fail identically);
+* retryable failures are re-run on a **fresh pool**, up to *retries*
+  extra attempts, sleeping ``backoff * 2**attempt`` seconds between
+  attempts (deterministic exponential backoff — no jitter, so chaos
+  tests replay exactly);
+* ``task_timeout`` bounds how long the caller waits on any single
+  future; on expiry the pool's workers are terminated and every
+  uncollected task comes back as a retryable timeout outcome
+  (``workers=0`` cannot preempt a running function, so the timeout is
+  ignored in-process).
+
 Results always come back in task order, regardless of which worker
-finished first.
+finished first.  Retries cannot change results: every caller's task
+functions are deterministic in their inputs (the repository-wide seed
+discipline), so a healed task is bit-identical to one that never failed.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, replace
 from functools import partial
 from typing import Any, Callable, Sequence
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TransientError
+from repro.reliability import faults
+from repro.reliability.faults import FaultInjector, FaultPlan
+
+#: Injection site fired immediately before each task body runs.  The
+#: context is ``"task:<index>;attempt:<n>"`` so plans can target one
+#: deterministic (task, attempt) pair — see :mod:`repro.reliability.faults`.
+TASK_SITE = "pool.task"
 
 
 #: True in processes forked/spawned by :func:`run_tasks` (set by the
@@ -49,21 +78,34 @@ def in_worker_process() -> bool:
     return _IN_WORKER_PROCESS
 
 
-def _worker_bootstrap(initializer: Callable[..., None] | None, initargs: tuple) -> None:
-    """Per-worker setup: mark the process, then run the caller's initializer."""
+def _worker_bootstrap(
+    initializer: Callable[..., None] | None,
+    initargs: tuple,
+    fault_plan: FaultPlan | None,
+) -> None:
+    """Per-worker setup: mark the process, arm faults, run the initializer."""
     global _IN_WORKER_PROCESS
     _IN_WORKER_PROCESS = True
+    if fault_plan is not None:
+        faults.install_fault_injector(FaultInjector(fault_plan))
     if initializer is not None:
         initializer(*initargs)
 
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """The result of one task: its value, or the error that ate it."""
+    """The result of one task: its value, or the error that ate it.
+
+    ``retryable`` marks failures the pool may heal by re-running
+    (transient exceptions, worker death, timeouts); ``attempts`` counts
+    how many times the task actually ran (1 = first try succeeded).
+    """
 
     index: int
     value: Any = None
     error: str | None = None
+    retryable: bool = False
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -75,13 +117,108 @@ def default_start_method() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
-def _call_captured(fn: Callable[[Any], Any], indexed_task: tuple[int, Any]) -> TaskOutcome:
-    """Run one task, converting any exception into an error outcome."""
+def _call_captured(
+    fn: Callable[[Any], Any], attempt: int, indexed_task: tuple[int, Any]
+) -> TaskOutcome:
+    """Run one task, converting any exception into a classified outcome."""
     index, task = indexed_task
     try:
+        faults.fire(TASK_SITE, context=f"task:{index};attempt:{attempt}")
         return TaskOutcome(index=index, value=fn(task))
+    except TransientError:
+        return TaskOutcome(index=index, error=traceback.format_exc(), retryable=True)
     except BaseException:  # noqa: BLE001 — worker tracebacks must travel home
         return TaskOutcome(index=index, error=traceback.format_exc())
+
+
+def _pool_attempt(
+    fn: Callable[[Any], Any],
+    indexed: list[tuple[int, Any]],
+    workers: int,
+    initializer: Callable[..., None] | None,
+    initargs: tuple,
+    start_method: str | None,
+    task_timeout: float | None,
+    fault_plan: FaultPlan | None,
+    attempt: int,
+) -> list[TaskOutcome]:
+    """One executor lifetime: submit *indexed*, collect classified outcomes."""
+    context = multiprocessing.get_context(start_method or default_start_method())
+    pool = ProcessPoolExecutor(
+        max_workers=min(workers, len(indexed)),
+        mp_context=context,
+        initializer=_worker_bootstrap,
+        initargs=(initializer, initargs, fault_plan),
+    )
+    outcomes: list[TaskOutcome] = []
+    torn_down = False
+    try:
+        futures = [
+            pool.submit(partial(_call_captured, fn, attempt), item) for item in indexed
+        ]
+        for (index, _), future in zip(indexed, futures):
+            if torn_down:
+                outcomes.append(
+                    TaskOutcome(
+                        index=index,
+                        error="task abandoned after pool teardown (earlier timeout)",
+                        retryable=True,
+                    )
+                )
+                continue
+            try:
+                outcomes.append(future.result(timeout=task_timeout))
+            except FuturesTimeoutError:
+                # The worker may be wedged; terminate the whole pool and
+                # mark everything uncollected retryable.  Retrying more
+                # than strictly necessary is only a latency cost — task
+                # results are deterministic.
+                torn_down = True
+                for process in getattr(pool, "_processes", {}).values():
+                    process.terminate()
+                outcomes.append(
+                    TaskOutcome(
+                        index=index,
+                        error=f"task timed out after {task_timeout}s and was abandoned",
+                        retryable=True,
+                    )
+                )
+            except BaseException as error:  # noqa: BLE001 — BrokenProcessPool et al.
+                outcomes.append(
+                    TaskOutcome(
+                        index=index,
+                        error=(
+                            "worker process died before returning "
+                            f"({type(error).__name__}: {error})"
+                        ),
+                        retryable=True,
+                    )
+                )
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    return outcomes
+
+
+def _in_process_attempt(
+    fn: Callable[[Any], Any],
+    indexed: list[tuple[int, Any]],
+    initializer: Callable[..., None] | None,
+    initargs: tuple,
+    fault_plan: FaultPlan | None,
+    attempt: int,
+) -> list[TaskOutcome]:
+    """The ``workers=0`` twin of :func:`_pool_attempt` (same classification)."""
+    previous = None
+    installed = fault_plan is not None
+    if installed:
+        previous = faults.install_fault_injector(FaultInjector(fault_plan))
+    try:
+        if initializer is not None:
+            initializer(*initargs)
+        return [_call_captured(fn, attempt, item) for item in indexed]
+    finally:
+        if installed:
+            faults.install_fault_injector(previous)
 
 
 def run_tasks(
@@ -91,6 +228,10 @@ def run_tasks(
     initializer: Callable[..., None] | None = None,
     initargs: tuple = (),
     start_method: str | None = None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    backoff: float = 0.0,
+    fault_plan: FaultPlan | None = None,
 ) -> list[TaskOutcome]:
     """Apply *fn* to every task, optionally across worker processes.
 
@@ -112,38 +253,63 @@ def run_tasks(
     start_method:
         ``"fork"``/``"spawn"``/``"forkserver"`` override; defaults to
         :func:`default_start_method`.
+    retries:
+        Extra attempts granted to *retryable* failures (transient
+        exceptions, worker death, timeouts).  Deterministic failures
+        are never retried.  Each retry round runs on a fresh pool, so a
+        broken executor from a hard crash cannot poison the re-run.
+    task_timeout:
+        Per-future wait ceiling in seconds; expiry tears the pool down
+        and marks uncollected tasks retryable.  Ignored with
+        ``workers=0`` (a running function cannot be preempted in-process).
+    backoff:
+        Base of the deterministic exponential backoff: the pool sleeps
+        ``backoff * 2**round`` seconds before retry round ``round``
+        (0-based).  ``0.0`` (default) retries immediately.
+    fault_plan:
+        Optional :class:`~repro.reliability.faults.FaultPlan` armed in
+        every worker (and in-process for ``workers=0``); the hook that
+        makes chaos tests reproducible.
     """
     if workers < 0:
         raise ConfigError(f"workers must be >= 0, got {workers}")
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ConfigError(f"backoff must be >= 0, got {backoff}")
+    if task_timeout is not None and task_timeout <= 0:
+        raise ConfigError(f"task_timeout must be > 0 or None, got {task_timeout}")
     tasks = list(tasks)
     if not tasks:
         return []
-    indexed = list(enumerate(tasks))
-    if workers == 0:
-        if initializer is not None:
-            initializer(*initargs)
-        return [_call_captured(fn, item) for item in indexed]
-    context = multiprocessing.get_context(start_method or default_start_method())
-    processes = min(workers, len(tasks))
-    outcomes: list[TaskOutcome] = []
-    with ProcessPoolExecutor(
-        max_workers=processes,
-        mp_context=context,
-        initializer=_worker_bootstrap,
-        initargs=(initializer, initargs),
-    ) as pool:
-        futures = [pool.submit(partial(_call_captured, fn), item) for item in indexed]
-        for (index, _), future in zip(indexed, futures):
-            try:
-                outcomes.append(future.result())
-            except BaseException as error:  # noqa: BLE001 — BrokenProcessPool et al.
-                outcomes.append(
-                    TaskOutcome(
-                        index=index,
-                        error=(
-                            "worker process died before returning "
-                            f"({type(error).__name__}: {error})"
-                        ),
-                    )
-                )
-    return outcomes
+    remaining = list(enumerate(tasks))
+    results: dict[int, TaskOutcome] = {}
+    for attempt in range(retries + 1):
+        if attempt and backoff:
+            time.sleep(backoff * (2 ** (attempt - 1)))
+        if workers == 0:
+            attempt_outcomes = _in_process_attempt(
+                fn, remaining, initializer, initargs, fault_plan, attempt
+            )
+        else:
+            attempt_outcomes = _pool_attempt(
+                fn,
+                remaining,
+                workers,
+                initializer,
+                initargs,
+                start_method,
+                task_timeout,
+                fault_plan,
+                attempt,
+            )
+        for outcome in attempt_outcomes:
+            results[outcome.index] = replace(outcome, attempts=attempt + 1)
+        remaining = [
+            (outcome.index, tasks[outcome.index])
+            for outcome in attempt_outcomes
+            if not outcome.ok and outcome.retryable
+        ]
+        if not remaining:
+            break
+    return [results[index] for index in sorted(results)]

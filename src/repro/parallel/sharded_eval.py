@@ -239,9 +239,15 @@ class ShardedEvaluator:
         filtered: bool = True,
         hits_at: tuple[int, ...] = DEFAULT_HITS_AT,
         tie_policy: str = "average",
+        retries: int = 1,
+        backoff: float = 0.0,
+        task_timeout: float | None = None,
+        fault_plan=None,
     ) -> None:
         if batch_size < 1:
             raise EvaluationError("batch_size must be >= 1")
+        if retries < 0:
+            raise EvaluationError(f"retries must be >= 0, got {retries}")
         if shards < 1:
             raise EvaluationError(f"shards must be >= 1, got {shards}")
         if workers < 0:
@@ -262,6 +268,15 @@ class ShardedEvaluator:
         self.filtered = bool(filtered)
         self.hits_at = tuple(hits_at)
         self.tie_policy = tie_policy
+        #: Fault-tolerance knobs forwarded to the pool.  Shard results
+        #: are deterministic in their inputs, so ``retries=1`` (default)
+        #: transparently heals a worker lost to OOM/segfault without any
+        #: risk of changing metrics; deterministic shard failures still
+        #: fail fast.
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.task_timeout = task_timeout
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------ public
     def evaluate(
@@ -378,6 +393,10 @@ class ShardedEvaluator:
                     true_scores,
                     filters,
                 ),
+                retries=self.retries,
+                backoff=self.backoff,
+                task_timeout=self.task_timeout,
+                fault_plan=self.fault_plan,
             )
         finally:
             # workers=0 installed the context in *this* process; drop it

@@ -27,6 +27,7 @@ import json
 import traceback
 from pathlib import Path
 
+from repro.errors import ArtifactError, TransientError
 from repro.eval.metrics import RankingMetrics
 from repro.kg.graph import KGDataset
 from repro.pipeline.config import RunConfig
@@ -36,6 +37,8 @@ from repro.pipeline.runner import (
     _metrics_to_dict,
     run_pipeline,
 )
+from repro.reliability.atomic import atomic_write_json
+from repro.reliability.manifest import verify_manifest
 
 _STATUS_FILE = "status.json"
 _METRICS_FILE = "metrics.json"
@@ -57,9 +60,7 @@ def write_status(
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
     payload = {"status": status, "config_sha256": config_sha256, "error": error}
-    (run_dir / _STATUS_FILE).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    atomic_write_json(run_dir / _STATUS_FILE, payload, sort_keys=True)
 
 
 def read_status(run_dir: str | Path) -> dict | None:
@@ -82,6 +83,14 @@ def load_cached_child(
     ``completed`` **and** the stored config hash matches — a stale dir
     from an edited grid is re-run, never silently reused.  Failed
     children are always retried.
+
+    Integrity: when the child dir carries a sha256 manifest, every
+    recorded artifact is verified before the cache hit is honoured — a
+    truncated checkpoint or torn ``metrics.json`` (a crash mid-write
+    under pre-atomic IO, or plain bit rot) makes the child re-run from
+    scratch instead of resuming onto corrupt state.  That re-run is the
+    "fall back to the last good state" contract: resume never crashes
+    on a damaged child, it heals it.
     """
     status = read_status(run_dir)
     if not status or status.get("status") != "completed":
@@ -91,7 +100,11 @@ def load_cached_child(
     metrics_path = Path(run_dir) / _METRICS_FILE
     if not metrics_path.exists():
         return None
-    stored = json.loads(metrics_path.read_text(encoding="utf-8"))
+    try:
+        verify_manifest(run_dir)
+        stored = json.loads(metrics_path.read_text(encoding="utf-8"))
+    except (ArtifactError, OSError, json.JSONDecodeError):
+        return None
     return {split: _metrics_from_dict(data) for split, data in stored.items()}
 
 
@@ -140,9 +153,14 @@ def run_sweep_child(task: dict) -> dict:
     """Execute one sweep child end-to-end inside this process.
 
     ``task`` carries ``{"config": <RunConfig dict>, "run_dir": str|None}``.
-    Returns a picklable summary — never raises: failures come back as
+    Returns a picklable summary — failures come back as
     ``{"status": "failed", "error": <traceback>}`` and are also recorded
-    in the run dir, so one bad grid point cannot kill the sweep.
+    in the run dir, so one bad grid point cannot kill the sweep.  The
+    one exception to "never raises": a :class:`TransientError` (e.g. an
+    injected fault) records its failed status, then propagates so the
+    pool's retry machinery can classify it retryable and heal the child
+    — a deterministic child failure must *not* be retried, a transient
+    one must not be terminal.
     """
     config = RunConfig.from_dict(task["config"])
     run_dir = task.get("run_dir")
@@ -158,6 +176,10 @@ def run_sweep_child(task: dict) -> dict:
                 split: _metrics_to_dict(m) for split, m in result.metrics.items()
             },
         }
+    except TransientError:
+        if run_dir is not None:
+            write_status(run_dir, "failed", digest, error=traceback.format_exc())
+        raise
     except BaseException:  # noqa: BLE001 — crash isolation is the contract
         error = traceback.format_exc()
         if run_dir is not None:

@@ -432,11 +432,10 @@ class RunConfig:
         return cls.from_dict(data)
 
     def save(self, path: str | Path) -> Path:
-        """Write the config as JSON to *path* (parent dirs created)."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
-        return path
+        """Write the config as JSON to *path*, crash-safely (parent dirs created)."""
+        from repro.reliability.atomic import atomic_write_text
+
+        return atomic_write_text(Path(path), self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: str | Path) -> "RunConfig":

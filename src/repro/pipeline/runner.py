@@ -30,13 +30,20 @@ from repro.core.base import KGEModel
 from repro.core.interaction import MultiEmbeddingModel
 from repro.core.models import make_model
 from repro.core.serialization import load_model, save_model
-from repro.errors import ConfigError, ModelError
+from repro.errors import ConfigError, CorruptArtifactError, MissingArtifactError, ModelError
 from repro.eval.evaluator import LinkPredictionEvaluator
 from repro.eval.metrics import RankingMetrics
 from repro.kg.graph import KGDataset
 from repro.nn.losses import make_loss
 from repro.pipeline.components import MODELS, OMEGA_PRESETS
 from repro.pipeline.config import RunConfig, _split_model_name
+from repro.reliability.atomic import atomic_write_text
+from repro.reliability.manifest import (
+    read_manifest,
+    sha256_bytes,
+    verify_artifact,
+    write_manifest,
+)
 from repro.serving import LinkPredictor
 from repro.training.trainer import Trainer, TrainingResult
 
@@ -256,7 +263,13 @@ def _history_to_dict(training: TrainingResult) -> dict:
 
 
 def write_run_dir(result: RunResult, run_dir: str | Path) -> Path:
-    """Persist *result* as a resumable run directory; returns its path."""
+    """Persist *result* as a resumable run directory; returns its path.
+
+    Every file is written crash-safely (tempfile + fsync + rename), and
+    a ``manifest.json`` records the sha256 of each artifact so
+    :func:`load_run` (and sweep resume) can tell a good run dir from a
+    torn or bit-rotted one.
+    """
     if not isinstance(result.model, MultiEmbeddingModel):
         raise ConfigError(
             "run directories require a checkpointable multi-embedding model, "
@@ -264,26 +277,73 @@ def write_run_dir(result: RunResult, run_dir: str | Path) -> Path:
         )
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
-    result.config.save(run_dir / _CONFIG_FILE)
-    save_model(result.model, run_dir / _CHECKPOINT_DIR)
-    (run_dir / _HISTORY_FILE).write_text(
-        json.dumps(_history_to_dict(result.training), indent=2) + "\n",
-        encoding="utf-8",
-    )
-    (run_dir / _METRICS_FILE).write_text(
+    hashes: dict[str, str] = {}
+
+    config_text = result.config.to_json() + "\n"
+    atomic_write_text(run_dir / _CONFIG_FILE, config_text)
+    hashes[_CONFIG_FILE] = sha256_bytes(config_text.encode("utf-8"))
+
+    checkpoint_hashes = save_model(result.model, run_dir / _CHECKPOINT_DIR)
+    for name, digest in checkpoint_hashes.items():
+        hashes[f"{_CHECKPOINT_DIR}/{name}"] = digest
+
+    history_text = json.dumps(_history_to_dict(result.training), indent=2) + "\n"
+    atomic_write_text(run_dir / _HISTORY_FILE, history_text)
+    hashes[_HISTORY_FILE] = sha256_bytes(history_text.encode("utf-8"))
+
+    metrics_text = (
         json.dumps(
             {split: _metrics_to_dict(m) for split, m in result.metrics.items()},
             indent=2,
             sort_keys=True,
         )
-        + "\n",
-        encoding="utf-8",
+        + "\n"
     )
+    atomic_write_text(run_dir / _METRICS_FILE, metrics_text)
+    hashes[_METRICS_FILE] = sha256_bytes(metrics_text.encode("utf-8"))
+
+    write_manifest(run_dir, hashes)
     return run_dir
 
 
+def _read_json_artifact(
+    run_dir: Path, name: str, manifest: dict[str, str] | None
+):
+    """Read an optional JSON artifact with integrity checking.
+
+    Returns ``None`` when the file is absent *and* no manifest promises
+    it (pre-manifest run dirs stay loadable).  A file the manifest
+    records but the directory lacks raises
+    :class:`~repro.errors.MissingArtifactError`; a file that fails its
+    hash or cannot be parsed raises
+    :class:`~repro.errors.CorruptArtifactError` — both name the path,
+    neither leaks a raw ``JSONDecodeError``/``FileNotFoundError``.
+    """
+    path = run_dir / name
+    if not path.exists():
+        if manifest is not None and name in manifest:
+            raise MissingArtifactError(
+                f"run artifact {name!r} is recorded in the manifest but missing: {path}",
+                path=path,
+            )
+        return None
+    verify_artifact(run_dir, name, manifest)
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CorruptArtifactError(
+            f"run artifact {name!r} is torn or corrupt ({error}): {path}", path=path
+        ) from None
+
+
 def load_run(run_dir: str | Path) -> LoadedRun:
-    """Restore a run directory written by :func:`write_run_dir`."""
+    """Restore a run directory written by :func:`write_run_dir`.
+
+    Artifacts are verified against the run's sha256 manifest when one
+    exists; damage surfaces as a typed
+    :class:`~repro.errors.ArtifactError` naming the offending file
+    rather than a raw decode traceback.
+    """
     run_dir = Path(run_dir)
     config_path = run_dir / _CONFIG_FILE
     checkpoint = run_dir / _CHECKPOINT_DIR
@@ -292,17 +352,17 @@ def load_run(run_dir: str | Path) -> LoadedRun:
             f"not a pipeline run directory (need {_CONFIG_FILE} + {_CHECKPOINT_DIR}/): "
             f"{run_dir}"
         )
+    manifest = read_manifest(run_dir)
+    verify_artifact(run_dir, _CONFIG_FILE, manifest)
+    verify_artifact(run_dir, f"{_CHECKPOINT_DIR}/meta.json", manifest)
+    verify_artifact(run_dir, f"{_CHECKPOINT_DIR}/weights.npz", manifest)
     config = RunConfig.load(config_path)
     model = load_model(checkpoint)
     metrics: dict[str, RankingMetrics] = {}
-    metrics_path = run_dir / _METRICS_FILE
-    if metrics_path.exists():
-        stored = json.loads(metrics_path.read_text(encoding="utf-8"))
+    stored = _read_json_artifact(run_dir, _METRICS_FILE, manifest)
+    if stored is not None:
         metrics = {split: _metrics_from_dict(m) for split, m in stored.items()}
-    history: dict = {}
-    history_path = run_dir / _HISTORY_FILE
-    if history_path.exists():
-        history = json.loads(history_path.read_text(encoding="utf-8"))
+    history = _read_json_artifact(run_dir, _HISTORY_FILE, manifest) or {}
     return LoadedRun(
         run_dir=run_dir, config=config, model=model, metrics=metrics, history=history
     )

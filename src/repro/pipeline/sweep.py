@@ -189,14 +189,33 @@ def _run_serial_child(
     dataset: KGDataset | None,
     dataset_cache: dict[str, KGDataset],
     on_error: str,
+    retries: int = 0,
+    backoff: float = 0.0,
 ) -> SweepRun:
-    """Run one child in this process, keeping the full RunResult."""
+    """Run one child in this process, keeping the full RunResult.
+
+    Mirrors the pool's retry classification: a child that dies with a
+    :class:`~repro.errors.TransientError` is re-run (with deterministic
+    exponential backoff) up to *retries* times before being recorded as
+    failed; deterministic failures fail on the first attempt.
+    """
+    import time as _time
+
+    from repro.errors import TransientError
     from repro.parallel.sweeps import child_dataset, config_hash, write_status
 
     digest = config_hash(spec.config)
     try:
-        built = child_dataset(spec.config, dataset_cache, pinned=dataset)
-        result = run_pipeline(spec.config, dataset=built, run_dir=spec.run_dir)
+        for attempt in range(retries + 1):
+            if attempt and backoff:
+                _time.sleep(backoff * (2 ** (attempt - 1)))
+            try:
+                built = child_dataset(spec.config, dataset_cache, pinned=dataset)
+                result = run_pipeline(spec.config, dataset=built, run_dir=spec.run_dir)
+                break
+            except TransientError:
+                if attempt >= retries:
+                    raise
     except Exception:
         error = traceback.format_exc()
         if spec.run_dir is not None:
@@ -232,6 +251,10 @@ def sweep(
     workers: int = 0,
     on_error: str | None = None,
     resume: bool = True,
+    retries: int = 0,
+    backoff: float = 0.0,
+    task_timeout: float | None = None,
+    fault_plan=None,
 ) -> list[SweepRun]:
     """Run every grid point (crossed with *seeds*, if given) as a child run.
 
@@ -256,6 +279,14 @@ def sweep(
     entry (recorded in its run dir) and continues; ``"raise"`` (default
     for serial sweeps, matching the historical behaviour) re-raises.
 
+    ``retries``/``backoff``/``task_timeout`` heal *transient* child
+    failures (a :class:`~repro.errors.TransientError`, a hard worker
+    death, a timeout) through the pool's retry machinery before the
+    child is recorded as failed — deterministic failures still fail
+    fast.  ``fault_plan`` arms a reproducible
+    :class:`~repro.reliability.faults.FaultPlan` in every child (chaos
+    testing).
+
     Datasets are cached per distinct ``dataset`` section — serially in
     the parent, per-process in workers — so a sweep over training
     hyperparameters builds each graph once per process.  Pass *dataset*
@@ -263,6 +294,10 @@ def sweep(
     """
     if workers < 0:
         raise ConfigError(f"workers must be >= 0, got {workers}")
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ConfigError(f"backoff must be >= 0, got {backoff}")
     if on_error is None:
         on_error = "raise" if workers == 0 else "record"
     if on_error not in ("raise", "record"):
@@ -294,7 +329,9 @@ def sweep(
     if workers == 0:
         dataset_cache: dict[str, KGDataset] = {}
         for spec in pending:
-            runs[spec.index] = _run_serial_child(spec, dataset, dataset_cache, on_error)
+            runs[spec.index] = _run_serial_child(
+                spec, dataset, dataset_cache, on_error, retries=retries, backoff=backoff
+            )
     elif pending:
         from repro.parallel.pool import run_tasks
 
@@ -311,6 +348,10 @@ def sweep(
             workers=workers,
             initializer=parallel_sweeps._init_sweep_context,
             initargs=(dataset,),
+            retries=retries,
+            backoff=backoff,
+            task_timeout=task_timeout,
+            fault_plan=fault_plan,
         )
         for spec, outcome in zip(pending, outcomes):
             summary = outcome.value if outcome.ok else {"status": "failed", "error": outcome.error}

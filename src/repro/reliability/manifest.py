@@ -1,0 +1,118 @@
+"""Per-run sha256 manifests: detect torn and bit-rotted artifacts.
+
+A run directory's ``manifest.json`` maps each artifact's relative path
+to the sha256 of the bytes the writer *intended* to persist.  Loaders
+call :func:`verify_artifact` (one file) or :func:`verify_manifest`
+(whole directory) before trusting an artifact; a mismatch raises
+:class:`~repro.errors.CorruptArtifactError` naming the offending path,
+and a file the manifest promises but the directory lacks raises
+:class:`~repro.errors.MissingArtifactError`.
+
+Manifests are advisory by construction: directories written before the
+manifest existed (or by external tools) simply have none, and every
+verifier treats that as "nothing to check" — old run dirs keep loading.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import CorruptArtifactError, MissingArtifactError
+from repro.reliability.atomic import atomic_write_json
+
+#: Filename of the manifest inside a run directory.
+MANIFEST_FILE = "manifest.json"
+
+_MANIFEST_VERSION = 1
+
+
+def sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: str | Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def write_manifest(directory: str | Path, hashes: dict[str, str]) -> Path:
+    """Persist *hashes* (relative path → sha256) as the directory manifest.
+
+    Written atomically, like everything else — a torn manifest would
+    otherwise turn the integrity layer into its own failure mode.  Keys
+    are sorted so identical runs produce byte-identical manifests.
+    """
+    directory = Path(directory)
+    payload = {
+        "manifest_version": _MANIFEST_VERSION,
+        "files": dict(sorted(hashes.items())),
+    }
+    return atomic_write_json(directory / MANIFEST_FILE, payload, sort_keys=True)
+
+
+def read_manifest(directory: str | Path) -> dict[str, str] | None:
+    """The ``files`` mapping of a directory's manifest, or ``None``.
+
+    Returns ``None`` both when no manifest exists (pre-manifest
+    directory: nothing to verify) and raises
+    :class:`CorruptArtifactError` when one exists but cannot be parsed —
+    an unreadable manifest means integrity can no longer be vouched for.
+    """
+    path = Path(directory) / MANIFEST_FILE
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise CorruptArtifactError(
+            f"unreadable artifact manifest {path}: {error}", path=path
+        ) from None
+    files = payload.get("files")
+    if not isinstance(files, dict):
+        raise CorruptArtifactError(
+            f"artifact manifest {path} has no 'files' mapping", path=path
+        )
+    return files
+
+
+def verify_artifact(
+    directory: str | Path, relative: str, manifest: dict[str, str] | None
+) -> None:
+    """Check one artifact against *manifest* (no-op when unlisted/None)."""
+    if manifest is None:
+        return
+    expected = manifest.get(relative)
+    if expected is None:
+        return
+    path = Path(directory) / relative
+    if not path.exists():
+        raise MissingArtifactError(
+            f"artifact {relative!r} is recorded in the manifest but missing: {path}",
+            path=path,
+        )
+    actual = sha256_file(path)
+    if actual != expected:
+        raise CorruptArtifactError(
+            f"artifact {relative!r} failed its integrity check "
+            f"(sha256 {actual[:12]}… != manifest {expected[:12]}…): {path}",
+            path=path,
+        )
+
+
+def verify_manifest(directory: str | Path) -> list[str]:
+    """Verify every artifact the directory's manifest records.
+
+    Returns the list of verified relative paths (empty when the
+    directory has no manifest); raises on the first bad artifact.
+    """
+    manifest = read_manifest(directory)
+    if manifest is None:
+        return []
+    for relative in sorted(manifest):
+        verify_artifact(directory, relative, manifest)
+    return sorted(manifest)

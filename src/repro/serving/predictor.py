@@ -409,6 +409,7 @@ class LinkPredictor:
         side: str,
         filtered: bool,
         candidates,
+        exact: bool = False,
     ) -> TopKResult:
         if k < 1:
             raise ServingError("k must be >= 1")
@@ -438,27 +439,46 @@ class LinkPredictor:
                 ids=np.take_along_axis(candidates, picked.ids, axis=1),
                 scores=picked.scores,
             )
-        if self.index is not None:
+        if self.index is not None and not exact:
             return self._top_k_via_index(anchors, relations, k, side, filtered)
         return self._full_top_k(anchors, relations, side, filtered, k)
 
     # --------------------------------------------------------------- queries
     def top_k_tails(
-        self, heads, relations, k: int = 10, filtered: bool = False, candidates=None
+        self,
+        heads,
+        relations,
+        k: int = 10,
+        filtered: bool = False,
+        candidates=None,
+        exact: bool = False,
     ) -> TopKResult:
         """Best tail completions of ``(h, ?, r)`` per query.
 
         ``filtered=True`` pushes known true tails to the bottom (score
         ``-inf``); ``candidates`` restricts scoring to an explicit
         ``(c,)`` or ``(b, c)`` id set via the model's fast path.
+        ``exact=True`` bypasses any attached index and answers with the
+        full-sweep reference path — the serving daemon's degraded-mode
+        escape hatch when an index turns out stale or corrupt.
         """
-        return self._top_k_one_side(heads, relations, k, "tail", filtered, candidates)
+        return self._top_k_one_side(
+            heads, relations, k, "tail", filtered, candidates, exact=exact
+        )
 
     def top_k_heads(
-        self, tails, relations, k: int = 10, filtered: bool = False, candidates=None
+        self,
+        tails,
+        relations,
+        k: int = 10,
+        filtered: bool = False,
+        candidates=None,
+        exact: bool = False,
     ) -> TopKResult:
         """Best head completions of ``(?, t, r)`` per query."""
-        return self._top_k_one_side(tails, relations, k, "head", filtered, candidates)
+        return self._top_k_one_side(
+            tails, relations, k, "head", filtered, candidates, exact=exact
+        )
 
     def top_k_relations(self, heads, tails, k: int = 10) -> TopKResult:
         """Best relation completions of ``(h, ?, t)`` per query pair.

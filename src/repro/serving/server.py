@@ -19,7 +19,25 @@ that gap with a stdlib-only asyncio service:
 
     *Admission control*: when the queue is at ``queue_depth`` the
     request fast-fails with :class:`~repro.errors.ServerOverloadedError`
-    and a ``retry_after_ms`` hint, instead of queueing unboundedly.
+    and a ``retry_after_ms`` hint (clamped to a sane floor/ceiling even
+    when the service-time EMA has been polluted by a pathological
+    batch), instead of queueing unboundedly.
+
+    *Deadlines*: each request may carry a ``deadline_ms`` budget (or
+    inherit the server's ``default_deadline_ms``); a request still
+    queued when its budget runs out fails with
+    :class:`~repro.errors.DeadlineExceededError` instead of occupying a
+    batch slot it can no longer use.
+
+    *Degraded mode*: when the active deployment's candidate index turns
+    out stale or corrupt **at serving time**, the affected micro-batch
+    group is transparently re-answered by the exact full-sweep path
+    (``exact=True``), the response is tagged ``degraded`` and the
+    server's sticky degraded flag is raised until a successful swap —
+    availability over latency, never over correctness.  The same
+    applies at load time: :meth:`PredictionServer.load_run` falls back
+    to serving without an index when the persisted one fails its
+    integrity check.
 
     *Hot-swap*: :meth:`PredictionServer.load_run` builds a new
     predictor from a run directory **off the event loop**, refuses
@@ -37,8 +55,8 @@ that gap with a stdlib-only asyncio service:
 ``start_tcp_server`` / ``serve_forever``
     A newline-delimited-JSON TCP front-end and the blocking entry point
     behind the ``repro-kge serve`` CLI command.  Protocol: one JSON
-    object per line with an ``op`` of ``top_k``, ``stats``, ``ping``,
-    ``swap`` or ``shutdown``; responses echo the request ``id`` and
+    object per line with an ``op`` of ``top_k``, ``stats``, ``health``,
+    ``ping``, ``swap`` or ``shutdown``; responses echo the request ``id`` and
     carry either the payload (``ok: true``) or a structured error with
     a machine-readable ``code`` (``ok: false``).  Filtered-out
     candidates' ``-inf`` scores are transported as ``null``.
@@ -59,13 +77,30 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import (
+    CorruptArtifactError,
+    DeadlineExceededError,
     ReproError,
     ServerClosedError,
     ServerOverloadedError,
     ServingError,
     StaleIndexError,
 )
+from repro.reliability import faults
 from repro.serving.predictor import LinkPredictor
+
+#: Fault-injection site fired once per micro-batch group dispatch.
+DISPATCH_SITE = "server.dispatch"
+
+#: Clamp bounds for the per-request service-time EMA (seconds).  A
+#: single pathological batch (GC pause, page-in, injected slow fault)
+#: would otherwise poison the retry-after hint for many requests.
+SERVICE_EMA_FLOOR_S = 1e-4
+SERVICE_EMA_CEILING_S = 5.0
+
+#: Clamp bounds for the overload hint itself (milliseconds).
+RETRY_AFTER_FLOOR_MS = 1.0
+RETRY_AFTER_CEILING_MS = 10_000.0
+
 
 def k_bucket(k: int) -> int:
     """The power-of-two bucket a requested ``k`` coalesces into.
@@ -84,12 +119,18 @@ _SIDES = ("tail", "head", "relation")
 
 @dataclass(frozen=True)
 class Deployment:
-    """One warm, servable model: a predictor plus its identity tags."""
+    """One warm, servable model: a predictor plus its identity tags.
+
+    ``degraded`` marks deployments that came up without their persisted
+    index (it failed an integrity or freshness check at load time) —
+    answers are exact but pay full sweeps.
+    """
 
     predictor: LinkPredictor
     generation: int
     run_dir: str | None = None
     label: str | None = None
+    degraded: bool = False
 
     @property
     def scoring_version(self) -> int:
@@ -107,7 +148,10 @@ class ServedTopK:
     test can assert no response mixes versions.  ``coalesced`` is the
     size of the predictor call that served this request (how much
     micro-batching actually happened) and ``waited_ms`` the time the
-    request spent queued before dispatch.
+    request spent queued before dispatch.  ``degraded`` is set when the
+    answer came from the exact full-sweep fallback because the
+    deployment's index was stale/corrupt (the answer itself is exact —
+    degraded refers to latency, not quality).
     """
 
     ids: np.ndarray
@@ -116,6 +160,7 @@ class ServedTopK:
     scoring_version: int
     coalesced: int
     waited_ms: float
+    degraded: bool = False
 
 
 @dataclass
@@ -133,6 +178,8 @@ class ServerStats:
     coalesced_max: int = 0
     swaps: int = 0
     peak_depth: int = 0
+    degraded: int = 0
+    deadline_expired: int = 0
 
     @property
     def mean_coalesced(self) -> float:
@@ -151,6 +198,7 @@ class _Pending:
     filtered: bool
     future: asyncio.Future
     enqueued_at: float
+    deadline_at: float | None = None
     bucket: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -177,6 +225,10 @@ class PredictionServer:
         :class:`~repro.errors.ServerOverloadedError`.
     label:
         Optional deployment label echoed in :meth:`stats`.
+    default_deadline_ms:
+        Deadline budget applied to requests that do not carry their own
+        ``deadline_ms``; ``None`` (the default) means requests wait
+        indefinitely for dispatch.
     """
 
     def __init__(
@@ -187,6 +239,7 @@ class PredictionServer:
         max_wait_ms: float = 2.0,
         queue_depth: int = 1024,
         label: str | None = None,
+        default_deadline_ms: float | None = None,
     ) -> None:
         if max_batch < 1:
             raise ServingError("max_batch must be >= 1")
@@ -194,9 +247,14 @@ class PredictionServer:
             raise ServingError("max_wait_ms must be >= 0")
         if queue_depth < 1:
             raise ServingError("queue_depth must be >= 1")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ServingError("default_deadline_ms must be > 0 (or None)")
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
         self.queue_depth = int(queue_depth)
+        self.default_deadline_ms = (
+            float(default_deadline_ms) if default_deadline_ms is not None else None
+        )
         self.stats = ServerStats()
         self._pending: collections.deque[_Pending] = collections.deque()
         self._wake = asyncio.Event()
@@ -208,6 +266,9 @@ class PredictionServer:
         self._active: Deployment | None = None
         #: EMA of per-request service seconds; feeds the retry-after hint.
         self._service_ema: float | None = None
+        #: Sticky until the next successful swap: the server answered at
+        #: least one request (or came up) without its index.
+        self._degraded = False
         if predictor is not None:
             self._generation = 1
             self._active = Deployment(predictor, 1, label=label)
@@ -230,6 +291,38 @@ class PredictionServer:
     @property
     def closing(self) -> bool:
         return self._closing
+
+    @property
+    def degraded(self) -> bool:
+        """True once any answer (or the deployment itself) bypassed the
+        index because it was stale/corrupt; reset by a successful swap."""
+        return self._degraded
+
+    def health_dict(self) -> dict:
+        """Liveness/degradation summary for the wire ``health`` op.
+
+        ``status`` is ``"empty"`` (nothing deployed), ``"closing"``,
+        ``"degraded"`` (serving exact fallbacks) or ``"ok"``.
+        """
+        active = self._active
+        if self._closing or self._closed:
+            status = "closing"
+        elif active is None:
+            status = "empty"
+        elif self._degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "degraded": self._degraded,
+            "generation": self._generation,
+            "queue_len": len(self._pending),
+            "queue_depth": self.queue_depth,
+            "degraded_served": self.stats.degraded,
+            "deadline_expired": self.stats.deadline_expired,
+            "index_attached": bool(active and active.predictor.index is not None),
+        }
 
     def stats_dict(self) -> dict:
         """JSON-compatible snapshot of the server's counters and state."""
@@ -255,6 +348,9 @@ class PredictionServer:
             "coalesced_max": self.stats.coalesced_max,
             "swaps": self.stats.swaps,
             "peak_depth": self.stats.peak_depth,
+            "degraded": self._degraded,
+            "degraded_served": self.stats.degraded,
+            "deadline_expired": self.stats.deadline_expired,
         }
 
     # ------------------------------------------------------------ lifecycle
@@ -298,6 +394,7 @@ class PredictionServer:
         *,
         run_dir: str | None = None,
         label: str | None = None,
+        degraded: bool = False,
     ) -> Deployment:
         """Atomically flip serving to *predictor*.
 
@@ -305,7 +402,9 @@ class PredictionServer:
         batch is always answered entirely by the deployment it started
         under.  A stale attached index (``on_stale="error"``) raises
         :class:`~repro.errors.StaleIndexError` *before* the flip — the
-        old deployment keeps serving.
+        old deployment keeps serving.  A successful swap clears the
+        server's sticky degraded flag unless the new deployment is
+        itself *degraded* (came up without its persisted index).
         """
         if predictor.index is not None:
             # Surface staleness now, not lazily on the first request.
@@ -313,9 +412,14 @@ class PredictionServer:
         async with self._swap_lock:
             self._generation += 1
             self._active = Deployment(
-                predictor, self._generation, run_dir=run_dir, label=label
+                predictor,
+                self._generation,
+                run_dir=run_dir,
+                label=label,
+                degraded=degraded,
             )
             self.stats.swaps += 1
+            self._degraded = bool(degraded)
             return self._active
 
     async def load_run(
@@ -331,31 +435,56 @@ class PredictionServer:
         The checkpoint/dataset/index load happens in a worker thread —
         in-flight and newly arriving requests keep being served by the
         current deployment throughout.  Persisted indexes are loaded
-        with ``on_stale="error"``: a fingerprint mismatch (the model
-        trained after the index was built) raises
-        :class:`~repro.errors.StaleIndexError` and the swap is refused.
+        with ``on_stale="error"``: under ``index="auto"`` a stale or
+        corrupt saved index **degrades** the deployment (it comes up
+        serving exact full sweeps, tagged in :meth:`health_dict`)
+        instead of refusing to serve; ``index="require"`` keeps the
+        strict behaviour and raises.
         """
 
-        def _build() -> LinkPredictor:
+        def _build() -> tuple[LinkPredictor, bool]:
             from repro.pipeline.runner import serve_run
 
-            return serve_run(
-                str(run_dir), index=index, on_stale="error", **predictor_kwargs
-            )
+            try:
+                return (
+                    serve_run(
+                        str(run_dir), index=index, on_stale="error", **predictor_kwargs
+                    ),
+                    False,
+                )
+            except (StaleIndexError, CorruptArtifactError):
+                if index != "auto":
+                    raise
+                # Availability over latency: serve the checkpoint with
+                # exact sweeps rather than refuse the deploy outright.
+                return (
+                    serve_run(str(run_dir), index=None, **predictor_kwargs),
+                    True,
+                )
 
-        predictor = await asyncio.to_thread(_build)
+        predictor, degraded = await asyncio.to_thread(_build)
         return await self.swap_predictor(
-            predictor, run_dir=str(run_dir), label=label
+            predictor, run_dir=str(run_dir), label=label, degraded=degraded
         )
 
     # ------------------------------------------------------------- requests
     def _submit(
-        self, side: str, first: int, second: int, k: int, filtered: bool
+        self,
+        side: str,
+        first: int,
+        second: int,
+        k: int,
+        filtered: bool,
+        deadline_ms: float | None = None,
     ) -> asyncio.Future:
         if side not in _SIDES:
             raise ServingError(f"unknown side {side!r}; known: {_SIDES}")
         if k < 1:
             raise ServingError("k must be >= 1")
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        elif deadline_ms <= 0:
+            raise ServingError("deadline_ms must be > 0 (or None)")
         if self._closing:
             raise ServerClosedError("server is shutting down; request refused")
         if self._active is None:
@@ -367,6 +496,7 @@ class PredictionServer:
                 retry_after_ms=self._retry_after_ms(),
             )
         loop = asyncio.get_running_loop()
+        now = loop.time()
         request = _Pending(
             side=side,
             first=int(first),
@@ -374,7 +504,8 @@ class PredictionServer:
             k=int(k),
             filtered=bool(filtered),
             future=loop.create_future(),
-            enqueued_at=loop.time(),
+            enqueued_at=now,
+            deadline_at=now + deadline_ms / 1000.0 if deadline_ms else None,
         )
         self._pending.append(request)
         self.stats.submitted += 1
@@ -382,26 +513,57 @@ class PredictionServer:
         self._wake.set()
         return request.future
 
+    def _observe_service_time(self, per_request: float) -> None:
+        """Fold one per-request service measurement into the EMA.
+
+        The sample is clamped to ``[SERVICE_EMA_FLOOR_S,
+        SERVICE_EMA_CEILING_S]`` first: one pathological measurement
+        (page-in, GC pause, injected slow fault) must not balloon the
+        retry-after hint handed to every rejected client afterwards, and
+        a sub-microsecond fluke must not collapse it to nothing.
+        """
+        sample = min(max(per_request, SERVICE_EMA_FLOOR_S), SERVICE_EMA_CEILING_S)
+        self._service_ema = (
+            sample
+            if self._service_ema is None
+            else 0.8 * self._service_ema + 0.2 * sample
+        )
+
     def _retry_after_ms(self) -> float:
         service = self._service_ema if self._service_ema is not None else 0.05
         backlog = len(self._pending) * service / max(1, self.max_batch)
-        return max(1.0, 1000.0 * backlog + self.max_wait_ms)
+        hint = 1000.0 * backlog + self.max_wait_ms
+        return min(max(hint, RETRY_AFTER_FLOOR_MS), RETRY_AFTER_CEILING_MS)
 
     async def top_k_tails(
-        self, head: int, relation: int, *, k: int = 10, filtered: bool = False
+        self,
+        head: int,
+        relation: int,
+        *,
+        k: int = 10,
+        filtered: bool = False,
+        deadline_ms: float | None = None,
     ) -> ServedTopK:
         """Await the best tail completions of ``(head, ?, relation)``."""
-        return await self._submit("tail", head, relation, k, filtered)
+        return await self._submit("tail", head, relation, k, filtered, deadline_ms)
 
     async def top_k_heads(
-        self, tail: int, relation: int, *, k: int = 10, filtered: bool = False
+        self,
+        tail: int,
+        relation: int,
+        *,
+        k: int = 10,
+        filtered: bool = False,
+        deadline_ms: float | None = None,
     ) -> ServedTopK:
         """Await the best head completions of ``(?, tail, relation)``."""
-        return await self._submit("head", tail, relation, k, filtered)
+        return await self._submit("head", tail, relation, k, filtered, deadline_ms)
 
-    async def top_k_relations(self, head: int, tail: int, *, k: int = 10) -> ServedTopK:
+    async def top_k_relations(
+        self, head: int, tail: int, *, k: int = 10, deadline_ms: float | None = None
+    ) -> ServedTopK:
         """Await the best relation completions of ``(head, ?, tail)``."""
-        return await self._submit("relation", head, tail, k, False)
+        return await self._submit("relation", head, tail, k, False, deadline_ms)
 
     # -------------------------------------------------------------- batcher
     async def _batch_loop(self) -> None:
@@ -437,10 +599,25 @@ class PredictionServer:
 
     async def _dispatch(self, batch: list[_Pending], loop) -> None:
         self.stats.batches += 1
+        now = loop.time()
         groups: dict[tuple[str, bool, int], list[_Pending]] = {}
         for request in batch:
             if request.future.cancelled():
                 self.stats.cancelled += 1
+                continue
+            if request.deadline_at is not None and now >= request.deadline_at:
+                # The budget is gone before any scoring started; failing
+                # fast here keeps dead requests from occupying batch
+                # slots that live ones could use.
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        f"request waited {1000.0 * (now - request.enqueued_at):.1f}ms "
+                        "in queue, past its deadline; retry with a larger "
+                        "deadline_ms or when the server is less loaded"
+                    )
+                )
+                self.stats.deadline_expired += 1
+                self.stats.failed += 1
                 continue
             key = (request.side, request.filtered, request.bucket)
             groups.setdefault(key, []).append(request)
@@ -467,19 +644,39 @@ class PredictionServer:
         first = np.array([r.first for r in requests], dtype=np.int64)
         second = np.array([r.second for r in requests], dtype=np.int64)
 
-        def _score():
+        def _score(exact: bool = False):
+            faults.fire(DISPATCH_SITE, context=f"side:{side};bucket:{bucket}")
             if side == "tail":
-                return predictor.top_k_tails(first, second, k=bucket, filtered=filtered)
+                return predictor.top_k_tails(
+                    first, second, k=bucket, filtered=filtered, exact=exact
+                )
             if side == "head":
-                return predictor.top_k_heads(first, second, k=bucket, filtered=filtered)
+                return predictor.top_k_heads(
+                    first, second, k=bucket, filtered=filtered, exact=exact
+                )
             return predictor.top_k_relations(first, second, k=bucket)
 
         started = loop.time()
+        degraded = False
         try:
             # Score off the event loop so admission/IO stay responsive
             # while numpy sweeps; the dispatch lock still serialises
             # scoring with hot-swaps.
             result = await asyncio.to_thread(_score)
+        except (StaleIndexError, CorruptArtifactError):
+            # The deployment's index failed at serving time.  Re-answer
+            # this group with the exact full-sweep path — correct but
+            # slower — and mark the server degraded until the next swap.
+            try:
+                result = await asyncio.to_thread(_score, True)
+            except BaseException as error:  # noqa: BLE001 — forwarded to callers
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+                        self.stats.failed += 1
+                return
+            degraded = True
+            self._degraded = True
         except BaseException as error:  # noqa: BLE001 — forwarded to callers
             for request in requests:
                 if not request.future.done():
@@ -487,15 +684,11 @@ class PredictionServer:
                     self.stats.failed += 1
             return
         elapsed = loop.time() - started
-        per_request = elapsed / len(requests)
-        self._service_ema = (
-            per_request
-            if self._service_ema is None
-            else 0.8 * self._service_ema + 0.2 * per_request
-        )
+        self._observe_service_time(elapsed / len(requests))
         self.stats.dispatch_calls += 1
         self.stats.coalesced_total += len(requests)
         self.stats.coalesced_max = max(self.stats.coalesced_max, len(requests))
+        degraded = degraded or deployment.degraded
         now = loop.time()
         for row, request in enumerate(requests):
             if request.future.done():
@@ -510,16 +703,21 @@ class PredictionServer:
                     scoring_version=deployment.scoring_version,
                     coalesced=len(requests),
                     waited_ms=1000.0 * (now - request.enqueued_at),
+                    degraded=degraded,
                 )
             )
             self.stats.served += 1
+            if degraded:
+                self.stats.degraded += 1
 
 
 # ------------------------------------------------------------------ TCP layer
 _ERROR_CODES = {
     ServerOverloadedError: "overloaded",
     ServerClosedError: "closed",
+    DeadlineExceededError: "deadline",
     StaleIndexError: "stale_index",
+    CorruptArtifactError: "corrupt_artifact",
 }
 
 
@@ -547,8 +745,13 @@ async def _handle_top_k(server: PredictionServer, message: dict) -> dict:
     side = message.get("side", "tail")
     k = message.get("k", 10)
     filtered = bool(message.get("filtered", False))
+    deadline_ms = message.get("deadline_ms")
     if not isinstance(k, int) or isinstance(k, bool):
         raise ServingError("k must be an integer")
+    if deadline_ms is not None and (
+        not isinstance(deadline_ms, (int, float)) or isinstance(deadline_ms, bool)
+    ):
+        raise ServingError("deadline_ms must be a number (milliseconds)")
     fields = {"tail": ("head", "relation"), "head": ("tail", "relation"),
               "relation": ("head", "tail")}
     if side not in fields:
@@ -562,11 +765,17 @@ async def _handle_top_k(server: PredictionServer, message: dict) -> dict:
                                f"{names[1]!r} ids")
         values.append(value)
     if side == "tail":
-        served = await server.top_k_tails(values[0], values[1], k=k, filtered=filtered)
+        served = await server.top_k_tails(
+            values[0], values[1], k=k, filtered=filtered, deadline_ms=deadline_ms
+        )
     elif side == "head":
-        served = await server.top_k_heads(values[0], values[1], k=k, filtered=filtered)
+        served = await server.top_k_heads(
+            values[0], values[1], k=k, filtered=filtered, deadline_ms=deadline_ms
+        )
     else:
-        served = await server.top_k_relations(values[0], values[1], k=k)
+        served = await server.top_k_relations(
+            values[0], values[1], k=k, deadline_ms=deadline_ms
+        )
     return {
         "ids": [int(i) for i in served.ids],
         "scores": _json_scores(served.scores),
@@ -574,6 +783,7 @@ async def _handle_top_k(server: PredictionServer, message: dict) -> dict:
         "scoring_version": served.scoring_version,
         "coalesced": served.coalesced,
         "waited_ms": served.waited_ms,
+        "degraded": served.degraded,
     }
 
 
@@ -585,6 +795,8 @@ async def _handle_message(
         return await _handle_top_k(server, message)
     if op == "stats":
         return {"stats": server.stats_dict()}
+    if op == "health":
+        return {"health": server.health_dict()}
     if op == "ping":
         return {"pong": True, "generation": server.generation}
     if op == "swap":
@@ -605,7 +817,7 @@ async def _handle_message(
         shutdown.set()
         return {"closing": True}
     raise ServingError(
-        f"unknown op {op!r}; known: top_k, stats, ping, swap, shutdown"
+        f"unknown op {op!r}; known: top_k, stats, health, ping, swap, shutdown"
     )
 
 

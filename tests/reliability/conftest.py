@@ -1,0 +1,45 @@
+"""Shared fixtures for the fault-tolerance suites: one tiny persisted run."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    """A small trained run directory with a persisted IVF index.
+
+    Module-scoped (training is the expensive part); tests that corrupt
+    artifacts must copy it first — see :func:`run_copy`.
+    """
+    from repro.pipeline.config import (
+        DatasetSection,
+        IndexSection,
+        ModelSection,
+        RunConfig,
+        TrainingSection,
+    )
+    from repro.pipeline.runner import run_pipeline
+
+    config = RunConfig(
+        dataset=DatasetSection(
+            generator="synthetic_wn18",
+            params={"num_entities": 120, "num_clusters": 6, "seed": 3},
+        ),
+        model=ModelSection(name="complex", total_dim=8),
+        training=TrainingSection(epochs=2, batch_size=256),
+        index=IndexSection(kind="ivf", nlist=8, nprobe=2),
+    )
+    path = tmp_path_factory.mktemp("reliability_run") / "run"
+    run_pipeline(config, run_dir=path)
+    return path
+
+
+@pytest.fixture()
+def run_copy(run_dir, tmp_path):
+    """A throwaway copy of :func:`run_dir` safe to corrupt in place."""
+    import shutil
+
+    copy = tmp_path / "run"
+    shutil.copytree(run_dir, copy)
+    return copy

@@ -1,0 +1,167 @@
+"""The deterministic fault-injection harness itself.
+
+Chaos that cannot be replayed is noise: every behaviour here —
+triggering, budgets, context matching, byte corruption — must be a
+pure function of the :class:`FaultPlan`, so the chaos suites elsewhere
+in this directory replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError, InjectedFault, TransientError
+from repro.reliability.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    fault_scope,
+    filter_bytes,
+    fire,
+    install_fault_injector,
+)
+
+pytestmark = pytest.mark.reliability
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            FaultSpec(site="pool.task", kind="meteor_strike")
+
+    def test_rejects_empty_site(self):
+        with pytest.raises(ConfigError, match="site"):
+            FaultSpec(site="", kind="exception")
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ConfigError, match="max_hits"):
+            FaultSpec(site="s", kind="exception", max_hits=0)
+        with pytest.raises(ConfigError, match="delay_s"):
+            FaultSpec(site="s", kind="slow", delay_s=-1.0)
+        with pytest.raises(ConfigError, match="drop_bytes"):
+            FaultSpec(site="s", kind="truncate", drop_bytes=0)
+
+
+class TestFaultPlan:
+    def test_is_picklable(self):
+        plan = FaultPlan.of(
+            FaultSpec(site="pool.task", kind="crash", match="task:1;attempt:0"),
+            FaultSpec(site="io.write", kind="truncate", drop_bytes=7),
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan.of(FaultSpec(site="io.write", kind="byteflip", seed=9))
+        assert FaultPlan.from_dicts(plan.to_dicts()) == plan
+
+    def test_at_site_filters(self):
+        a = FaultSpec(site="pool.task", kind="exception")
+        b = FaultSpec(site="io.write", kind="truncate")
+        assert FaultPlan.of(a, b).at_site("io.write") == (b,)
+
+
+class TestInjectorControlFaults:
+    def test_exception_is_transient_and_budgeted(self):
+        injector = FaultInjector(
+            FaultPlan.of(FaultSpec(site="pool.task", kind="exception", max_hits=2))
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedFault) as caught:
+                injector.fire("pool.task", context="task:0;attempt:0")
+            assert isinstance(caught.value, TransientError)
+            assert caught.value.site == "pool.task"
+        injector.fire("pool.task", context="task:0;attempt:0")  # budget spent
+        assert [hit.kind for hit in injector.hits] == ["exception", "exception"]
+
+    def test_match_pins_context(self):
+        injector = FaultInjector(
+            FaultPlan.of(
+                FaultSpec(site="pool.task", kind="exception", match="attempt:0")
+            )
+        )
+        injector.fire("pool.task", context="task:3;attempt:1")  # no match: no fault
+        with pytest.raises(InjectedFault):
+            injector.fire("pool.task", context="task:3;attempt:0")
+
+    def test_wrong_site_never_fires(self):
+        injector = FaultInjector(
+            FaultPlan.of(FaultSpec(site="io.write", kind="exception"))
+        )
+        injector.fire("pool.task", context="task:0;attempt:0")
+        assert injector.hits == []
+
+    def test_slow_sleeps_then_continues(self):
+        import time
+
+        injector = FaultInjector(
+            FaultPlan.of(FaultSpec(site="server.dispatch", kind="slow", delay_s=0.01))
+        )
+        started = time.perf_counter()
+        injector.fire("server.dispatch", context="side:tail")
+        assert time.perf_counter() - started >= 0.01
+        assert [hit.kind for hit in injector.hits] == ["slow"]
+
+    def test_crash_degrades_to_exception_outside_workers(self):
+        # os._exit in the test process would kill the runner; outside a
+        # pool worker the crash kind must degrade to a transient raise.
+        injector = FaultInjector(
+            FaultPlan.of(FaultSpec(site="pool.task", kind="crash"))
+        )
+        with pytest.raises(InjectedFault):
+            injector.fire("pool.task", context="task:0;attempt:0")
+
+
+class TestInjectorDataFaults:
+    def test_truncate_drops_tail_bytes(self):
+        injector = FaultInjector(
+            FaultPlan.of(FaultSpec(site="io.write", kind="truncate", drop_bytes=3))
+        )
+        assert injector.filter_bytes("io.write", b"0123456789") == b"0123456"
+        # Budget spent: second write passes through untouched.
+        assert injector.filter_bytes("io.write", b"0123456789") == b"0123456789"
+
+    def test_byteflip_is_seed_deterministic(self):
+        plan = FaultPlan.of(FaultSpec(site="io.write", kind="byteflip", seed=5))
+        one = FaultInjector(plan).filter_bytes("io.write", b"payload-bytes")
+        two = FaultInjector(plan).filter_bytes("io.write", b"payload-bytes")
+        assert one == two
+        assert one != b"payload-bytes"
+        assert len(one) == len(b"payload-bytes")
+        assert sum(a != b for a, b in zip(one, b"payload-bytes")) == 1
+
+    def test_fire_ignores_data_kinds(self):
+        injector = FaultInjector(
+            FaultPlan.of(FaultSpec(site="io.write", kind="truncate"))
+        )
+        injector.fire("io.write", context="whatever")
+        assert injector.hits == []
+
+
+class TestActiveScope:
+    def test_module_hooks_are_noops_without_injector(self):
+        assert active_injector() is None
+        fire("pool.task", context="task:0;attempt:0")
+        assert filter_bytes("io.write", b"data") == b"data"
+
+    def test_fault_scope_installs_and_restores(self):
+        outer = FaultInjector(FaultPlan.of())
+        previous = install_fault_injector(outer)
+        try:
+            inner = FaultInjector(
+                FaultPlan.of(FaultSpec(site="io.write", kind="truncate"))
+            )
+            with fault_scope(inner) as scoped:
+                assert active_injector() is scoped is inner
+                assert filter_bytes("io.write", b"abcd") == b"abc"
+            assert active_injector() is outer
+        finally:
+            install_fault_injector(previous)
+
+    def test_fault_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with fault_scope(FaultInjector(FaultPlan.of())):
+                raise RuntimeError("boom")
+        assert active_injector() is None

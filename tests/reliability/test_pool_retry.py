@@ -1,0 +1,148 @@
+"""Pool retry/backoff: transient failures heal, deterministic ones don't.
+
+Every scenario uses a seeded :class:`FaultPlan` with its trigger pinned
+to a ``task:<i>;attempt:<n>`` context token, so the exact same failure
+fires on every test run — in-process and across real worker processes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ConfigError, TransientError
+from repro.parallel.pool import run_tasks
+from repro.reliability.faults import FaultPlan, FaultSpec, active_injector
+
+pytestmark = pytest.mark.reliability
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _value_error(x: int) -> int:
+    raise ValueError(f"deterministic failure for {x}")
+
+
+def _transient_once(x: int) -> int:
+    raise TransientError("network blip")
+
+
+class TestClassification:
+    def test_transient_error_marks_retryable(self):
+        outcomes = run_tasks(_transient_once, [1], workers=0)
+        assert not outcomes[0].ok and outcomes[0].retryable
+
+    def test_deterministic_error_not_retryable(self):
+        outcomes = run_tasks(_value_error, [1], workers=0, retries=3)
+        assert not outcomes[0].ok
+        assert not outcomes[0].retryable
+        assert outcomes[0].attempts == 1  # never re-ran
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigError, match="retries"):
+            run_tasks(_square, [1], retries=-1)
+        with pytest.raises(ConfigError, match="backoff"):
+            run_tasks(_square, [1], backoff=-0.1)
+        with pytest.raises(ConfigError, match="task_timeout"):
+            run_tasks(_square, [1], task_timeout=0)
+
+
+class TestInProcessRetry:
+    def test_injected_fault_healed_by_retry(self):
+        plan = FaultPlan.of(
+            FaultSpec(site="pool.task", kind="exception", match="task:1;attempt:0")
+        )
+        outcomes = run_tasks(
+            _square, [2, 3, 4], workers=0, retries=1, fault_plan=plan
+        )
+        assert [o.value for o in outcomes] == [4, 9, 16]
+        assert [o.attempts for o in outcomes] == [1, 2, 1]
+        assert all(o.ok for o in outcomes)
+
+    def test_fault_without_retry_budget_fails(self):
+        plan = FaultPlan.of(
+            FaultSpec(site="pool.task", kind="exception", match="task:0;attempt:0")
+        )
+        outcomes = run_tasks(_square, [2], workers=0, fault_plan=plan)
+        assert not outcomes[0].ok and outcomes[0].retryable
+        assert "injected exception fault" in outcomes[0].error
+
+    def test_fault_on_every_attempt_exhausts_retries(self):
+        plan = FaultPlan.of(
+            FaultSpec(site="pool.task", kind="exception", match="task:0", max_hits=10)
+        )
+        outcomes = run_tasks(_square, [2], workers=0, retries=2, fault_plan=plan)
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 3  # initial + 2 retries
+
+    def test_injector_restored_after_run(self):
+        plan = FaultPlan.of(FaultSpec(site="pool.task", kind="exception"))
+        before = active_injector()
+        run_tasks(_square, [1], workers=0, retries=1, fault_plan=plan)
+        assert active_injector() is before
+
+    def test_backoff_sleeps_between_rounds(self):
+        plan = FaultPlan.of(
+            FaultSpec(site="pool.task", kind="exception", match="attempt:0"),
+        )
+        started = time.perf_counter()
+        outcomes = run_tasks(
+            _square, [5], workers=0, retries=1, backoff=0.05, fault_plan=plan
+        )
+        assert outcomes[0].value == 25
+        assert time.perf_counter() - started >= 0.05
+
+
+class TestPoolRetry:
+    def test_worker_crash_healed_by_retry(self):
+        plan = FaultPlan.of(
+            FaultSpec(site="pool.task", kind="crash", match="task:2;attempt:0")
+        )
+        outcomes = run_tasks(
+            _square, [1, 2, 3, 4], workers=2, retries=1, fault_plan=plan
+        )
+        assert [o.value for o in outcomes] == [1, 4, 9, 16]
+        assert all(o.ok for o in outcomes)
+        # The crashed task (and any collateral of the broken pool) re-ran.
+        assert outcomes[2].attempts == 2
+
+    def test_worker_crash_without_retries_reports_death(self):
+        plan = FaultPlan.of(
+            FaultSpec(site="pool.task", kind="crash", match="task:0;attempt:0")
+        )
+        outcomes = run_tasks(_square, [1], workers=1, fault_plan=plan)
+        assert not outcomes[0].ok and outcomes[0].retryable
+        assert "died" in outcomes[0].error
+
+    def test_timeout_tears_down_and_retries(self):
+        plan = FaultPlan.of(
+            FaultSpec(
+                site="pool.task",
+                kind="slow",
+                match="task:0;attempt:0",
+                delay_s=30.0,
+            )
+        )
+        started = time.perf_counter()
+        outcomes = run_tasks(
+            _square,
+            [6, 7],
+            workers=2,
+            retries=1,
+            task_timeout=1.0,
+            fault_plan=plan,
+        )
+        assert time.perf_counter() - started < 25.0  # did not wait out the sleep
+        assert [o.value for o in outcomes] == [36, 49]
+        assert outcomes[0].attempts == 2
+
+    def test_pool_and_serial_results_identical_under_healed_faults(self):
+        plan = FaultPlan.of(
+            FaultSpec(site="pool.task", kind="exception", match="task:1;attempt:0")
+        )
+        serial = run_tasks(_square, [3, 5, 7], workers=0, retries=1, fault_plan=plan)
+        clean = run_tasks(_square, [3, 5, 7], workers=0)
+        assert [o.value for o in serial] == [o.value for o in clean]

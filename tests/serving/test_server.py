@@ -531,21 +531,42 @@ class TestRunDirIntegration:
 
     def test_load_run_refuses_stale_persisted_index(self, run_dir):
         """A checkpoint re-written after the index build (fingerprint
-        mismatch) must be refused at swap time, not rebuilt silently."""
+        mismatch) is never rebuilt silently: ``index="require"`` refuses
+        the swap, and the default ``"auto"`` *degrades* — it deploys the
+        checkpoint without the index and flags the server degraded."""
         from repro.core.serialization import load_model, save_model
+        from repro.reliability.manifest import read_manifest, write_manifest
+
+        def checkpoint(model):
+            # Re-save like a real training continuation would: refresh
+            # the run manifest so the integrity layer stays consistent
+            # (an unrefreshed manifest is the *corruption* case, tested
+            # in the reliability suite).
+            hashes = save_model(model, run_dir / "checkpoint")
+            manifest = read_manifest(run_dir) or {}
+            manifest.update(
+                {f"checkpoint/{name}": digest for name, digest in hashes.items()}
+            )
+            write_manifest(run_dir, manifest)
 
         model = load_model(run_dir / "checkpoint")
         model.entity_embeddings[:] += 0.25  # "trained" past the index build
-        save_model(model, run_dir / "checkpoint")
+        checkpoint(model)
         try:
             async def main():
                 server = PredictionServer()
                 async with server:
                     with pytest.raises(StaleIndexError):
-                        await server.load_run(run_dir)
+                        await server.load_run(run_dir, index="require")
+                    assert server.generation == 0
+                    deployment = await server.load_run(run_dir)
+                    assert deployment.degraded
+                    assert deployment.predictor.index is None
+                    assert server.degraded
+                    assert server.health_dict()["status"] == "degraded"
                     return server.generation
 
-            assert asyncio.run(main()) == 0
+            assert asyncio.run(main()) == 1
         finally:
             model.entity_embeddings[:] -= 0.25
-            save_model(model, run_dir / "checkpoint")
+            checkpoint(model)

@@ -1,0 +1,89 @@
+"""Tier-1 smoke run of the reliability benchmark.
+
+Runs ``benchmarks/bench_reliability.py`` at toy scale: the JSON payload
+must have the documented schema and every recovery scenario must end
+bit-identical to its fault-free reference.  The < 5% atomic-write
+overhead target belongs to the slow full-scale run only — a toy
+pipeline is too short to amortise fsyncs against.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.reliability
+
+BENCH_PATH = Path(__file__).parent.parent / "benchmarks" / "bench_reliability.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_reliability", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def smoke_results(bench_module, tmp_path_factory):
+    json_path = tmp_path_factory.mktemp("bench") / "BENCH_reliability.json"
+    results = bench_module.run_benchmark(fast=True, json_path=json_path)
+    return results, json_path
+
+
+def test_json_written_with_schema(smoke_results):
+    _, json_path = smoke_results
+    on_disk = json.loads(json_path.read_text(encoding="utf-8"))
+    assert on_disk["config"]["fast"] is True
+    assert on_disk["config"]["overhead_target_pct"] == 5.0
+    atomic = on_disk["atomic_write"]
+    for key in (
+        "num_artifacts",
+        "artifact_bytes",
+        "write_repeats",
+        "plain_seconds",
+        "atomic_seconds",
+        "per_write_overhead_pct",
+        "pipeline_seconds",
+        "hot_path_overhead_pct",
+        "target_pct",
+    ):
+        assert key in atomic
+    assert atomic["num_artifacts"] > 0
+    assert atomic["pipeline_seconds"] > 0
+    assert atomic["hot_path_overhead_pct"] >= 0
+    assert set(on_disk["recovery"]) == {
+        "eval_crash_retry",
+        "sweep_resume_heal",
+        "degraded_serving",
+    }
+
+
+def test_every_recovery_scenario_bit_identical(smoke_results):
+    results, _ = smoke_results
+    for name, scenario in results["recovery"].items():
+        assert scenario["bit_identical"], (name, scenario)
+
+
+def test_resume_healed_exactly_one_child(smoke_results):
+    results, _ = smoke_results
+    assert results["recovery"]["sweep_resume_heal"]["statuses"] == [
+        "completed",
+        "cached",
+    ]
+
+
+def test_degraded_serving_was_actually_degraded(smoke_results):
+    results, _ = smoke_results
+    assert results["recovery"]["degraded_serving"]["deployment_degraded"] is True
+
+
+def test_format_results_renders_table(smoke_results, bench_module):
+    results, _ = smoke_results
+    table = bench_module.format_results(results)
+    assert "hot-path overhead" in table
+    assert "recovery scenario" in table

@@ -63,6 +63,7 @@ def test_ci_script_supports_quick_mode():
     assert "test_bench_training_smoke" in text
     assert "test_bench_index_smoke" in text
     assert "test_bench_serving_smoke" in text
+    assert "test_bench_reliability_smoke" in text
 
 
 def test_ci_script_runs_the_serving_daemon_smoke():
@@ -70,6 +71,14 @@ def test_ci_script_runs_the_serving_daemon_smoke():
     text = CI_SCRIPT.read_text(encoding="utf-8")
     assert "scripts/serving_smoke.py" in text
     assert (REPO_ROOT / "scripts" / "serving_smoke.py").exists()
+
+
+def test_ci_script_runs_the_chaos_smoke():
+    """ci.sh must replay the recovery stories against real processes:
+    truncate-then-resume, and a degraded-serving wire round-trip."""
+    text = CI_SCRIPT.read_text(encoding="utf-8")
+    assert "scripts/chaos_smoke.py" in text
+    assert (REPO_ROOT / "scripts" / "chaos_smoke.py").exists()
 
 
 def test_ci_script_is_executable():
