@@ -98,9 +98,21 @@ def _time_batch(fn, repeats: int = 3) -> float:
     return float(np.median(timings))
 
 
-def run_benchmark(fast: bool = False, json_path: Path | str | None = DEFAULT_JSON_PATH) -> dict:
-    """Sweep ``nprobe`` and record the recall/speedup curve."""
-    scale_config = FAST_SCALE if fast else FULL_SCALE
+def run_benchmark(
+    fast: bool = False,
+    json_path: Path | str | None = DEFAULT_JSON_PATH,
+    scale: float | None = None,
+) -> dict:
+    """Sweep ``nprobe`` and record the recall/speedup curve.
+
+    *scale* overrides the preset entity-count scale (the same knob
+    ``bench_memory.py`` pushes to ~1M entities), so the recall curve can
+    be traced along the scale axis: ``--scale 66.7`` benches the same
+    geometry at 100k entities, ``--scale 667`` at 1M.
+    """
+    scale_config = dict(FAST_SCALE if fast else FULL_SCALE)
+    if scale is not None:
+        scale_config["scale"] = float(scale)
     started = time.perf_counter()
     dataset = generate_synthetic_kg(SyntheticKGConfig(seed=3, scale=scale_config["scale"]))
     generate_seconds = time.perf_counter() - started
@@ -243,5 +255,8 @@ def test_index_recall_speedup():
 
 if __name__ == "__main__":
     fast_flag = "--fast" in sys.argv
-    print(format_results(run_benchmark(fast=fast_flag)))
+    scale_arg = None
+    if "--scale" in sys.argv:
+        scale_arg = float(sys.argv[sys.argv.index("--scale") + 1])
+    print(format_results(run_benchmark(fast=fast_flag, scale=scale_arg)))
     print(f"\nwrote {DEFAULT_JSON_PATH}")

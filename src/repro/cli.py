@@ -94,6 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes scoring evaluation shards "
                             "(0 = in-process; default from --config, else 0)")
     train.add_argument("--quiet", action="store_true")
+    train.add_argument("--memmap", action="store_true",
+                       help="store the run checkpoint as a directory of mappable "
+                            ".npy files (workers/serving share OS pages) instead "
+                            "of one weights.npz")
+    train.add_argument("--dtype", choices=("float64", "float32", "float16"),
+                       default=None,
+                       help="downcast stored embedding tables; refused unless the "
+                            "serving-path score deviation stays within the "
+                            "storage equivalence tolerance")
     train.add_argument("--save", help="directory to write the trained model checkpoint")
     train.add_argument("--per-relation", action="store_true",
                        help="also print per-relation test metrics")
@@ -143,6 +152,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="k-means seed (deterministic builds)")
     build_ix.add_argument("--iters", type=int, default=None,
                           help="fixed k-means iteration count")
+    build_ix.add_argument("--pq-m", type=int, default=None,
+                          help="enable the product-quantized coarse pass with this "
+                               "many subspaces (must divide the folded feature "
+                               "width n_e*D)")
+    build_ix.add_argument("--pq-refine", type=int, default=None,
+                          help="candidates kept per query after the ADC scan "
+                               "(exact re-rank budget; default 64)")
+    build_ix.add_argument("--train-sample", type=int, default=None,
+                          help="seeded row-sample size for k-means/codebook "
+                               "fitting (bounds build cost at scale)")
+    build_ix.add_argument("--fold-cache", type=int, default=None,
+                          help="LRU capacity of the folded-matrix cache used "
+                               "during builds (default 2)")
     build_ix.add_argument("--spill", type=int, default=None,
                           help="cells each entity is assigned to (multi-assignment)")
     build_ix.add_argument("--workers", type=int, default=0,
@@ -216,6 +238,18 @@ def _dataset_section(args: argparse.Namespace) -> DatasetSection:
     )
 
 
+def _apply_storage_flags(config: RunConfig, args: argparse.Namespace) -> RunConfig:
+    """Overlay ``--memmap``/``--dtype`` onto a config's storage section."""
+    if not args.memmap and args.dtype is None:
+        return config
+    data = config.to_dict()
+    if args.memmap:
+        data["storage"]["memmap"] = True
+    if args.dtype is not None:
+        data["storage"]["dtype"] = args.dtype
+    return RunConfig.from_dict(data)
+
+
 def _train_run_config(args: argparse.Namespace) -> RunConfig:
     """Resolve the train command's RunConfig (flag-based or ``--config``)."""
     if args.config:
@@ -224,10 +258,10 @@ def _train_run_config(args: argparse.Namespace) -> RunConfig:
             data = config.to_dict()
             data["model"]["name"] = args.model
             config = RunConfig.from_dict(data)
-        return _apply_parallel_flags(config, args)
+        return _apply_storage_flags(_apply_parallel_flags(config, args), args)
     if not args.model:
         raise ConfigError("train needs a registered model name or --config FILE")
-    return _apply_parallel_flags(RunConfig(
+    return _apply_storage_flags(_apply_parallel_flags(RunConfig(
         dataset=_dataset_section(args),
         model=ModelSection(
             name=args.model,
@@ -246,7 +280,7 @@ def _train_run_config(args: argparse.Namespace) -> RunConfig:
         ),
         evaluation=EvalSection(),
         seed=args.seed,
-    ), args)
+    ), args), args)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -386,6 +420,10 @@ def _cmd_predict(args: argparse.Namespace) -> int:
                   f"({stats.entities_scored:,} of "
                   f"{stats.queries * stats.num_entities:,}); "
                   f"sampled recall@{args.top} {shown_recall}")
+            fold = getattr(predictor.index, "fold_cache_stats", None)
+            if fold is not None:
+                print(f"fold cache: {fold.hits} hits / {fold.misses} misses, "
+                      f"{fold.evictions} evictions, {fold.store_hits} store hits")
     return 0
 
 
@@ -408,6 +446,10 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
             ("seed", args.seed),
             ("iters", args.iters),
             ("spill", args.spill),
+            ("pq_m", args.pq_m),
+            ("pq_refine", args.pq_refine),
+            ("train_sample", args.train_sample),
+            ("fold_cache", args.fold_cache),
         )
         if value is not None
     }

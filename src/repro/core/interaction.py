@@ -169,10 +169,10 @@ class MultiEmbeddingModel(KGEModel):
         init = get_initializer(initializer)
         self.entity_embeddings = init(
             (self.num_entities, self.num_entity_vectors, self.dim), rng
-        ).astype(np.float64)
+        ).astype(np.float64, copy=False)
         self.relation_embeddings = init(
             (self.num_relations, self.num_relation_vectors, self.dim), rng
-        ).astype(np.float64)
+        ).astype(np.float64, copy=False)
         # n_D of Eq. 16: number of embedding scalars touched by one triple.
         per_triple_size = (2 * self.num_entity_vectors + self.num_relation_vectors) * self.dim
         if regularizer_kind == "l2":

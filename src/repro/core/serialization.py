@@ -1,9 +1,24 @@
 """Saving and loading trained multi-embedding models.
 
-Checkpoints are a directory with two files:
+Checkpoints are a directory with two layouts sharing one ``meta.json``:
 
-* ``weights.npz`` — the embedding tables (and ρ for learned-ω models),
-* ``meta.json``  — model class, ω (name + values), dimensions, flags.
+* **packed** (default) — ``weights.npz`` holding every table, loaded
+  into private process memory;
+* **memory-mapped** (``save_model(..., memmap=True)``) — a ``store/``
+  subdirectory of plain ``.npy`` files (:class:`~repro.core.memstore.MemStore`)
+  that :func:`load_model` maps read-only, so every process serving the
+  same checkpoint shares OS page-cache pages instead of holding a
+  pickled float64 copy each.
+
+Either layout may downcast the embedding tables (``dtype="float32"`` /
+``"float16"``); the downcast is gated by :func:`score_equivalence_gap`,
+which measures the worst relative score deviation the parameter
+rounding introduces on a seeded probe batch and refuses to write a
+checkpoint whose gap exceeds ``equivalence_tol`` (default ``1e-6`` —
+float32 passes comfortably, float16 needs an explicit looser tolerance).
+Scoring promotes mixed-dtype einsum operands to float64, so serving a
+downcast checkpoint computes in float64 arithmetic over the rounded
+parameters — exactly what the gate measures.
 
 The format is deliberately framework-free so checkpoints written here
 can be consumed by any numpy-reading tool.
@@ -24,12 +39,23 @@ import numpy as np
 
 from repro.core.interaction import MultiEmbeddingModel
 from repro.core.learned import LearnedWeightModel
+from repro.core.memstore import DOWNCAST_DTYPES, MemStore
 from repro.core.weights import WeightVector
 from repro.errors import CorruptArtifactError, ModelError
 from repro.reliability.atomic import atomic_write_bytes, atomic_write_text, npz_bytes
 from repro.reliability.manifest import sha256_bytes, sha256_file
 
 _FORMAT_VERSION = 1
+
+#: Subdirectory of a memmap checkpoint holding the ``.npy`` store.
+CHECKPOINT_STORE_DIR = "store"
+
+#: Default score-equivalence tolerance for downcast checkpoints.
+DEFAULT_EQUIVALENCE_TOL = 1e-6
+
+#: Array names the dtype policy applies to (ω stays float64: it is the
+#: tiny interaction tensor the kernel compiles, not a per-entity table).
+_DOWNCASTABLE = ("entity_embeddings", "relation_embeddings", "rho")
 
 
 def model_state(model: MultiEmbeddingModel) -> tuple[dict, dict[str, np.ndarray]]:
@@ -86,7 +112,10 @@ def model_from_state(meta: dict, arrays: dict[str, np.ndarray]) -> MultiEmbeddin
     # Checkpoints written before the engine flag existed ran the default.
     use_kernel = bool(meta.get("use_compiled_kernel", True))
 
-    rng = np.random.default_rng(0)  # tables are overwritten below
+    # Tables are overwritten below, so skip the random init entirely
+    # ("empty" allocates untouched pages): at million-entity scale the
+    # discarded draw would cost seconds and a full-table transient.
+    rng = np.random.default_rng(0)
     if meta["model_class"] == "LearnedWeightModel":
         from repro.nn.regularizers import DirichletSparsityRegularizer
 
@@ -106,9 +135,10 @@ def model_from_state(meta: dict, arrays: dict[str, np.ndarray]) -> MultiEmbeddin
             transform=meta["transform"],
             sparsity=sparsity,
             regularization=meta["regularization"],
+            initializer="empty",
             use_compiled_kernel=use_kernel,
         )
-        model.rho = arrays["rho"]
+        model.rho = np.array(arrays["rho"])  # ρ must stay trainable/writable
         model.refresh_omega()
     elif meta["model_class"] == "MultiEmbeddingModel":
         weights = WeightVector(meta["weight_name"], arrays["omega"])
@@ -119,6 +149,7 @@ def model_from_state(meta: dict, arrays: dict[str, np.ndarray]) -> MultiEmbeddin
             weights,
             rng,
             regularization=meta["regularization"],
+            initializer="empty",
             unit_norm_entities=meta["unit_norm_entities"],
             use_compiled_kernel=use_kernel,
         )
@@ -131,44 +162,133 @@ def model_from_state(meta: dict, arrays: dict[str, np.ndarray]) -> MultiEmbeddin
     return model
 
 
-def save_model(model: MultiEmbeddingModel, directory: str | Path) -> dict[str, str]:
+def _downcast_arrays(arrays: dict[str, np.ndarray], dtype: str) -> dict[str, np.ndarray]:
+    """The checkpoint arrays with the big tables cast to *dtype* (ω untouched)."""
+    return {
+        name: (
+            np.asarray(array).astype(dtype, copy=False)
+            if name in _DOWNCASTABLE
+            else np.asarray(array)
+        )
+        for name, array in arrays.items()
+    }
+
+
+def score_equivalence_gap(
+    model: MultiEmbeddingModel, dtype: str, probes: int = 256, seed: int = 0
+) -> float:
+    """Worst relative score deviation a dtype downcast would introduce.
+
+    A seeded probe batch of random triples is scored by *model* and by a
+    rebuilt model whose embedding tables were rounded through *dtype*;
+    the return value is ``max |Δscore| / max(1, max |score|)``.  Because
+    mixed-dtype einsums promote to float64, the rebuilt model is exactly
+    what serving the downcast checkpoint computes — so a gap under the
+    save-time tolerance is a guarantee about served scores, not a proxy.
+    """
+    if dtype not in DOWNCAST_DTYPES:
+        raise ModelError(f"dtype must be one of {list(DOWNCAST_DTYPES)}, got {dtype!r}")
+    if probes < 1:
+        raise ModelError(f"probes must be >= 1, got {probes}")
+    if dtype == "float64":
+        return 0.0
+    meta, arrays = model_state(model)
+    rounded = model_from_state(meta, _downcast_arrays(arrays, dtype))
+    rng = np.random.default_rng(seed)
+    heads = rng.integers(0, model.num_entities, size=probes)
+    tails = rng.integers(0, model.num_entities, size=probes)
+    relations = rng.integers(0, model.num_relations, size=probes)
+    base = np.asarray(model.score_triples(heads, tails, relations), dtype=np.float64)
+    approx = np.asarray(rounded.score_triples(heads, tails, relations), dtype=np.float64)
+    scale = max(1.0, float(np.max(np.abs(base))) if len(base) else 1.0)
+    return float(np.max(np.abs(base - approx))) / scale
+
+
+def save_model(
+    model: MultiEmbeddingModel,
+    directory: str | Path,
+    *,
+    memmap: bool = False,
+    dtype: str | None = None,
+    equivalence_tol: float | None = DEFAULT_EQUIVALENCE_TOL,
+    probes: int = 256,
+) -> dict[str, str]:
     """Write *model* to *directory* (created if needed).
 
-    Both files are written crash-safely (tempfile + fsync + rename) and
-    ``meta.json`` records the sha256 of the weights payload, so a torn
-    or bit-rotted ``weights.npz`` is *detected* at load time instead of
-    surfacing as a zipfile traceback (or, worse, silently wrong
+    ``memmap=False`` (default) writes the packed ``weights.npz`` layout;
+    ``memmap=True`` writes a ``store/`` of plain ``.npy`` files that
+    :func:`load_model` memory-maps, so concurrent readers share pages.
+    ``dtype`` downcasts the embedding tables (``"float32"``/``"float16"``;
+    ω always stays float64); the downcast is refused — :class:`ModelError`
+    — when its measured :func:`score_equivalence_gap` exceeds
+    ``equivalence_tol`` (pass ``equivalence_tol=None`` to skip the gate,
+    e.g. for float16 where ~1e-3 gaps are expected and accepted).
+
+    Everything is written crash-safely (tempfile + fsync + rename) and
+    ``meta.json``/``store.json`` record the sha256 of each payload, so a
+    torn or bit-rotted weights file is *detected* at load time instead
+    of surfacing as a numpy traceback (or, worse, silently wrong
     parameters).  Returns the ``{relative filename: sha256}`` mapping of
     everything written — run-dir manifests aggregate it.
     """
     meta, arrays = model_state(model)
+    dtype = dtype or "float64"
+    if dtype not in DOWNCAST_DTYPES:
+        raise ModelError(f"dtype must be one of {list(DOWNCAST_DTYPES)}, got {dtype!r}")
+    if dtype != "float64":
+        gap = score_equivalence_gap(model, dtype, probes=probes)
+        if equivalence_tol is not None and gap > equivalence_tol:
+            raise ModelError(
+                f"downcasting this checkpoint to {dtype} moves scores by a "
+                f"relative {gap:.3e}, above the equivalence tolerance "
+                f"{equivalence_tol:.1e}; keep float64, loosen equivalence_tol, "
+                "or pass equivalence_tol=None to accept the loss explicitly"
+            )
+        arrays = _downcast_arrays(arrays, dtype)
+        meta = {**meta, "dtype": dtype, "score_equivalence_gap": gap}
+    else:
+        meta = {**meta, "dtype": dtype}
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    weights_payload = npz_bytes(arrays)
-    meta = {**meta, "weights_sha256": sha256_bytes(weights_payload)}
+    hashes: dict[str, str] = {}
+    if memmap:
+        # begin/flush so rewriting an existing checkpoint commits the
+        # store meta once, at the end — a torn rewrite leaves the
+        # previous store.json (and usually the previous payloads) intact.
+        store = MemStore.begin(directory / CHECKPOINT_STORE_DIR)
+        for name, array in arrays.items():
+            store.put(name, array, flush=False)
+        store.flush()
+        meta = {**meta, "storage": "memmap"}
+        hashes.update(store.hashes(prefix=f"{CHECKPOINT_STORE_DIR}/"))
+    else:
+        weights_payload = npz_bytes(arrays)
+        meta = {**meta, "storage": "npz", "weights_sha256": sha256_bytes(weights_payload)}
+        atomic_write_bytes(directory / "weights.npz", weights_payload)
+        hashes["weights.npz"] = meta["weights_sha256"]
     meta_payload = json.dumps(meta, indent=2)
-    atomic_write_bytes(directory / "weights.npz", weights_payload)
     atomic_write_text(directory / "meta.json", meta_payload)
-    return {
-        "weights.npz": meta["weights_sha256"],
-        "meta.json": sha256_bytes(meta_payload.encode("utf-8")),
-    }
+    hashes["meta.json"] = sha256_bytes(meta_payload.encode("utf-8"))
+    return hashes
 
 
-def load_model(directory: str | Path) -> MultiEmbeddingModel:
+def load_model(directory: str | Path, *, memmap: bool | None = None) -> MultiEmbeddingModel:
     """Rebuild a model saved by :func:`save_model`.
 
     The returned model scores identically to the saved one; optimizer
     state is not checkpointed (retraining restarts moments from zero).
-    Torn/corrupt checkpoint files raise
+    Memmap-layout checkpoints come back with read-only mapped tables by
+    default (pass ``memmap=False`` to materialise private in-memory
+    copies — required before training, which updates tables in place);
+    ``memmap`` is ignored for packed ``weights.npz`` checkpoints, which
+    are never mappable.  Torn/corrupt checkpoint files raise
     :class:`~repro.errors.CorruptArtifactError` naming the offending
     path; checkpoints written before the integrity hash existed load
     without the weights check (the npz parse still guards gross damage).
     """
     directory = Path(directory)
     meta_path = directory / "meta.json"
-    npz_path = directory / "weights.npz"
-    if not meta_path.exists() or not npz_path.exists():
+    if not meta_path.exists():
         raise ModelError(f"not a model checkpoint directory: {directory}")
     try:
         meta = json.loads(meta_path.read_text(encoding="utf-8"))
@@ -177,6 +297,22 @@ def load_model(directory: str | Path) -> MultiEmbeddingModel:
             f"checkpoint metadata is torn or corrupt ({error}): {meta_path}",
             path=meta_path,
         ) from None
+    if meta.get("storage") == "memmap":
+        store = MemStore.open(directory / CHECKPOINT_STORE_DIR)
+        arrays = store.get_all()
+        if memmap is False:
+            arrays = {name: np.array(array) for name, array in arrays.items()}
+        try:
+            return model_from_state(meta, arrays)
+        except KeyError as error:
+            raise CorruptArtifactError(
+                f"checkpoint store is missing array {error} promised by "
+                f"meta.json: {directory / CHECKPOINT_STORE_DIR}",
+                path=directory / CHECKPOINT_STORE_DIR,
+            ) from None
+    npz_path = directory / "weights.npz"
+    if not npz_path.exists():
+        raise ModelError(f"not a model checkpoint directory: {directory}")
     expected = meta.get("weights_sha256")
     if expected is not None and sha256_file(npz_path) != expected:
         raise CorruptArtifactError(

@@ -35,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.interaction import MultiEmbeddingModel
+from repro.core.memstore import STORE_META_FILE, MemStore
 from repro.errors import CorruptArtifactError, ServingError, StaleIndexError
 from repro.reliability.atomic import atomic_write_bytes, atomic_write_json, npz_bytes
 from repro.reliability.manifest import sha256_bytes, sha256_file
@@ -42,6 +43,7 @@ from repro.reliability.manifest import sha256_bytes, sha256_file
 #: Files that make up a saved index directory.
 INDEX_META_FILE = "meta.json"
 INDEX_ARRAYS_FILE = "arrays.npz"
+INDEX_STORE_DIR = "store"
 
 _FORMAT_VERSION = 1
 
@@ -75,12 +77,16 @@ class CandidateBatch:
     when ``covers_all`` is set (every entity would be listed, so the
     caller should take its exact full-sweep path instead).
     ``num_scored`` counts the candidate ids the caller will score —
-    the quantity the sub-linear claim is measured in.
+    the quantity the sub-linear claim is measured in.  ``num_scanned``
+    counts ids the index itself examined with a cheap approximate pass
+    (the PQ/ADC scan) before shortlisting; it is 0 for indexes that
+    return the probed union unpruned.
     """
 
     rows: list[np.ndarray] | None
     covers_all: bool
     num_scored: int
+    num_scanned: int = 0
 
 
 @dataclass
@@ -95,9 +101,12 @@ class IndexUsageStats:
     num_entities: int
     queries: int = 0
     entities_scored: int = 0
+    entities_scanned: int = 0
     exhaustive_queries: int = 0
     recall_checks: int = 0
     recall_total: float = 0.0
+    fold_cache_hits: int = 0
+    fold_cache_misses: int = 0
 
     @property
     def probed_fraction(self) -> float:
@@ -112,6 +121,21 @@ class IndexUsageStats:
         if not self.recall_checks:
             return None
         return self.recall_total / self.recall_checks
+
+    def to_dict(self) -> dict:
+        """JSON-compatible snapshot, derived properties included."""
+        return {
+            "num_entities": self.num_entities,
+            "queries": self.queries,
+            "entities_scored": self.entities_scored,
+            "entities_scanned": self.entities_scanned,
+            "exhaustive_queries": self.exhaustive_queries,
+            "recall_checks": self.recall_checks,
+            "probed_fraction": self.probed_fraction,
+            "recall_estimate": self.recall_estimate,
+            "fold_cache_hits": self.fold_cache_hits,
+            "fold_cache_misses": self.fold_cache_misses,
+        }
 
 
 @dataclass
@@ -206,12 +230,19 @@ class CandidateIndex(abc.ABC):
         """Subclass hook: arrays to persist."""
         return {}
 
-    def save(self, directory: str | Path) -> Path:
+    def save(self, directory: str | Path, *, memmap: bool = False) -> Path:
         """Write the index next to a checkpoint; returns the directory.
 
-        Crash-safe: both files go through atomic writes, and the meta
-        records the sha256 of the arrays payload so a torn or
-        bit-flipped ``arrays.npz`` raises
+        ``memmap=False`` packs every array into one ``arrays.npz``;
+        ``memmap=True`` writes a :class:`~repro.core.memstore.MemStore`
+        of plain ``.npy`` files instead, so loading maps the partition
+        tables (centroids, member lists, PQ codes) read-only and every
+        process serving the run shares the pages.
+
+        Crash-safe either way: all files go through atomic writes, and
+        the meta records a sha256 chain over the payload (the npz bytes,
+        or the store meta — which in turn records per-file hashes) so a
+        torn or bit-flipped artifact raises
         :class:`~repro.errors.CorruptArtifactError` at load time (the
         serving layer then degrades to exact sweeps instead of serving
         from a silently damaged partition table).
@@ -223,10 +254,23 @@ class CandidateIndex(abc.ABC):
             "kind": self.kind,
             "num_entities": self.num_entities,
             "fingerprint": model_fingerprint(self.model),
+            "storage": "memmap" if memmap else "npz",
             **self._meta(),
         }
         arrays = self._arrays()
-        if arrays:
+        if arrays and memmap:
+            # begin/flush: the store meta commits once, after every
+            # payload landed, so a torn rewrite never half-replaces it.
+            store = MemStore.begin(directory / INDEX_STORE_DIR, extra={"kind": self.kind})
+            for name, array in arrays.items():
+                store.put(name, array, flush=False)
+            store.flush()
+            meta["store_sha256"] = sha256_file(
+                directory / INDEX_STORE_DIR / STORE_META_FILE
+            )
+            # Don't leave a stale npz from an earlier save of the other layout.
+            (directory / INDEX_ARRAYS_FILE).unlink(missing_ok=True)
+        elif arrays:
             payload = npz_bytes(arrays)
             meta["arrays_sha256"] = sha256_bytes(payload)
             atomic_write_bytes(directory / INDEX_ARRAYS_FILE, payload)
@@ -284,6 +328,40 @@ def verify_index_arrays(directory: str | Path, meta: dict) -> Path:
     return npz_path
 
 
+def read_index_arrays(directory: str | Path, meta: dict) -> dict[str, np.ndarray]:
+    """Every persisted array of a saved index, dispatching on its layout.
+
+    ``storage == "memmap"`` opens the index's array store and returns
+    read-only mappings (verified against the sha256 chain rooted in
+    ``meta.json``); the npz layout verifies and unpacks ``arrays.npz``
+    into ordinary in-memory arrays.  Either way damage surfaces as a
+    typed :class:`~repro.errors.CorruptArtifactError`, and an index
+    saved with no arrays returns an empty dict.
+    """
+    directory = Path(directory)
+    if meta.get("storage") == "memmap":
+        store_dir = directory / INDEX_STORE_DIR
+        store = MemStore.open(store_dir)
+        expected = meta.get("store_sha256")
+        if expected is not None and sha256_file(store_dir / STORE_META_FILE) != expected:
+            raise CorruptArtifactError(
+                "index array store meta failed its integrity check (sha256 "
+                f"mismatch against {INDEX_META_FILE}): {store_dir / STORE_META_FILE}",
+                path=store_dir / STORE_META_FILE,
+            )
+        return store.get_all()
+    npz_path = verify_index_arrays(directory, meta)
+    if not npz_path.exists():
+        return {}
+    try:
+        with np.load(npz_path) as payload:
+            return {name: payload[name] for name in payload.files}
+    except (OSError, ValueError) as error:  # zipfile damage, bad npy headers
+        raise CorruptArtifactError(
+            f"index arrays are unreadable ({error}): {npz_path}", path=npz_path
+        ) from None
+
+
 def check_loaded_meta(meta: dict, model, on_stale: str) -> bool:
     """Validate a saved index's meta against *model*.
 
@@ -307,19 +385,22 @@ def check_loaded_meta(meta: dict, model, on_stale: str) -> bool:
     return False
 
 
-def load_index(directory: str | Path, model, on_stale: str = "rebuild"):
+def load_index(directory: str | Path, model, on_stale: str = "rebuild", fold_store=None):
     """Load any saved index, dispatching on its persisted ``kind``.
 
     Stale indexes (fingerprint mismatch) come back empty under the
     ``"rebuild"`` policy — partitions are rebuilt lazily on first use —
-    and raise :class:`StaleIndexError` under ``"error"``.
+    and raise :class:`StaleIndexError` under ``"error"``.  *fold_store*
+    (a :class:`~repro.core.memstore.MemStore` of materialized folded
+    matrices) is forwarded to index kinds that serve from folds, so a
+    reloaded index keeps re-mapping shared pages instead of refolding.
     """
     meta = read_index_meta(directory)
     kind = meta.get("kind")
     if kind == "ivf":
         from repro.index.ivf import IVFIndex
 
-        return IVFIndex.load(directory, model, on_stale=on_stale)
+        return IVFIndex.load(directory, model, on_stale=on_stale, fold_store=fold_store)
     if kind == "exact":
         from repro.index.exact import ExactIndex
 

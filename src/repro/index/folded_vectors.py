@@ -20,19 +20,56 @@ geometry — ω's zero pattern removes irrelevant slots before distances
 are measured — which measurably improves recall at a fixed probe budget.
 
 Folded matrices are built lazily per ``(relation, side)``, kept in a
-small LRU (they are ``(N, n_e·D)`` — big at million-entity scale), and
-invalidated whenever the model's ``scoring_version`` moves.
+configurable LRU (they are ``(N, n_e·D)`` — big at million-entity
+scale), and invalidated whenever the model's ``scoring_version`` moves.
+At scale the source can additionally be backed by a
+:class:`~repro.core.memstore.MemStore`: :meth:`materialize` folds every
+requested relation once into mapped ``.npy`` files (optionally
+downcast), and later cache misses re-map those pages instead of
+re-running the einsum — cheap for every pool worker and serving process
+on the machine, because the pages are shared.  The store is stamped
+with the model's parameter fingerprint and ignored when it does not
+match, so a store from yesterday's checkpoint can never silently feed
+today's index.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.core.base import CANDIDATE_SIDES
 from repro.core.interaction import MultiEmbeddingModel
+from repro.core.memstore import MemStore
 from repro.errors import ServingError
+
+
+@dataclass
+class FoldCacheStats:
+    """Counters of how the folded-matrix cache behaved.
+
+    ``misses`` counts matrices that were not in the LRU; of those,
+    ``store_hits`` were satisfied by re-mapping a materialized store
+    entry instead of recomputing the fold.  ``evictions`` counts LRU
+    drops — a high rate against few relations means ``max_cached`` is
+    too small and the same folds are being recomputed over and over
+    (the thrash the cache exists to prevent).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    store_hits: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def fold_store_key(relation: int, side: str) -> str:
+    """Store entry name of one folded matrix (e.g. ``tail_3``)."""
+    return f"{side}_{relation}"
 
 
 def fold_candidate_matrix(
@@ -72,9 +109,19 @@ class FoldedCandidateSource:
     time through :meth:`candidate_matrix`; at serve time only the raw
     query vectors (:meth:`query_matrix`) and the per-partition centroids
     are needed, so the big folded matrices never stay resident.
+
+    *store*, when given, is a :class:`~repro.core.memstore.MemStore`
+    used read-through: cache misses check it before folding, and
+    :meth:`materialize` fills it.  Store entries are trusted only while
+    their stamped fingerprint matches the model's parameters.
     """
 
-    def __init__(self, model: MultiEmbeddingModel, max_cached: int = 2) -> None:
+    def __init__(
+        self,
+        model: MultiEmbeddingModel,
+        max_cached: int = 2,
+        store: MemStore | None = None,
+    ) -> None:
         if not isinstance(model, MultiEmbeddingModel):
             raise ServingError(
                 "FoldedCandidateSource requires a MultiEmbeddingModel; got "
@@ -84,8 +131,13 @@ class FoldedCandidateSource:
             raise ServingError("max_cached must be >= 1")
         self.model = model
         self.max_cached = int(max_cached)
+        self.store = store
+        self.stats = FoldCacheStats()
         self._cache: OrderedDict[tuple[int, str], np.ndarray] = OrderedDict()
         self._cache_version = model.scoring_version
+        # None = not yet checked; checked lazily because fingerprinting
+        # hashes the full parameter tables (expensive at scale).
+        self._store_usable: bool | None = None if store is not None else False
 
     @property
     def version(self) -> int:
@@ -101,6 +153,15 @@ class FoldedCandidateSource:
         """Flattened entity feature width ``n_e · D``."""
         return self.model.num_entity_vectors * self.model.dim
 
+    def cached_matrices(self) -> tuple[np.ndarray, ...]:
+        """The folded matrices currently resident in the LRU.
+
+        Exposed for memory accounting (the scale benchmarks split these
+        into private vs file-backed bytes); the tuple is a snapshot —
+        mutating it does not touch the cache.
+        """
+        return tuple(self._cache.values())
+
     def entity_matrix(self) -> np.ndarray:
         """The raw flattened entity table, shape ``(N, n_e·D)`` (a view)."""
         return self.model.entity_embeddings.reshape(self.num_entities, -1)
@@ -110,22 +171,83 @@ class FoldedCandidateSource:
         anchors = np.asarray(anchors, dtype=np.int64)
         return self.entity_matrix()[anchors]
 
+    # ------------------------------------------------------------ store path
+    def _store_ok(self) -> bool:
+        """Whether the backing store's folds match the current parameters.
+
+        Fingerprinted once per source (hashing the tables is expensive);
+        a later training step permanently disables the store for this
+        source — the folds on disk describe the old parameters.
+        """
+        if self._store_usable is None:
+            from repro.index.base import model_fingerprint
+
+            self._store_usable = self.store.extra.get(
+                "fingerprint"
+            ) == model_fingerprint(self.model)
+        return bool(self._store_usable)
+
+    def materialize(
+        self,
+        relations=None,
+        sides: tuple[str, ...] = ("tail", "head"),
+        dtype: str | None = None,
+    ) -> int:
+        """Fold every requested ``(relation, side)`` into the backing store.
+
+        Entries are written as mappable ``.npy`` files (optionally
+        downcast to *dtype* — the fold is a shortlist geometry, not a
+        score, so float32 folds only move which candidates are probed,
+        never the exact re-rank).  The store is stamped with the model's
+        fingerprint; returns the number of matrices written.
+        """
+        if self.store is None:
+            raise ServingError("no store attached; pass store= to materialize folds")
+        if relations is None:
+            relations = range(self.model.num_relations)
+        from repro.index.base import model_fingerprint
+
+        written = 0
+        for side in sides:
+            for relation in relations:
+                matrix = fold_candidate_matrix(self.model, int(relation), side)
+                self.store.put(fold_store_key(int(relation), side), matrix, dtype=dtype)
+                written += 1
+        self.store.update_extra(
+            fingerprint=model_fingerprint(self.model), kind="folded_candidates"
+        )
+        self._store_usable = True
+        return written
+
     def candidate_matrix(self, relation: int, side: str = "tail") -> np.ndarray:
         """The folded candidate matrix of ``(relation, side)``, LRU-cached.
 
         Cached entries are dropped whenever the model trains, so a
         matrix handed out here always matches the current parameters.
+        Misses consult the backing store (if any) before recomputing the
+        fold; all outcomes are counted in :attr:`stats`.
         """
         if self._cache_version != self.version:
             self._cache.clear()
             self._cache_version = self.version
+            if self.store is not None:
+                # The stored folds describe the pre-training parameters.
+                self._store_usable = False
         key = (int(relation), side)
         hit = self._cache.get(key)
         if hit is not None:
             self._cache.move_to_end(key)
+            self.stats.hits += 1
             return hit
-        matrix = fold_candidate_matrix(self.model, int(relation), side)
+        self.stats.misses += 1
+        name = fold_store_key(int(relation), side)
+        if self.store is not None and name in self.store and self._store_ok():
+            matrix = self.store.get(name)
+            self.stats.store_hits += 1
+        else:
+            matrix = fold_candidate_matrix(self.model, int(relation), side)
         if len(self._cache) >= self.max_cached:
             self._cache.popitem(last=False)
+            self.stats.evictions += 1
         self._cache[key] = matrix
         return matrix

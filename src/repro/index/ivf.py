@@ -16,6 +16,12 @@ geometry:
   top ``nprobe`` cells.  Cost per query: ``O(nlist·f)`` coarse scoring
   plus exact re-ranking of ``O(num_probed)`` candidates, instead of the
   ``O(N·f)`` full sweep.
+* **PQ coarse pass** (optional) — with a :class:`~repro.index.pq.PQConfig`
+  the probed union is additionally pruned by an asymmetric-distance scan
+  over product-quantized folded vectors: uint8 codes, one lookup table
+  per query, ``refine`` survivors.  The exact re-rank downstream is
+  untouched, so PQ trades recall for work, never score correctness, and
+  ``pq=None`` (the default) is bit-identical to the pre-PQ index.
 * **Exactness escape hatch** — ``nprobe >= nlist`` probes everything;
   the batch is flagged ``covers_all`` and the serving layer runs its
   ordinary full-sweep path, making the degenerate configuration
@@ -41,10 +47,11 @@ from repro.index.base import (
     CandidateIndex,
     IndexBuildReport,
     check_loaded_meta,
+    read_index_arrays,
     read_index_meta,
-    verify_index_arrays,
 )
-from repro.index.folded_vectors import FoldedCandidateSource
+from repro.index.folded_vectors import FoldCacheStats, FoldedCandidateSource
+from repro.index.pq import PQConfig, ProductQuantizer
 from repro.parallel.payload import ModelPayload, model_from_payload, model_to_payload
 from repro.parallel.pool import run_tasks
 
@@ -77,22 +84,38 @@ def _nearest_cells(points: np.ndarray, centroids: np.ndarray, spill: int) -> np.
 
 
 def deterministic_kmeans(
-    points: np.ndarray, nlist: int, seed: int = 0, iters: int = 10
+    points: np.ndarray,
+    nlist: int,
+    seed: int = 0,
+    iters: int = 10,
+    train_sample: int | None = None,
 ) -> np.ndarray:
     """Seeded fixed-iteration k-means; returns ``(nlist, f)`` centroids.
 
     Initial centroids are ``nlist`` distinct points drawn by the seeded
     generator; every later step is deterministic numpy, so the result
-    depends only on ``(points, nlist, seed, iters)``.  Cells that go
-    empty keep their previous centroid (no random re-seeding — that
-    would make the iteration count observable in the output).
+    depends only on ``(points, nlist, seed, iters, train_sample)``.
+    Cells that go empty keep their previous centroid (no random
+    re-seeding — that would make the iteration count observable in the
+    output).
+
+    *train_sample* bounds the fitting cost at scale: centroids are
+    fitted on a seeded row subset of that size (the caller still assigns
+    *every* point to the fitted centroids).  ``None`` — the default —
+    fits on all rows and is bit-identical to the historical behaviour.
     """
     n, f = points.shape
     if not 1 <= nlist <= n:
         raise ServingError(f"nlist must be in [1, {n}], got {nlist}")
     if iters < 1:
         raise ServingError(f"iters must be >= 1, got {iters}")
+    if train_sample is not None and train_sample < 1:
+        raise ServingError(f"train_sample must be >= 1, got {train_sample}")
     rng = np.random.default_rng(seed)
+    if train_sample is not None and train_sample < n:
+        sample = np.sort(rng.choice(n, size=max(train_sample, nlist), replace=False))
+        points = np.asarray(points[sample])
+        n = len(points)
     initial = np.sort(rng.choice(n, size=nlist, replace=False))
     centroids = points[initial].astype(np.float64, copy=True)
     for _ in range(iters):
@@ -106,20 +129,42 @@ def deterministic_kmeans(
 
 
 class _Partition:
-    """One ``(relation, side)`` inverted file: centroids + CSR member lists."""
+    """One ``(relation, side)`` inverted file: centroids + CSR member lists.
 
-    __slots__ = ("centroids", "members", "offsets")
+    With PQ enabled the partition also carries the relation's uint8
+    codes (one row per entity, entity-id order) and the trained
+    quantizer, so the ADC scan needs no folded matrix at query time.
+    """
 
-    def __init__(self, centroids: np.ndarray, members: np.ndarray, offsets: np.ndarray):
+    __slots__ = ("centroids", "members", "offsets", "codes", "pq")
+
+    def __init__(
+        self,
+        centroids: np.ndarray,
+        members: np.ndarray,
+        offsets: np.ndarray,
+        codes: np.ndarray | None = None,
+        pq: ProductQuantizer | None = None,
+    ):
         self.centroids = centroids
         self.members = members  # int32 entity ids, cell-major, ascending per cell
         self.offsets = offsets  # (nlist + 1,) int64 prefix sums
+        self.codes = codes  # (num_entities, m) uint8, or None
+        self.pq = pq
 
     def cell(self, index: int) -> np.ndarray:
         return self.members[self.offsets[index] : self.offsets[index + 1]]
 
     def cell_sizes(self) -> np.ndarray:
         return np.diff(self.offsets)
+
+
+def _partition_seed(seed: int, relation: int, side: str) -> np.random.SeedSequence:
+    """Distinct deterministic stream per partition: the SeedSequence spawn
+    key mixes the index seed with the partition coordinates."""
+    return np.random.SeedSequence(
+        [int(seed), int(relation), 0 if side == "tail" else 1]
+    )
 
 
 def _build_partition(
@@ -130,16 +175,17 @@ def _build_partition(
     seed: int,
     iters: int,
     spill: int,
+    train_sample: int | None = None,
+    pq: PQConfig | None = None,
 ) -> _Partition:
     """Cluster one relation's folded candidate matrix into an inverted file."""
     matrix = source.candidate_matrix(relation, side)
-    # Distinct deterministic stream per partition: the SeedSequence spawn
-    # key mixes the index seed with the partition coordinates.
-    partition_seed = np.random.SeedSequence(
-        [int(seed), int(relation), 0 if side == "tail" else 1]
-    )
     centroids = deterministic_kmeans(
-        matrix, nlist, seed=partition_seed, iters=iters
+        matrix,
+        nlist,
+        seed=_partition_seed(seed, relation, side),
+        iters=iters,
+        train_sample=train_sample,
     )
     assignments = _nearest_cells(matrix, centroids, spill=min(spill, nlist))
     flat = assignments.ravel()
@@ -152,7 +198,16 @@ def _build_partition(
     members = ids[order]
     counts = np.bincount(flat, minlength=nlist)
     offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
-    return _Partition(centroids, members, offsets)
+    codes = quantizer = None
+    if pq is not None:
+        # Same mixing recipe as the cell seed, with an extra component so
+        # the PQ codebooks never reuse the k-means stream.
+        pq_seed = np.random.SeedSequence(
+            [int(seed), int(relation), 0 if side == "tail" else 1, 1]
+        )
+        quantizer = ProductQuantizer.fit(matrix, pq, seed=pq_seed)
+        codes = quantizer.encode(matrix)
+    return _Partition(centroids, members, offsets, codes=codes, pq=quantizer)
 
 
 # --------------------------------------------------------- build fan-out
@@ -165,6 +220,8 @@ def _init_build_context(
     seed: int,
     iters: int,
     spill: int,
+    train_sample: int | None = None,
+    pq: dict | None = None,
 ) -> None:
     """Pool initializer: rebuild the model once per worker process."""
     global _BUILD_CTX
@@ -179,6 +236,8 @@ def _init_build_context(
         "seed": seed,
         "iters": iters,
         "spill": spill,
+        "train_sample": train_sample,
+        "pq": PQConfig.from_dict(pq) if pq is not None else None,
     }
 
 
@@ -189,9 +248,26 @@ def _build_partition_task(task: tuple[int, str]):
     if ctx is None:
         raise ServingError("index build context not initialised in this process")
     partition = _build_partition(
-        ctx["source"], relation, side, ctx["nlist"], ctx["seed"], ctx["iters"], ctx["spill"]
+        ctx["source"],
+        relation,
+        side,
+        ctx["nlist"],
+        ctx["seed"],
+        ctx["iters"],
+        ctx["spill"],
+        train_sample=ctx["train_sample"],
+        pq=ctx["pq"],
     )
-    return relation, side, partition.centroids, partition.members, partition.offsets
+    codebooks = partition.pq.codebooks if partition.pq is not None else None
+    return (
+        relation,
+        side,
+        partition.centroids,
+        partition.members,
+        partition.offsets,
+        partition.codes,
+        codebooks,
+    )
 
 
 class IVFIndex(CandidateIndex):
@@ -211,6 +287,24 @@ class IVFIndex(CandidateIndex):
         K-means determinism knobs (seeded init, fixed iteration count).
     spill:
         Cells each entity is assigned to (multi-assignment factor).
+    pq:
+        Optional :class:`~repro.index.pq.PQConfig`; when set, probed
+        unions larger than ``pq.refine`` are pruned to their
+        ``pq.refine`` best candidates by an ADC scan over uint8 codes
+        before the exact re-rank.  ``None`` (default) keeps the
+        unpruned union — bit-identical to the pre-PQ index.
+    train_sample:
+        Seeded row-sample size for the cell k-means (assignment still
+        covers every entity); ``None`` fits on all rows.
+    fold_cache:
+        LRU capacity of the folded-matrix cache (matrices are
+        ``(N, n_e·D)`` — at million-entity scale each one is the
+        dominant build-time allocation).
+    fold_store:
+        Optional :class:`~repro.core.memstore.MemStore` of materialized
+        folded matrices; cache misses re-map these instead of
+        recomputing the fold (see
+        :meth:`~repro.index.folded_vectors.FoldedCandidateSource.materialize`).
     on_stale:
         ``"rebuild"`` (drop partitions when the model trains; default)
         or ``"error"`` (raise :class:`~repro.errors.StaleIndexError`).
@@ -230,11 +324,15 @@ class IVFIndex(CandidateIndex):
         seed: int = 0,
         iters: int = 10,
         spill: int = 2,
+        pq: PQConfig | None = None,
+        train_sample: int | None = None,
+        fold_cache: int = 2,
+        fold_store=None,
         on_stale: str = "rebuild",
         workers: int = 0,
     ) -> None:
         super().__init__(model, on_stale=on_stale)
-        self._source = FoldedCandidateSource(model)
+        self._source = FoldedCandidateSource(model, max_cached=fold_cache, store=fold_store)
         n = model.num_entities
         if nlist is None:
             nlist = max(1, min(n, int(round(2.0 * math.sqrt(n)))))
@@ -249,9 +347,20 @@ class IVFIndex(CandidateIndex):
             raise ServingError(f"workers must be >= 0, got {workers}")
         if seed < 0:
             raise ServingError(f"seed must be >= 0, got {seed}")
+        if train_sample is not None and train_sample < 1:
+            raise ServingError(f"train_sample must be >= 1, got {train_sample}")
+        if pq is not None and not isinstance(pq, PQConfig):
+            raise ServingError(f"pq must be a PQConfig or None, got {type(pq).__name__}")
+        if pq is not None and self._source.feature_dim % pq.m != 0:
+            raise ServingError(
+                f"pq.m must divide the folded feature width {self._source.feature_dim}, "
+                f"got m={pq.m}"
+            )
         self.seed = int(seed)
         self.iters = int(iters)
         self.spill = int(min(spill, self.nlist))
+        self.pq = pq
+        self.train_sample = None if train_sample is None else int(train_sample)
         self.workers = int(workers)
         self._nprobe = self._check_nprobe(
             nprobe if nprobe is not None else max(1, self.nlist // 8)
@@ -259,6 +368,11 @@ class IVFIndex(CandidateIndex):
         self._partitions: dict[tuple[int, str], _Partition] = {}
         self.partitions_built = 0
         self.rebuilds = 0
+
+    @property
+    def fold_cache_stats(self) -> FoldCacheStats:
+        """Hit/miss/eviction counters of the folded-matrix cache."""
+        return self._source.stats
 
     # --------------------------------------------------------------- knobs
     def _check_nprobe(self, nprobe: int) -> int:
@@ -298,7 +412,15 @@ class IVFIndex(CandidateIndex):
         partition = self._partitions.get(key)
         if partition is None:
             partition = _build_partition(
-                self._source, key[0], side, self.nlist, self.seed, self.iters, self.spill
+                self._source,
+                key[0],
+                side,
+                self.nlist,
+                self.seed,
+                self.iters,
+                self.spill,
+                train_sample=self.train_sample,
+                pq=self.pq,
             )
             self._partitions[key] = partition
             self.partitions_built += 1
@@ -346,6 +468,8 @@ class IVFIndex(CandidateIndex):
                     self.seed,
                     self.iters,
                     self.spill,
+                    self.train_sample,
+                    self.pq.to_dict() if self.pq is not None else None,
                 ),
             )
             for outcome in outcomes:
@@ -353,9 +477,15 @@ class IVFIndex(CandidateIndex):
                     raise ServingError(
                         f"index partition build failed:\n{outcome.error}"
                     )
-                relation, side, centroids, members, offsets = outcome.value
+                relation, side, centroids, members, offsets, codes, codebooks = (
+                    outcome.value
+                )
                 self._partitions[(relation, side)] = _Partition(
-                    centroids, members, offsets
+                    centroids,
+                    members,
+                    offsets,
+                    codes=codes,
+                    pq=ProductQuantizer(codebooks) if codebooks is not None else None,
                 )
                 self.partitions_built += 1
         return IndexBuildReport(
@@ -393,22 +523,45 @@ class IVFIndex(CandidateIndex):
             )
         rows: list[np.ndarray | None] = [None] * batch
         num_scored = 0
+        num_scanned = 0
         for relation in np.unique(relations):
             partition = self._partition(int(relation), side)
             selectors = np.flatnonzero(relations == relation)
             queries = self._source.query_matrix(anchors[selectors])
             cell_scores = queries @ partition.centroids.T
             probe_order = np.argsort(-cell_scores, axis=1, kind="stable")[:, :nprobe]
-            for row_index, probed in zip(selectors, probe_order):
+            luts = (
+                partition.pq.lookup_tables(queries)
+                if partition.pq is not None
+                else None
+            )
+            for position, (row_index, probed) in enumerate(zip(selectors, probe_order)):
                 pieces = [partition.cell(int(c)) for c in probed]
                 union = np.unique(np.concatenate(pieces)) if pieces else None
                 if union is None or not len(union):
                     # Degenerate partition (all probed cells empty):
                     # fall back to the full candidate range for this row.
                     union = np.arange(self.num_entities, dtype=np.int64)
-                rows[int(row_index)] = union.astype(np.int64, copy=False)
+                union = union.astype(np.int64, copy=False)
+                if luts is not None and len(union) > self.pq.refine:
+                    # ADC coarse pass: keep the refine best by approximate
+                    # score (descending, ties to the lower id — union is
+                    # ascending and the sort is stable), then restore the
+                    # ascending-id contract for the exact re-rank.
+                    approx = ProductQuantizer.adc_scores(
+                        luts[position], partition.codes[union]
+                    )
+                    keep = np.argsort(-approx, kind="stable")[: self.pq.refine]
+                    num_scanned += len(union)
+                    union = np.sort(union[keep])
+                rows[int(row_index)] = union
                 num_scored += len(union)
-        return CandidateBatch(rows=rows, covers_all=False, num_scored=num_scored)
+        return CandidateBatch(
+            rows=rows,
+            covers_all=False,
+            num_scored=num_scored,
+            num_scanned=num_scanned,
+        )
 
     # ----------------------------------------------------------- persistence
     def _meta(self) -> dict:
@@ -418,9 +571,25 @@ class IVFIndex(CandidateIndex):
             "seed": self.seed,
             "iters": self.iters,
             "spill": self.spill,
+            "pq": self.pq.to_dict() if self.pq is not None else None,
+            "train_sample": self.train_sample,
+            "fold_cache": self._source.max_cached,
             "feature_dim": self._source.feature_dim,
             "partitions": [[relation, side] for relation, side in self.built_partitions],
         }
+
+    def resident_arrays(self) -> list[np.ndarray]:
+        """Every array this index currently references.
+
+        Partition tables plus the folded matrices resident in the fold
+        LRU — the working set a serving process actually holds.  Used by
+        the memory benchmarks with
+        :func:`~repro.core.memstore.array_memory` to split private bytes
+        from shared file-backed mappings.
+        """
+        out: list[np.ndarray] = list(self._arrays().values())
+        out.extend(self._source.cached_matrices())
+        return out
 
     def _arrays(self) -> dict[str, np.ndarray]:
         arrays: dict[str, np.ndarray] = {}
@@ -429,22 +598,32 @@ class IVFIndex(CandidateIndex):
             arrays[f"{prefix}_centroids"] = partition.centroids
             arrays[f"{prefix}_members"] = partition.members
             arrays[f"{prefix}_offsets"] = partition.offsets
+            if partition.pq is not None:
+                arrays[f"{prefix}_codes"] = partition.codes
+                arrays[f"{prefix}_codebooks"] = partition.pq.codebooks
         return arrays
 
     @classmethod
     def load(
-        cls, directory, model: MultiEmbeddingModel, on_stale: str = "rebuild"
+        cls,
+        directory,
+        model: MultiEmbeddingModel,
+        on_stale: str = "rebuild",
+        fold_store=None,
     ) -> "IVFIndex":
         """Restore a saved IVF index against *model*.
 
         The persisted fingerprint must match the model's parameters;
         when it does not, ``on_stale="rebuild"`` returns an index with
         the saved hyperparameters but no partitions (they rebuild
-        lazily), and ``"error"`` raises.
+        lazily), and ``"error"`` raises.  Memmap-layout saves come back
+        as read-only mappings — partition tables stay file-backed and
+        shared across every process serving the run.
         """
         meta = read_index_meta(directory)
         if meta.get("kind") != cls.kind:
             raise ServingError(f"not an IVF index directory: {directory}")
+        pq_meta = meta.get("pq")
         index = cls(
             model,
             nlist=meta["nlist"],
@@ -452,37 +631,41 @@ class IVFIndex(CandidateIndex):
             seed=meta["seed"],
             iters=meta["iters"],
             spill=meta["spill"],
+            pq=PQConfig.from_dict(pq_meta) if pq_meta is not None else None,
+            train_sample=meta.get("train_sample"),
+            fold_cache=meta.get("fold_cache", 2),
+            fold_store=fold_store,
             on_stale=on_stale,
         )
         if not check_loaded_meta(meta, model, on_stale):
             return index
         partitions = [tuple(entry) for entry in meta.get("partitions", [])]
         if partitions:
-            npz_path = verify_index_arrays(directory, meta)
-            if not npz_path.exists():
-                raise ServingError(f"index arrays missing: {npz_path}")
+            arrays = read_index_arrays(directory, meta)
             try:
-                with np.load(npz_path) as payload:
-                    for relation, side in partitions:
-                        prefix = f"{side}_{relation}"
-                        index._partitions[(int(relation), side)] = _Partition(
-                            payload[f"{prefix}_centroids"],
-                            payload[f"{prefix}_members"],
-                            payload[f"{prefix}_offsets"],
-                        )
+                for relation, side in partitions:
+                    prefix = f"{side}_{relation}"
+                    pq = None
+                    codes = arrays.get(f"{prefix}_codes")
+                    if codes is not None:
+                        pq = ProductQuantizer(arrays[f"{prefix}_codebooks"])
+                    index._partitions[(int(relation), side)] = _Partition(
+                        arrays[f"{prefix}_centroids"],
+                        arrays[f"{prefix}_members"],
+                        arrays[f"{prefix}_offsets"],
+                        codes=codes,
+                        pq=pq,
+                    )
             except KeyError as error:
                 raise CorruptArtifactError(
-                    f"index arrays are missing partition data ({error}): {npz_path}",
-                    path=npz_path,
-                ) from None
-            except (OSError, ValueError) as error:  # zipfile damage, bad npy headers
-                raise CorruptArtifactError(
-                    f"index arrays are unreadable ({error}): {npz_path}", path=npz_path
+                    f"index arrays are missing partition data ({error}): {directory}",
+                    path=directory,
                 ) from None
         return index
 
     def __repr__(self) -> str:
+        pq = f", pq=m{self.pq.m}/r{self.pq.refine}" if self.pq is not None else ""
         return (
-            f"IVFIndex(nlist={self.nlist}, nprobe={self.nprobe}, spill={self.spill}, "
-            f"partitions={len(self._partitions)}, entities={self.num_entities})"
+            f"IVFIndex(nlist={self.nlist}, nprobe={self.nprobe}, spill={self.spill}"
+            f"{pq}, partitions={len(self._partitions)}, entities={self.num_entities})"
         )

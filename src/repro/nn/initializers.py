@@ -54,11 +54,27 @@ def unit_normalized(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndar
     return table / norms
 
 
+def empty(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Uninitialized table (``np.empty``) — for tables about to be overwritten.
+
+    Checkpoint restores replace every table wholesale, so drawing (and
+    normalising) millions of random values just to discard them wastes
+    both time and transient memory at million-entity scale.  The pages
+    are never touched until someone writes them, so the allocation is
+    effectively free.  Never select this for a model that will actually
+    train from init.
+    """
+    if not shape:
+        raise ConfigError("shape must be non-empty")
+    return np.empty(shape, dtype=np.float64)
+
+
 INITIALIZERS = {
     "xavier_uniform": xavier_uniform,
     "normal": normal,
     "uniform": uniform,
     "unit_normalized": unit_normalized,
+    "empty": empty,
 }
 
 

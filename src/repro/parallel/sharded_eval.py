@@ -36,6 +36,7 @@ multi-worker paths are tested against.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 from dataclasses import dataclass
 from typing import Mapping
@@ -49,9 +50,16 @@ from repro.eval.metrics import DEFAULT_HITS_AT, compute_metrics, merge_metrics
 from repro.eval.ranking import TIE_POLICIES, comparison_counts, ranks_from_counts
 from repro.kg.graph import FilterIndex, KGDataset
 from repro.kg.triples import TripleSet
-from repro.parallel.payload import ModelPayload, model_from_payload, model_to_payload
+from repro.parallel.payload import (
+    ModelPayload,
+    describe_shipping,
+    model_from_payload,
+    model_to_payload,
+)
 from repro.parallel.pool import in_worker_process, run_tasks
 from repro.serving.scorer import BatchedScorer
+
+logger = logging.getLogger(__name__)
 
 SHARD_AXES = ("triples", "entities")
 
@@ -378,6 +386,16 @@ class ShardedEvaluator:
             # daemons).  The in-process path yields the same metrics.
             workers = 0
         shipped = model_to_payload(model) if workers > 0 else model
+        if isinstance(shipped, ModelPayload):
+            # The sharing win is observable: store-backed models ship
+            # file paths, not table bytes, so per-worker dispatch cost
+            # stays flat as the model grows.
+            logger.info(
+                "dispatching %d eval shards to %d workers — %s",
+                len(tasks),
+                workers,
+                describe_shipping(shipped),
+            )
         try:
             outcomes = run_tasks(
                 _run_shard_task,

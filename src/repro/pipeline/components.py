@@ -77,7 +77,18 @@ INDEXES: Registry = Registry("retrieval index")
 def _ivf_index(model, section, workers: int = 0):
     """K-means inverted file (see :mod:`repro.index.ivf`)."""
     from repro.index.ivf import IVFIndex
+    from repro.index.pq import PQConfig
 
+    pq = None
+    if section.pq_m is not None:
+        pq = PQConfig(
+            m=section.pq_m,
+            refine=section.pq_refine,
+            train_sample=(
+                section.train_sample if section.train_sample is not None else 65536
+            ),
+            seed=section.seed,
+        )
     return IVFIndex(
         model,
         nlist=section.nlist,
@@ -85,6 +96,9 @@ def _ivf_index(model, section, workers: int = 0):
         seed=section.seed,
         iters=section.iters,
         spill=section.spill,
+        pq=pq,
+        train_sample=section.train_sample,
+        fold_cache=section.fold_cache,
         on_stale=section.on_stale,
         workers=workers,
     )

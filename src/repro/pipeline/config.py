@@ -208,6 +208,13 @@ class IndexSection:
     the brute-force oracle.  With a run directory the index is built
     after training and persisted next to the checkpoint, so
     ``serve_run``/the ``predict`` CLI can reload it without rebuilding.
+
+    ``pq_m`` switches on the product-quantized coarse pass
+    (:mod:`repro.index.pq`): probed unions are pruned to ``pq_refine``
+    survivors by an ADC scan before the exact re-rank.  ``train_sample``
+    bounds the k-means/codebook fitting cost at million-entity scale,
+    and ``fold_cache`` sizes the folded-matrix LRU the builds stream
+    through.
     """
 
     kind: str = "none"
@@ -216,6 +223,10 @@ class IndexSection:
     seed: int = 0
     iters: int = 10
     spill: int = 2
+    pq_m: int | None = None
+    pq_refine: int = 64
+    train_sample: int | None = None
+    fold_cache: int = 2
     on_stale: str = "rebuild"
 
     def __post_init__(self) -> None:
@@ -243,6 +254,16 @@ class IndexSection:
             raise ConfigError(f"index.iters must be >= 1, got {self.iters}")
         if self.spill < 1:
             raise ConfigError(f"index.spill must be >= 1, got {self.spill}")
+        if self.pq_m is not None and self.pq_m < 1:
+            raise ConfigError(f"index.pq_m must be >= 1 or null, got {self.pq_m}")
+        if self.pq_refine < 1:
+            raise ConfigError(f"index.pq_refine must be >= 1, got {self.pq_refine}")
+        if self.train_sample is not None and self.train_sample < 1:
+            raise ConfigError(
+                f"index.train_sample must be >= 1 or null, got {self.train_sample}"
+            )
+        if self.fold_cache < 1:
+            raise ConfigError(f"index.fold_cache must be >= 1, got {self.fold_cache}")
         if self.on_stale not in _STALE_POLICIES:
             raise ConfigError(
                 f"index.on_stale must be one of {list(_STALE_POLICIES)}, "
@@ -253,6 +274,49 @@ class IndexSection:
     def enabled(self) -> bool:
         """Whether this section selects any index at all."""
         return self.kind != "none"
+
+
+_STORAGE_DTYPES = ("float64", "float32", "float16")
+
+
+@dataclass(frozen=True)
+class StorageSection:
+    """How the run directory stores its model checkpoint.
+
+    ``memmap=True`` writes the checkpoint as a directory of plain
+    ``.npy`` files (:mod:`repro.core.memstore`) instead of one
+    ``weights.npz``; loading then memory-maps the tables read-only, so
+    eval workers and the serving daemon share OS pages instead of
+    private copies.  ``dtype`` optionally downcasts the embedding tables
+    (``float32`` halves, ``float16`` quarters the footprint); the save
+    refuses any downcast whose serving-path score deviation on seeded
+    probe triples exceeds ``equivalence_tol`` (``null`` disables the
+    gate — explicitly accepting lossy storage).
+
+    ``float64`` + ``memmap`` is bit-identical to the npz layout; a lossy
+    ``dtype`` changes stored parameters and therefore re-evaluation
+    results, which is why it is opt-in and gated.
+    """
+
+    memmap: bool = False
+    dtype: str = "float64"
+    equivalence_tol: float | None = 1e-6
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.memmap, bool):
+            raise ConfigError(
+                f"storage.memmap must be a boolean, got {self.memmap!r}"
+            )
+        if self.dtype not in _STORAGE_DTYPES:
+            raise ConfigError(
+                f"storage.dtype must be one of {list(_STORAGE_DTYPES)}, "
+                f"got {self.dtype!r}"
+            )
+        if self.equivalence_tol is not None and not self.equivalence_tol > 0:
+            raise ConfigError(
+                f"storage.equivalence_tol must be > 0 or null, "
+                f"got {self.equivalence_tol}"
+            )
 
 
 _SHARD_AXES = ("triples", "entities")
@@ -363,6 +427,7 @@ class RunConfig:
     parallel: ParallelSection = field(default_factory=ParallelSection)
     index: IndexSection = field(default_factory=IndexSection)
     serving: ServingSection = field(default_factory=ServingSection)
+    storage: StorageSection = field(default_factory=StorageSection)
     seed: int = 0
     label: str | None = None
 
@@ -375,6 +440,7 @@ class RunConfig:
             ("parallel", ParallelSection),
             ("index", IndexSection),
             ("serving", ServingSection),
+            ("storage", StorageSection),
         ):
             if not isinstance(getattr(self, name), cls):
                 raise ConfigError(f"RunConfig.{name} must be a {cls.__name__}")
@@ -415,6 +481,9 @@ class RunConfig:
             index=_section_from_dict(IndexSection, data.get("index", {}), "index"),
             serving=_section_from_dict(
                 ServingSection, data.get("serving", {}), "serving"
+            ),
+            storage=_section_from_dict(
+                StorageSection, data.get("storage", {}), "storage"
             ),
             seed=seed,
             label=data.get("label"),

@@ -206,7 +206,7 @@ def train_and_evaluate(
                 result.model, config.index, workers=config.parallel.eval_workers
             )
             index.build(workers=config.parallel.eval_workers)
-            index.save(result.run_dir / _INDEX_DIR)
+            index.save(result.run_dir / _INDEX_DIR, memmap=config.storage.memmap)
     return result
 
 
@@ -283,7 +283,14 @@ def write_run_dir(result: RunResult, run_dir: str | Path) -> Path:
     atomic_write_text(run_dir / _CONFIG_FILE, config_text)
     hashes[_CONFIG_FILE] = sha256_bytes(config_text.encode("utf-8"))
 
-    checkpoint_hashes = save_model(result.model, run_dir / _CHECKPOINT_DIR)
+    storage = result.config.storage
+    checkpoint_hashes = save_model(
+        result.model,
+        run_dir / _CHECKPOINT_DIR,
+        memmap=storage.memmap,
+        dtype=None if storage.dtype == "float64" else storage.dtype,
+        equivalence_tol=storage.equivalence_tol,
+    )
     for name, digest in checkpoint_hashes.items():
         hashes[f"{_CHECKPOINT_DIR}/{name}"] = digest
 
@@ -355,7 +362,16 @@ def load_run(run_dir: str | Path) -> LoadedRun:
     manifest = read_manifest(run_dir)
     verify_artifact(run_dir, _CONFIG_FILE, manifest)
     verify_artifact(run_dir, f"{_CHECKPOINT_DIR}/meta.json", manifest)
-    verify_artifact(run_dir, f"{_CHECKPOINT_DIR}/weights.npz", manifest)
+    if manifest is not None:
+        # Verify whichever checkpoint layout was written: one weights.npz,
+        # or the memmap store's .npy files + store.json — every manifest
+        # entry under checkpoint/ is checked, so a torn mapped table is
+        # caught here, before any page of it is ever scored from.
+        for relative in sorted(manifest):
+            if relative.startswith(f"{_CHECKPOINT_DIR}/") and relative != (
+                f"{_CHECKPOINT_DIR}/meta.json"
+            ):
+                verify_artifact(run_dir, relative, manifest)
     config = RunConfig.load(config_path)
     model = load_model(checkpoint)
     metrics: dict[str, RankingMetrics] = {}
@@ -405,7 +421,7 @@ def build_run_index(
         section = IndexSection(kind="ivf")
     index = build_index(loaded.model, section, workers=workers)
     index.build(sides=sides, workers=workers)
-    index.save(Path(run_dir) / _INDEX_DIR)
+    index.save(Path(run_dir) / _INDEX_DIR, memmap=loaded.config.storage.memmap)
     return index
 
 

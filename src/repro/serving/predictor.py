@@ -172,7 +172,39 @@ class LinkPredictor:
     def index_stats(self):
         """Index usage counters (:class:`~repro.index.base.IndexUsageStats`),
         or None when no index is attached."""
+        self._sync_fold_stats()
         return self._index_stats
+
+    def _sync_fold_stats(self) -> None:
+        """Mirror the index's fold-cache counters into the usage stats.
+
+        The counters live on the index's folded source (they move during
+        builds, not queries), so they are copied — not accumulated —
+        whenever the stats are read or updated.
+        """
+        stats = self._index_stats
+        fold = getattr(self.index, "fold_cache_stats", None)
+        if stats is None or fold is None:
+            return
+        stats.fold_cache_hits = fold.hits
+        stats.fold_cache_misses = fold.misses
+
+    def index_stats_dict(self) -> dict | None:
+        """JSON-compatible index usage snapshot for ops surfaces.
+
+        ``None`` without an index; otherwise the usage counters plus the
+        folded-matrix cache counters (hits/misses/evictions/store hits)
+        when the index exposes them — the observable that turns "serving
+        is slow" into "the fold cache is thrashing".
+        """
+        stats = self.index_stats
+        if stats is None:
+            return None
+        out = stats.to_dict()
+        fold = getattr(self.index, "fold_cache_stats", None)
+        if fold is not None:
+            out["fold_cache"] = fold.to_dict()
+        return out
 
     def clear_cache(self) -> None:
         """Drop cached scores, folded tensors and index partitions.
@@ -336,6 +368,8 @@ class LinkPredictor:
         first_query = stats.queries
         stats.queries += len(anchors)
         stats.entities_scored += batch.num_scored
+        stats.entities_scanned += batch.num_scanned
+        self._sync_fold_stats()
         if batch.covers_all:
             stats.exhaustive_queries += len(anchors)
             return self._full_top_k(anchors, relations, side, filtered, k)

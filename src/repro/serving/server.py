@@ -351,6 +351,7 @@ class PredictionServer:
             "degraded": self._degraded,
             "degraded_served": self.stats.degraded,
             "deadline_expired": self.stats.deadline_expired,
+            "index": active.predictor.index_stats_dict() if active else None,
         }
 
     # ------------------------------------------------------------ lifecycle

@@ -1,0 +1,117 @@
+"""Tier-1 smoke run of the million-entity memory benchmark.
+
+Two layers of protection:
+
+* ``benchmarks/bench_memory.py`` runs in fast mode (4k-entity graph) —
+  the JSON payload must have the documented schema and meet the
+  acceptance gates (recall@10 ≥ 0.95 against float64 exact answers,
+  private working set ≥ 5x below the float64 in-process baseline), so a
+  regression in the memmap store, the PQ coarse pass or the
+  score-equivalence gate fails tier-1 immediately;
+* the *committed* full-scale ``BENCH_memory.json`` at the repository
+  root is re-checked against the same gates plus the million-entity
+  floor, so the headline scale claim can never silently rot while the
+  code drifts.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.index
+
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_memory.py"
+COMMITTED_JSON = REPO_ROOT / "BENCH_memory.json"
+
+MILLION = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_memory", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def smoke_results(bench_module, tmp_path_factory):
+    json_path = tmp_path_factory.mktemp("bench") / "BENCH_memory.json"
+    results = bench_module.run_benchmark(fast=True, json_path=json_path)
+    return results, json_path
+
+
+def _check_schema(payload: dict) -> None:
+    for arm in ("baseline", "mapped"):
+        entry = payload[arm]
+        for key in ("tracked_in_process_bytes", "tracked_mapped_bytes",
+                    "batch_seconds", "latency", "storage"):
+            assert key in entry, (arm, key)
+        assert entry["latency"]["p50_ms"] > 0
+        assert entry["latency"]["p90_ms"] >= entry["latency"]["p50_ms"]
+    assert payload["mapped"]["checkpoint_dtype"] == "float32"
+    assert 0.0 <= payload["recall_at_10"] <= 1.0
+    assert payload["memory_reduction"] > 0
+    assert "acceptance" in payload
+
+
+class TestSmokeRun:
+    def test_json_written_with_schema(self, smoke_results):
+        results, json_path = smoke_results
+        on_disk = json.loads(json_path.read_text(encoding="utf-8"))
+        assert on_disk["config"]["fast"] is True
+        assert on_disk["recall_at_10"] == results["recall_at_10"]
+        _check_schema(on_disk)
+
+    def test_mapped_arm_is_actually_mapped(self, smoke_results):
+        """The mapped arm must hold (almost) nothing privately."""
+        results, _ = smoke_results
+        mapped = results["mapped"]
+        assert mapped["tracked_mapped_bytes"] > 0
+        assert mapped["tracked_in_process_bytes"] < mapped["tracked_mapped_bytes"]
+
+    def test_equivalence_gap_is_recorded_and_tiny(self, smoke_results, bench_module):
+        """float32 passed the save-time score-equivalence gate."""
+        results, _ = smoke_results
+        gap = results["mapped"]["score_equivalence_gap"]
+        assert gap is not None and 0 <= gap <= 1e-6
+
+    def test_acceptance_gates(self, smoke_results, bench_module):
+        results, _ = smoke_results
+        assert results["acceptance"]["achieved"], results["acceptance"]
+        assert results["recall_at_10"] >= bench_module.RECALL_TARGET
+        assert results["memory_reduction"] >= bench_module.REDUCTION_TARGET
+
+
+class TestCommittedFullScaleResults:
+    """The checked-in BENCH_memory.json must keep the headline claim."""
+
+    @pytest.fixture(scope="class")
+    def committed(self):
+        assert COMMITTED_JSON.exists(), (
+            "BENCH_memory.json is missing from the repository root; "
+            "regenerate with `python benchmarks/bench_memory.py`"
+        )
+        return json.loads(COMMITTED_JSON.read_text(encoding="utf-8"))
+
+    def test_schema(self, committed):
+        _check_schema(committed)
+
+    def test_million_entity_floor(self, committed):
+        assert committed["config"]["fast"] is False
+        assert committed["dataset"]["num_entities"] >= MILLION
+
+    def test_recall_and_memory_gates(self, committed, bench_module):
+        assert committed["recall_at_10"] >= bench_module.RECALL_TARGET
+        assert committed["memory_reduction"] >= bench_module.REDUCTION_TARGET
+        assert committed["acceptance"]["achieved"]
+
+    def test_interactive_latency_recorded(self, committed):
+        """Top-10 out of ≥1M entities must come back at interactive p50."""
+        p50 = committed["mapped"]["latency"]["p50_ms"]
+        assert 0 < p50 < 250.0
