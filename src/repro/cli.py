@@ -11,6 +11,9 @@ Commands
   ``--stats`` reports cache/index effectiveness.
 * ``build-index`` — build and persist the approximate retrieval index
   of a pipeline run directory.
+* ``ingest``   — apply a :class:`~repro.ingest.GraphDelta` JSON file to
+  a run: transactional dataset update, embedding-table growth,
+  warm-start fine-tuning of touched rows, incremental index upkeep.
 * ``serve``    — run the micro-batched async serving daemon
   (:mod:`repro.serving.server`) over a pipeline run directory.
 * ``table``    — regenerate paper Table 2, 3 or 4 end-to-end.
@@ -191,6 +194,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--index", choices=("none", "auto", "require"), default=None,
                        help="attach the run's retrieval index (auto: persisted "
                             "only; require: build if missing; none: exact sweeps)")
+
+    ing = sub.add_parser(
+        "ingest",
+        help="apply a graph-delta JSON to a pipeline run: grow and warm-start "
+             "fine-tune the checkpoint, update dataset, filter index and "
+             "retrieval index incrementally",
+    )
+    ing.add_argument("run_dir", help="pipeline run directory (train --run-dir)")
+    ing.add_argument("delta", help="GraphDelta JSON file (repro.ingest.GraphDelta)")
+    ing.add_argument("--dataset",
+                     help="dataset directory overriding the run config's dataset")
+    ing.add_argument("--epochs", type=int, default=None,
+                     help="warm-start fine-tuning epochs over touched-entity "
+                          "triples (0 grows tables without training; default "
+                          "from the run config's ingest section)")
+    ing.add_argument("--batch-size", type=int, default=None)
+    ing.add_argument("--learning-rate", type=float, default=None)
+    ing.add_argument("--optimizer", default=None,
+                     help="optimizer registry name for fine-tuning")
+    ing.add_argument("--negatives", type=int, default=None, dest="num_negatives")
+    ing.add_argument("--seed", type=int, default=None)
+    ing.add_argument("--drift-threshold", type=float, default=None,
+                     help="fraction of re-assigned dirty entities past which "
+                          "the retrieval index is rebuilt instead of spliced")
+    ing.add_argument("--dry-run", action="store_true",
+                     help="apply in memory and print the receipt without "
+                          "persisting anything")
 
     sub.add_parser("weights", help="list weight-vector presets and their properties")
 
@@ -500,6 +530,102 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    from pathlib import Path
+
+    from repro.core.serialization import load_model, save_model
+    from repro.ingest import GraphDelta, ingest_delta
+    from repro.kg.io import save_dataset_directory
+    from repro.pipeline.runner import load_run, load_run_index
+    from repro.reliability.atomic import atomic_write_text
+    from repro.reliability.manifest import read_manifest, sha256_bytes, write_manifest
+
+    run_dir = Path(args.run_dir)
+    loaded = load_run(run_dir)
+    config = loaded.config
+    # The warm-start fine-tuner updates rows in place; memmap checkpoints
+    # load read-only, so rehydrate the tables as private writable arrays.
+    model = load_model(run_dir / "checkpoint", memmap=False)
+    dataset = (
+        load_dataset_directory(args.dataset) if args.dataset else loaded.build_dataset()
+    )
+    delta = GraphDelta.load(args.delta)
+    index = load_run_index(run_dir, model, on_stale=config.index.on_stale)
+
+    section = config.ingest
+    overrides = {
+        field_name: value
+        for field_name, value in (
+            ("epochs", args.epochs),
+            ("batch_size", args.batch_size),
+            ("learning_rate", args.learning_rate),
+            ("optimizer", args.optimizer),
+            ("num_negatives", args.num_negatives),
+            ("seed", args.seed),
+            ("drift_threshold", args.drift_threshold),
+        )
+        if value is not None
+    }
+    if overrides:
+        section = dataclasses.replace(section, **overrides)
+
+    outcome = ingest_delta(model, dataset, delta, index=index, **section.ingest_kwargs())
+    print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+    if not outcome.applied:
+        print("\nempty delta; run directory left untouched")
+        return 0
+    if args.dry_run:
+        print("\ndry run; run directory left untouched")
+        return 0
+
+    # Persist the post-delta state so the run directory stays coherent:
+    # the mutated dataset becomes a directory dataset the config points
+    # at, the grown checkpoint replaces the old one, and the manifest is
+    # rewritten so load_run keeps verifying.
+    storage = config.storage
+    dataset_dir = run_dir / "dataset"
+    save_dataset_directory(outcome.dataset, dataset_dir)
+    data = config.to_dict()
+    data["dataset"] = {"generator": "directory", "params": {"path": str(dataset_dir)}}
+    config = RunConfig.from_dict(data)
+
+    hashes = {
+        name: digest
+        for name, digest in (read_manifest(run_dir) or {}).items()
+        if not name.startswith("checkpoint/") and name != "config.json"
+    }
+    checkpoint_hashes = save_model(
+        model,
+        run_dir / "checkpoint",
+        memmap=storage.memmap,
+        dtype=None if storage.dtype == "float64" else storage.dtype,
+        equivalence_tol=storage.equivalence_tol,
+    )
+    for name, digest in checkpoint_hashes.items():
+        hashes[f"checkpoint/{name}"] = digest
+    config_text = config.to_json() + "\n"
+    atomic_write_text(run_dir / "config.json", config_text)
+    hashes["config.json"] = sha256_bytes(config_text.encode("utf-8"))
+    write_manifest(run_dir, hashes)
+
+    if index is not None:
+        update = outcome.index_update
+        if update is not None and not update.rebuild_triggered:
+            index.save(run_dir / "index", memmap=storage.memmap)
+            print(f"\nindex updated incrementally (drift {update.drift:.3f}) "
+                  f"and re-persisted")
+        else:
+            from repro.pipeline.runner import build_run_index
+
+            build_run_index(run_dir)
+            print("\nassignment drift past threshold; index rebuilt from scratch")
+    print(f"run artifacts under {run_dir} updated "
+          f"(+{outcome.stats.num_added} / -{outcome.stats.num_deleted} triples)")
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentSettings, build_dataset, format_table
     from repro.paper_tables import run_table2, run_table3, run_table4
@@ -567,6 +693,7 @@ def _cmd_weights(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "build-index": _cmd_build_index,
     "generate": _cmd_generate,
+    "ingest": _cmd_ingest,
     "inspect": _cmd_inspect,
     "predict": _cmd_predict,
     "serve": _cmd_serve,

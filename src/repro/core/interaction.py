@@ -251,6 +251,55 @@ class MultiEmbeddingModel(KGEModel):
         """
         self._workspaces.clear()
 
+    # ----------------------------------------------------------------- growth
+    def grow(
+        self,
+        num_entities: int | None = None,
+        num_relations: int | None = None,
+        rng: np.random.Generator | None = None,
+        initializer: str = "unit_normalized",
+    ) -> tuple[int, int]:
+        """Grow the embedding tables in place for an ingested graph delta.
+
+        New rows are drawn from *initializer*; existing rows are carried
+        over bit-identically into fresh writable arrays (so growth also
+        works on a read-only memmapped checkpoint).  The scratch
+        workspaces are dropped — their scatter buffers are sized to the
+        old id spaces — and ``scoring_version`` is bumped so every
+        cache/index keyed on it re-syncs.  Returns the number of new
+        ``(entity, relation)`` rows; ``(0, 0)`` growth is a no-op that
+        leaves the version untouched.
+        """
+        target_e = self.num_entities if num_entities is None else int(num_entities)
+        target_r = self.num_relations if num_relations is None else int(num_relations)
+        if target_e < self.num_entities or target_r < self.num_relations:
+            raise ModelError(
+                f"embedding tables never shrink: ({self.num_entities}, "
+                f"{self.num_relations}) -> ({target_e}, {target_r})"
+            )
+        added_e = target_e - self.num_entities
+        added_r = target_r - self.num_relations
+        if not added_e and not added_r:
+            return (0, 0)
+        if rng is None:
+            rng = np.random.default_rng(0)
+        init = get_initializer(initializer)
+        if added_e:
+            fresh = init((added_e, self.num_entity_vectors, self.dim), rng).astype(
+                np.float64, copy=False
+            )
+            self.entity_embeddings = np.concatenate([self.entity_embeddings, fresh])
+            self.num_entities = target_e
+        if added_r:
+            fresh = init((added_r, self.num_relation_vectors, self.dim), rng).astype(
+                np.float64, copy=False
+            )
+            self.relation_embeddings = np.concatenate([self.relation_embeddings, fresh])
+            self.num_relations = target_r
+        self._workspaces.clear()
+        self._bump_scoring_version()
+        return (added_e, added_r)
+
     # ---------------------------------------------------------------- scoring
     @staticmethod
     def _validate_triples(

@@ -32,6 +32,17 @@ class ModelError(ReproError):
     """A model was constructed or used inconsistently."""
 
 
+class IngestError(ReproError):
+    """A graph delta could not be applied transactionally.
+
+    Raised by :mod:`repro.ingest` when a :class:`~repro.ingest.GraphDelta`
+    is internally inconsistent or conflicts with the dataset it targets
+    (deleting an unknown triple, re-adding an existing one, duplicate
+    vocabulary names).  Nothing is mutated when this is raised — the
+    delta either applies completely or not at all.
+    """
+
+
 class TrainingError(ReproError):
     """The training loop was mis-configured or diverged."""
 

@@ -102,6 +102,37 @@ def fold_candidate_matrix(
     return folded.reshape(model.num_entities, -1)
 
 
+def fold_candidate_rows(
+    model: MultiEmbeddingModel, relation: int, side: str, rows: np.ndarray
+) -> np.ndarray:
+    """Folded candidate vectors of selected entity *rows* only.
+
+    The incremental-maintenance analogue of
+    :func:`fold_candidate_matrix`: the fold contracts per entity row, so
+    folding a subset is bit-identical to slicing those rows out of the
+    full matrix — at ``O(len(rows))`` instead of ``O(N)`` cost.
+    """
+    if not isinstance(model, MultiEmbeddingModel):
+        raise ServingError(
+            "folded candidate matrices require a MultiEmbeddingModel; got "
+            f"{type(model).__name__}"
+        )
+    if side not in CANDIDATE_SIDES:
+        raise ServingError(f"unknown side {side!r}; known: {CANDIDATE_SIDES}")
+    if not 0 <= relation < model.num_relations:
+        raise ServingError(
+            f"relation id {relation} out of range [0, {model.num_relations})"
+        )
+    rows = np.asarray(rows, dtype=np.int64)
+    mixing = model.kernel.fold_relations(
+        model.relation_embeddings[relation : relation + 1]
+    )[0]
+    entities = model.entity_embeddings[rows]
+    spec = "ijd,ejd->eid" if side == "tail" else "ijd,eid->ejd"
+    folded = np.einsum(spec, mixing, entities, optimize=True)
+    return folded.reshape(len(rows), -1)
+
+
 class FoldedCandidateSource:
     """Versioned access to query vectors and folded candidate matrices.
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import math
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -50,7 +51,11 @@ from repro.index.base import (
     read_index_arrays,
     read_index_meta,
 )
-from repro.index.folded_vectors import FoldCacheStats, FoldedCandidateSource
+from repro.index.folded_vectors import (
+    FoldCacheStats,
+    FoldedCandidateSource,
+    fold_candidate_rows,
+)
 from repro.index.pq import PQConfig, ProductQuantizer
 from repro.parallel.payload import ModelPayload, model_from_payload, model_to_payload
 from repro.parallel.pool import run_tasks
@@ -157,6 +162,37 @@ class _Partition:
 
     def cell_sizes(self) -> np.ndarray:
         return np.diff(self.offsets)
+
+
+@dataclass(frozen=True)
+class IndexUpdateReport:
+    """What one :meth:`IVFIndex.update_entities` call did.
+
+    ``drift`` is the fraction of *pre-existing* dirty entities whose
+    cell assignment changed, pooled over all built partitions (freshly
+    created entities always get new assignments and are excluded, so
+    drift measures how far the frozen centroids have decayed, not how
+    much the graph grew).  When drift exceeds the caller's threshold the
+    splice is discarded and the whole index is invalidated instead —
+    ``rebuild_triggered`` reports that outcome.
+    """
+
+    partitions_updated: int
+    entities_updated: int
+    new_entities: int
+    drift: float
+    rebuild_triggered: bool
+    seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "partitions_updated": self.partitions_updated,
+            "entities_updated": self.entities_updated,
+            "new_entities": self.new_entities,
+            "drift": self.drift,
+            "rebuild_triggered": self.rebuild_triggered,
+            "seconds": self.seconds,
+        }
 
 
 def _partition_seed(seed: int, relation: int, side: str) -> np.random.SeedSequence:
@@ -493,6 +529,137 @@ class IVFIndex(CandidateIndex):
             partitions_reused=len(wanted) - len(missing),
             seconds=time.perf_counter() - start,
             sides=tuple(sides),
+        )
+
+    # --------------------------------------------------- incremental upkeep
+    def update_entities(
+        self, dirty: np.ndarray, *, drift_threshold: float = 0.5
+    ) -> IndexUpdateReport:
+        """Re-fold and re-assign only the *dirty* entities, in place.
+
+        The incremental maintenance path for warm-start ingestion: after
+        embedding rows change (fine-tune) or appear (growth), each built
+        partition re-folds just those rows, re-assigns them against its
+        *frozen* centroids, and splices the affected cells' member lists
+        — ``O(dirty)`` fold work instead of a full k-means rebuild.  PQ
+        codes of dirty rows are re-encoded with the frozen codebooks.
+        Cell order, member ascending order, and untouched entities'
+        assignments are preserved exactly, and the index resyncs to the
+        model's current ``scoring_version`` without counting a rebuild.
+
+        Frozen centroids decay as the graph moves: when more than
+        *drift_threshold* of the pre-existing dirty entities change
+        cells, the splice is abandoned and :meth:`invalidate` drops the
+        partitions for a from-scratch lazy rebuild (``rebuild_triggered``
+        in the report).
+        """
+        start = time.perf_counter()
+        if not 0.0 < drift_threshold <= 1.0:
+            raise ServingError(
+                f"drift_threshold must be in (0, 1], got {drift_threshold}"
+            )
+        dirty = np.unique(np.asarray(dirty, dtype=np.int64))
+        if len(dirty) and (dirty[0] < 0 or dirty[-1] >= self.model.num_entities):
+            raise ServingError(
+                f"dirty entity ids out of range [0, {self.model.num_entities})"
+            )
+        if not len(dirty) or not self._partitions:
+            # Nothing to splice; adopt the current model version so later
+            # queries don't treat an empty/no-op update as staleness.
+            self._version = self.model.scoring_version
+            return IndexUpdateReport(
+                partitions_updated=0,
+                entities_updated=int(len(dirty)),
+                new_entities=0,
+                drift=0.0,
+                rebuild_triggered=False,
+                seconds=time.perf_counter() - start,
+            )
+
+        # Pass 1: fold + re-assign every partition's dirty rows and measure
+        # assignment drift, deferring all mutation so a drift-triggered
+        # rebuild never leaves the index half-spliced.
+        staged: list[tuple[tuple[int, str], np.ndarray, np.ndarray, int]] = []
+        changed = 0
+        existing_total = 0
+        max_new = 0
+        for key, partition in self._partitions.items():
+            relation, side = key
+            folded = fold_candidate_rows(self.model, relation, side, dirty)
+            assignments = _nearest_cells(folded, partition.centroids, self.spill)
+            old_count = int(len(partition.members)) // self.spill
+            existing = dirty[dirty < old_count]
+            max_new = max(max_new, int(len(dirty) - len(existing)))
+            if len(existing):
+                old_cells: dict[int, set[int]] = {}
+                for cell_id in range(self.nlist):
+                    cell = partition.cell(cell_id)
+                    for entity in cell[np.isin(cell, existing)]:
+                        old_cells.setdefault(int(entity), set()).add(cell_id)
+                positions = np.searchsorted(dirty, existing)
+                for entity, row in zip(existing, assignments[positions]):
+                    if old_cells.get(int(entity), set()) != set(int(c) for c in row):
+                        changed += 1
+                existing_total += len(existing)
+            staged.append((key, folded, assignments, old_count))
+
+        drift = changed / existing_total if existing_total else 0.0
+        if drift > drift_threshold:
+            self.invalidate()
+            return IndexUpdateReport(
+                partitions_updated=0,
+                entities_updated=int(len(dirty)),
+                new_entities=max_new,
+                drift=drift,
+                rebuild_triggered=True,
+                seconds=time.perf_counter() - start,
+            )
+
+        # Pass 2: splice.  Partitions are replaced, not written into —
+        # loaded memmapped tables stay untouched on disk.
+        for key, folded, assignments, old_count in staged:
+            partition = self._partitions[key]
+            flat = assignments.ravel()
+            add_ids = np.repeat(dirty, assignments.shape[1]).astype(np.int32)
+            order = np.argsort(flat, kind="stable")
+            add_sorted = add_ids[order]
+            add_offsets = np.concatenate(
+                [[0], np.cumsum(np.bincount(flat, minlength=self.nlist))]
+            ).astype(np.int64)
+            cells = []
+            for cell_id in range(self.nlist):
+                kept = partition.cell(cell_id)
+                kept = kept[~np.isin(kept, dirty)]
+                adds = add_sorted[add_offsets[cell_id] : add_offsets[cell_id + 1]]
+                cells.append(np.sort(np.concatenate([kept, adds])) if len(adds) else kept)
+            members = (
+                np.concatenate(cells) if cells else np.empty(0, dtype=np.int32)
+            ).astype(np.int32, copy=False)
+            offsets = np.concatenate(
+                [[0], np.cumsum([len(cell) for cell in cells])]
+            ).astype(np.int64)
+            codes = None
+            if partition.pq is not None:
+                codes = np.empty(
+                    (self.model.num_entities, partition.codes.shape[1]), dtype=np.uint8
+                )
+                codes[:old_count] = partition.codes[:old_count]
+                codes[dirty] = partition.pq.encode(folded)
+            self._partitions[key] = _Partition(
+                partition.centroids,
+                members,
+                offsets,
+                codes=codes,
+                pq=partition.pq,
+            )
+        self._version = self.model.scoring_version
+        return IndexUpdateReport(
+            partitions_updated=len(staged),
+            entities_updated=int(len(dirty)),
+            new_entities=max_new,
+            drift=drift,
+            rebuild_triggered=False,
+            seconds=time.perf_counter() - start,
         )
 
     # --------------------------------------------------------------- search

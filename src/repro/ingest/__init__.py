@@ -1,0 +1,30 @@
+"""Incremental graph ingestion: deltas, warm-start training, index upkeep.
+
+The mutation side of the repository's unified mutation/query API.  A
+:class:`GraphDelta` names a transactional batch of graph changes;
+:func:`apply_delta` lands it on an immutable
+:class:`~repro.kg.graph.KGDataset` (producing a successor whose filter
+index is updated incrementally, never rebuilt); :class:`MutableGraph`
+tracks the monotonically increasing ``graph_version``; and
+:func:`ingest_delta` runs the full warm-start pipeline — table growth,
+touched-row fine-tuning, incremental IVF maintenance — that the
+``ingest`` CLI command and the serving daemon's ``apply_delta`` op
+share.
+"""
+
+from repro.ingest.apply import DeltaStats, MutableGraph, apply_delta
+from repro.ingest.delta import GraphDelta
+from repro.ingest.service import IngestOutcome, ingest_delta
+from repro.ingest.warm import WarmStartReport, fine_tune_delta, grow_model
+
+__all__ = [
+    "DeltaStats",
+    "GraphDelta",
+    "IngestOutcome",
+    "MutableGraph",
+    "WarmStartReport",
+    "apply_delta",
+    "fine_tune_delta",
+    "grow_model",
+    "ingest_delta",
+]

@@ -1,0 +1,162 @@
+"""GraphDelta: an explicit, serialisable graph mutation.
+
+Following the Transaction Logic framing (PAPERS.md), a graph update is
+a first-class *event value* with well-defined apply semantics — not
+ad-hoc array surgery.  A :class:`GraphDelta` names everything it does at
+the label level (so a delta file is portable across id assignments),
+and :func:`repro.ingest.apply.apply_delta` gives it all-or-nothing
+transactional semantics against a :class:`~repro.kg.graph.KGDataset`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import IngestError
+
+#: A ``(head, tail, relation)`` triple of vocabulary names.
+NameTriple = tuple[str, str, str]
+
+
+def _as_names(values, what: str) -> tuple[str, ...]:
+    out = []
+    for value in values:
+        if not isinstance(value, str):
+            raise IngestError(f"{what} entries must be strings, got {value!r}")
+        out.append(value)
+    return tuple(out)
+
+
+def _as_name_triples(rows, what: str) -> tuple[NameTriple, ...]:
+    out = []
+    for row in rows:
+        row = tuple(row)
+        if len(row) != 3 or not all(isinstance(part, str) for part in row):
+            raise IngestError(
+                f"{what} entries must be (head, tail, relation) name triples, "
+                f"got {row!r}"
+            )
+        out.append(row)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One transactional batch of graph mutations, at the name level.
+
+    Attributes
+    ----------
+    add_entities, add_relations:
+        New vocabulary names to register explicitly.  Triples in
+        :attr:`add_triples` may also introduce names implicitly — like
+        :meth:`~repro.kg.graph.KGDataset.from_labeled_triples`, unknown
+        names are appended in first-occurrence order.
+    add_triples:
+        ``(head, tail, relation)`` name triples appended to the training
+        split.
+    delete_triples:
+        ``(head, tail, relation)`` name triples removed from the
+        training split (every name must already exist; valid/test are
+        immutable under deltas).
+    """
+
+    add_entities: tuple[str, ...] = field(default_factory=tuple)
+    add_relations: tuple[str, ...] = field(default_factory=tuple)
+    add_triples: tuple[NameTriple, ...] = field(default_factory=tuple)
+    delete_triples: tuple[NameTriple, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "add_entities", _as_names(self.add_entities, "add_entities")
+        )
+        object.__setattr__(
+            self, "add_relations", _as_names(self.add_relations, "add_relations")
+        )
+        object.__setattr__(
+            self, "add_triples", _as_name_triples(self.add_triples, "add_triples")
+        )
+        object.__setattr__(
+            self,
+            "delete_triples",
+            _as_name_triples(self.delete_triples, "delete_triples"),
+        )
+        for what, values in (
+            ("add_triples", self.add_triples),
+            ("delete_triples", self.delete_triples),
+        ):
+            if len(set(values)) != len(values):
+                raise IngestError(f"delta {what} contains duplicate triples")
+        conflict = set(self.add_triples) & set(self.delete_triples)
+        if conflict:
+            raise IngestError(
+                f"delta both adds and deletes {len(conflict)} triples "
+                f"(e.g. {sorted(conflict)[0]!r}); a transaction must pick one"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether applying this delta changes nothing."""
+        return not (
+            self.add_entities
+            or self.add_relations
+            or self.add_triples
+            or self.delete_triples
+        )
+
+    # -------------------------------------------------------------- round-trip
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (lists of lists)."""
+        return {
+            "add_entities": list(self.add_entities),
+            "add_relations": list(self.add_relations),
+            "add_triples": [list(row) for row in self.add_triples],
+            "delete_triples": [list(row) for row in self.delete_triples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GraphDelta":
+        if not isinstance(data, dict):
+            raise IngestError(f"delta payload must be an object, got {type(data).__name__}")
+        unknown = set(data) - {
+            "add_entities",
+            "add_relations",
+            "add_triples",
+            "delete_triples",
+        }
+        if unknown:
+            raise IngestError(f"unknown delta keys: {sorted(unknown)}")
+        return cls(
+            add_entities=tuple(data.get("add_entities", ())),
+            add_relations=tuple(data.get("add_relations", ())),
+            add_triples=_as_name_triples(data.get("add_triples", ()), "add_triples"),
+            delete_triples=_as_name_triples(
+                data.get("delete_triples", ()), "delete_triples"
+            ),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the delta as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GraphDelta":
+        """Read a delta written by :meth:`save`."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise IngestError(f"cannot read delta file {path}: {error}") from None
+        return cls.from_dict(data)
+
+    def __len__(self) -> int:
+        """Total mutations carried (vocab adds + triple adds/deletes)."""
+        return (
+            len(self.add_entities)
+            + len(self.add_relations)
+            + len(self.add_triples)
+            + len(self.delete_triples)
+        )

@@ -64,6 +64,16 @@ def augment_with_inverses(dataset: KGDataset) -> KGDataset:
     def retype(split: TripleSet) -> TripleSet:
         return TripleSet(split.array, dataset.num_entities, 2 * num_relations)
 
+    # When the source dataset already paid for a filter index, derive the
+    # augmented one incrementally (grow the relation space, insert the
+    # inverse rows) instead of rebuilding from scratch — the lazy
+    # KGDataset.filter_index property stays the only construction site.
+    filter_index = dataset._filter_index
+    if filter_index is not None:
+        filter_index = filter_index.copy()
+        filter_index.grow(num_relations=2 * num_relations)
+        filter_index.add_triples(inverse_train.deduplicate())
+
     return KGDataset(
         entities=dataset.entities,
         relations=relations,
@@ -71,4 +81,5 @@ def augment_with_inverses(dataset: KGDataset) -> KGDataset:
         valid=retype(dataset.valid),
         test=retype(dataset.test),
         name=f"{dataset.name}+inv",
+        _filter_index=filter_index,
     )

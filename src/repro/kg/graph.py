@@ -19,6 +19,28 @@ from repro.kg.triples import TripleSet
 from repro.kg.vocab import Vocabulary
 
 
+def _sorted_insert(existing: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Merge sorted-unique *values* into sorted-unique *existing*."""
+    if not len(existing):
+        return values.copy()
+    pos = np.searchsorted(existing, values)
+    hit = (pos < len(existing)) & (existing[np.minimum(pos, len(existing) - 1)] == values)
+    if hit.all():
+        return existing
+    return np.insert(existing, pos[~hit], values[~hit])
+
+
+def _sorted_remove(existing: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Drop sorted-unique *values* from sorted-unique *existing* (absent ok)."""
+    if not len(existing):
+        return existing
+    pos = np.searchsorted(existing, values)
+    hit = (pos < len(existing)) & (existing[np.minimum(pos, len(existing) - 1)] == values)
+    if not hit.any():
+        return existing
+    return np.delete(existing, pos[hit])
+
+
 class FilterIndex:
     """Known-triple index used to filter accidental true triples when ranking.
 
@@ -26,6 +48,12 @@ class FilterIndex:
 
     * :meth:`true_tails` — entities ``t'`` such that ``(h, t', r)`` is known.
     * :meth:`true_heads` — entities ``h'`` such that ``(h', t, r)`` is known.
+
+    The lazy :attr:`KGDataset.filter_index` property is the only place an
+    index is built from scratch; every path that *changes* a dataset's
+    triples (delta ingestion, inverse augmentation) derives the successor
+    index through :meth:`copy` + :meth:`add_triples`/:meth:`remove_triples`
+    — per-key sorted-array edits instead of an O(T) rebuild.
     """
 
     def __init__(self, triples: TripleSet) -> None:
@@ -54,6 +82,90 @@ class FilterIndex:
         tails = self.true_tails(head, relation)
         pos = int(np.searchsorted(tails, tail))
         return pos < len(tails) and int(tails[pos]) == int(tail)
+
+    # ------------------------------------------------------- incremental updates
+    @staticmethod
+    def _as_rows(triples) -> np.ndarray:
+        rows = triples.array if isinstance(triples, TripleSet) else triples
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.int64))
+        if rows.ndim != 2 or (len(rows) and rows.shape[1] != 3):
+            raise DatasetError(
+                f"expected (n, 3) triple rows, got shape {rows.shape}"
+            )
+        return rows
+
+    def copy(self) -> "FilterIndex":
+        """A shallow copy that is safe to mutate independently.
+
+        Per-key arrays are shared with the original: the update methods
+        replace whole arrays instead of writing into them, so copying is
+        O(keys) and the source index never observes a mutation.
+        """
+        clone = object.__new__(FilterIndex)
+        clone._tails = dict(self._tails)
+        clone._heads = dict(self._heads)
+        clone.num_entities = self.num_entities
+        clone.num_relations = self.num_relations
+        return clone
+
+    def grow(self, num_entities: int | None = None, num_relations: int | None = None) -> None:
+        """Expand the id spaces the index accepts (never shrinks them)."""
+        if num_entities is not None:
+            if num_entities < self.num_entities:
+                raise DatasetError(
+                    f"cannot shrink filter index entities {self.num_entities} -> {num_entities}"
+                )
+            self.num_entities = int(num_entities)
+        if num_relations is not None:
+            if num_relations < self.num_relations:
+                raise DatasetError(
+                    f"cannot shrink filter index relations {self.num_relations} -> {num_relations}"
+                )
+            self.num_relations = int(num_relations)
+
+    def _update(self, rows: np.ndarray, op) -> None:
+        grouped_tails: dict[tuple[int, int], list[int]] = {}
+        grouped_heads: dict[tuple[int, int], list[int]] = {}
+        for h, t, r in rows:
+            grouped_tails.setdefault((int(h), int(r)), []).append(int(t))
+            grouped_heads.setdefault((int(t), int(r)), []).append(int(h))
+        for mapping, grouped in ((self._tails, grouped_tails), (self._heads, grouped_heads)):
+            for key, values in grouped.items():
+                updated = op(
+                    mapping.get(key, self._EMPTY),
+                    np.unique(np.asarray(values, dtype=np.int64)),
+                )
+                if len(updated):
+                    mapping[key] = updated
+                else:
+                    # Mirror from-scratch construction: no empty keys.
+                    mapping.pop(key, None)
+
+    def add_triples(self, triples) -> None:
+        """Register *triples* as known — per-key sorted insert, no rebuild."""
+        rows = self._as_rows(triples)
+        if not len(rows):
+            return
+        if rows.min() < 0 or rows[:, :2].max() >= self.num_entities or (
+            rows[:, 2].max() >= self.num_relations
+        ):
+            raise DatasetError(
+                f"triple ids out of range for filter index over "
+                f"{self.num_entities} entities / {self.num_relations} relations"
+            )
+        self._update(rows, _sorted_insert)
+
+    def remove_triples(self, triples) -> None:
+        """Forget *triples* — per-key sorted removal; absent triples are ignored.
+
+        Keys whose last member is removed are deleted outright, so an
+        incrementally maintained index is structurally identical to one
+        rebuilt from the surviving triples.
+        """
+        rows = self._as_rows(triples)
+        if not len(rows):
+            return
+        self._update(rows, _sorted_remove)
 
 
 @dataclass

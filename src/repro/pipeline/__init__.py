@@ -39,6 +39,7 @@ _LAZY_EXPORTS = {
     "DatasetSection": "repro.pipeline.config",
     "EvalSection": "repro.pipeline.config",
     "IndexSection": "repro.pipeline.config",
+    "IngestSection": "repro.pipeline.config",
     "ModelSection": "repro.pipeline.config",
     "ParallelSection": "repro.pipeline.config",
     "RunConfig": "repro.pipeline.config",

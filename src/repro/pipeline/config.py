@@ -417,6 +417,69 @@ class ServingSection:
 
 
 @dataclass(frozen=True)
+class IngestSection:
+    """Incremental-ingestion settings (the ``ingest`` CLI command and the
+    serving daemon's ``apply_delta`` op).
+
+    Field-for-field these mirror the keyword knobs of
+    :func:`repro.ingest.ingest_delta`, so ``dataclasses.asdict`` of this
+    section splats straight into it.  ``epochs`` is the warm-start
+    fine-tuning budget per delta (``0`` grows tables without training);
+    ``drift_threshold`` is the fraction of re-assigned dirty entities
+    past which incremental IVF maintenance gives up and triggers a full
+    rebuild; ``grow_initializer`` names how fresh embedding rows are
+    drawn (:mod:`repro.nn.initializers`).
+    """
+
+    epochs: int = 2
+    batch_size: int = 256
+    learning_rate: float = 0.01
+    optimizer: str = "adam"
+    num_negatives: int = 1
+    seed: int = 0
+    drift_threshold: float = 0.5
+    grow_initializer: str = "unit_normalized"
+
+    def __post_init__(self) -> None:
+        from repro.nn.initializers import INITIALIZERS
+        from repro.nn.optimizers import OPTIMIZERS
+
+        if self.epochs < 0:
+            raise ConfigError(f"ingest.epochs must be >= 0, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ConfigError(f"ingest.batch_size must be >= 1, got {self.batch_size}")
+        if not self.learning_rate > 0:
+            raise ConfigError(
+                f"ingest.learning_rate must be > 0, got {self.learning_rate}"
+            )
+        if self.optimizer not in OPTIMIZERS:
+            raise ConfigError(
+                f"ingest.optimizer must be one of {OPTIMIZERS.names()}, "
+                f"got {self.optimizer!r}"
+            )
+        if self.num_negatives < 1:
+            raise ConfigError(
+                f"ingest.num_negatives must be >= 1, got {self.num_negatives}"
+            )
+        if self.seed < 0:
+            raise ConfigError(f"ingest.seed must be >= 0, got {self.seed}")
+        if not 0 < self.drift_threshold <= 1:
+            raise ConfigError(
+                f"ingest.drift_threshold must be in (0, 1], "
+                f"got {self.drift_threshold}"
+            )
+        if self.grow_initializer not in INITIALIZERS:
+            raise ConfigError(
+                f"ingest.grow_initializer must be one of {sorted(INITIALIZERS)}, "
+                f"got {self.grow_initializer!r}"
+            )
+
+    def ingest_kwargs(self) -> dict:
+        """The keyword arguments for :func:`repro.ingest.ingest_delta`."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """A complete, serializable description of one training/eval run."""
 
@@ -428,6 +491,7 @@ class RunConfig:
     index: IndexSection = field(default_factory=IndexSection)
     serving: ServingSection = field(default_factory=ServingSection)
     storage: StorageSection = field(default_factory=StorageSection)
+    ingest: IngestSection = field(default_factory=IngestSection)
     seed: int = 0
     label: str | None = None
 
@@ -441,6 +505,7 @@ class RunConfig:
             ("index", IndexSection),
             ("serving", ServingSection),
             ("storage", StorageSection),
+            ("ingest", IngestSection),
         ):
             if not isinstance(getattr(self, name), cls):
                 raise ConfigError(f"RunConfig.{name} must be a {cls.__name__}")
@@ -485,6 +550,7 @@ class RunConfig:
             storage=_section_from_dict(
                 StorageSection, data.get("storage", {}), "storage"
             ),
+            ingest=_section_from_dict(IngestSection, data.get("ingest", {}), "ingest"),
             seed=seed,
             label=data.get("label"),
         )

@@ -31,14 +31,17 @@ Three layers, each usable on its own:
     same scorer, so evaluation and serving share one code path.
 
 ``LinkPredictor`` (:mod:`repro.serving.predictor`)
-    The request-level API: ``top_k_tails`` / ``top_k_heads`` /
-    ``top_k_relations`` over id batches, name-level ``predict`` for
-    single queries, optional *filtered* masking of already-known true
-    triples (reusing :class:`~repro.kg.graph.FilterIndex`), explicit
-    candidate sets via the models' ``score_candidates`` fast paths, and
-    an :class:`~repro.serving.cache.LRUScoreCache` of score vectors
-    keyed on ``(entity, relation, side)`` that is invalidated whenever
-    the model's parameters change.
+    The request-level API: one unified ``top_k(side="tail"|"head"|
+    "relation")`` entry point over id batches with shared knobs (``k``,
+    ``filtered``, ``exact``) — ``top_k_tails`` / ``top_k_heads`` /
+    ``top_k_relations`` remain as thin delegating wrappers — plus
+    name-level ``predict`` for single queries, optional *filtered*
+    masking of already-known true triples (reusing
+    :class:`~repro.kg.graph.FilterIndex`), explicit candidate sets via
+    the models' ``score_candidates`` fast paths, and an
+    :class:`~repro.serving.cache.LRUScoreCache` of score vectors keyed
+    on ``(entity, relation, side)`` that is invalidated whenever the
+    model's parameters change.
 
 Ties are always broken toward the lower candidate id, so repeated,
 batched and cached queries rank deterministically and agree with a

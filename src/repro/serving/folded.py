@@ -75,6 +75,10 @@ class RelationFoldedScorer:
         # kernel keeps the einsum, with its contraction path cached).
         self._folded = self.model.kernel.fold_relations(self.model.relation_embeddings)
         self._version = version
+        # Ingested deltas grow the tables in place (always with a version
+        # bump), so the cached id-space sizes resync here too.
+        self.num_entities = self.model.num_entities
+        self.num_relations = self.model.num_relations
         return True
 
     def _entity_flat(self) -> np.ndarray:

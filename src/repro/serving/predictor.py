@@ -477,51 +477,7 @@ class LinkPredictor:
             return self._top_k_via_index(anchors, relations, k, side, filtered)
         return self._full_top_k(anchors, relations, side, filtered, k)
 
-    # --------------------------------------------------------------- queries
-    def top_k_tails(
-        self,
-        heads,
-        relations,
-        k: int = 10,
-        filtered: bool = False,
-        candidates=None,
-        exact: bool = False,
-    ) -> TopKResult:
-        """Best tail completions of ``(h, ?, r)`` per query.
-
-        ``filtered=True`` pushes known true tails to the bottom (score
-        ``-inf``); ``candidates`` restricts scoring to an explicit
-        ``(c,)`` or ``(b, c)`` id set via the model's fast path.
-        ``exact=True`` bypasses any attached index and answers with the
-        full-sweep reference path — the serving daemon's degraded-mode
-        escape hatch when an index turns out stale or corrupt.
-        """
-        return self._top_k_one_side(
-            heads, relations, k, "tail", filtered, candidates, exact=exact
-        )
-
-    def top_k_heads(
-        self,
-        tails,
-        relations,
-        k: int = 10,
-        filtered: bool = False,
-        candidates=None,
-        exact: bool = False,
-    ) -> TopKResult:
-        """Best head completions of ``(?, t, r)`` per query."""
-        return self._top_k_one_side(
-            tails, relations, k, "head", filtered, candidates, exact=exact
-        )
-
-    def top_k_relations(self, heads, tails, k: int = 10) -> TopKResult:
-        """Best relation completions of ``(h, ?, t)`` per query pair.
-
-        Relation queries are always *raw*: the filter index is keyed on
-        entities, so known true relations are not masked.
-        """
-        if k < 1:
-            raise ServingError("k must be >= 1")
+    def _top_k_relations(self, heads, tails, k: int) -> TopKResult:
         self._sync_version()
         heads = np.atleast_1d(np.asarray(heads, dtype=np.int64))
         tails = np.atleast_1d(np.asarray(tails, dtype=np.int64))
@@ -543,6 +499,103 @@ class LinkPredictor:
                 np.tile(all_relations, block),
             ).reshape(block, num_relations)
         return self._select_top_k(scores, min(k, num_relations))
+
+    # --------------------------------------------------------------- queries
+    def top_k(
+        self,
+        anchors,
+        others,
+        *,
+        side: str = "tail",
+        k: int = 10,
+        filtered: bool = False,
+        candidates=None,
+        exact: bool = False,
+    ) -> TopKResult:
+        """Unified top-k query: one entry point, the missing slot as *side*.
+
+        * ``side="tail"`` — *anchors* are heads, *others* relations;
+          best tail completions of ``(h, ?, r)``.
+        * ``side="head"`` — *anchors* are tails, *others* relations;
+          best head completions of ``(?, t, r)``.
+        * ``side="relation"`` — *anchors* are heads, *others* tails;
+          best relation completions of ``(h, ?, t)``.
+
+        Shared knobs: ``filtered=True`` pushes known true entities to
+        the bottom (score ``-inf``); ``candidates`` restricts entity
+        queries to an explicit ``(c,)`` or ``(b, c)`` id set via the
+        model's fast path; ``exact=True`` bypasses any attached index
+        and answers with the full-sweep reference path — the serving
+        daemon's degraded-mode escape hatch when an index turns out
+        stale or corrupt (relation queries are always exact, so the flag
+        is a no-op there).  Relation queries reject ``filtered`` and
+        ``candidates``: the filter index and the candidate fast paths
+        are entity-keyed.
+        """
+        if k < 1:
+            raise ServingError("k must be >= 1")
+        if side in ("tail", "head"):
+            return self._top_k_one_side(
+                anchors, others, k, side, filtered, candidates, exact=exact
+            )
+        if side == "relation":
+            if filtered:
+                raise ServingError(
+                    "filtered=True is not supported for side='relation'; the "
+                    "filter index is entity-keyed"
+                )
+            if candidates is not None:
+                raise ServingError(
+                    "candidates are not supported for side='relation'"
+                )
+            return self._top_k_relations(anchors, others, k)
+        raise ServingError(
+            f"unknown side {side!r}; expected 'tail', 'head' or 'relation'"
+        )
+
+    def top_k_tails(
+        self,
+        heads,
+        relations,
+        k: int = 10,
+        filtered: bool = False,
+        candidates=None,
+        exact: bool = False,
+    ) -> TopKResult:
+        """Best tail completions of ``(h, ?, r)``; delegates to :meth:`top_k`."""
+        return self.top_k(
+            heads,
+            relations,
+            side="tail",
+            k=k,
+            filtered=filtered,
+            candidates=candidates,
+            exact=exact,
+        )
+
+    def top_k_heads(
+        self,
+        tails,
+        relations,
+        k: int = 10,
+        filtered: bool = False,
+        candidates=None,
+        exact: bool = False,
+    ) -> TopKResult:
+        """Best head completions of ``(?, t, r)``; delegates to :meth:`top_k`."""
+        return self.top_k(
+            tails,
+            relations,
+            side="head",
+            k=k,
+            filtered=filtered,
+            candidates=candidates,
+            exact=exact,
+        )
+
+    def top_k_relations(self, heads, tails, k: int = 10) -> TopKResult:
+        """Best relation completions of ``(h, ?, t)``; delegates to :meth:`top_k`."""
+        return self.top_k(heads, tails, side="relation", k=k)
 
     def warm_cache(self, anchors, relations, side: str = "tail") -> None:
         """Precompute and cache the sweeps for the given queries."""
@@ -582,12 +635,18 @@ class LinkPredictor:
                 f"{sum(given)}"
             )
         if relation is None:
-            result = self.top_k_relations([entities.index(head)], [entities.index(tail)], k)
+            result = self.top_k(
+                [entities.index(head)], [entities.index(tail)], side="relation", k=k
+            )
             return result.labeled(relations_vocab)[0]
         rel_id = relations_vocab.index(relation)
         if tail is None:
-            result = self.top_k_tails([entities.index(head)], [rel_id], k, filtered=filtered)
+            result = self.top_k(
+                [entities.index(head)], [rel_id], side="tail", k=k, filtered=filtered
+            )
         else:
-            result = self.top_k_heads([entities.index(tail)], [rel_id], k, filtered=filtered)
+            result = self.top_k(
+                [entities.index(tail)], [rel_id], side="head", k=k, filtered=filtered
+            )
         # labeled() drops index-shortlist pad ids (-1) from every row.
         return result.labeled(entities)[0]

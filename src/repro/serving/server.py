@@ -47,6 +47,13 @@ that gap with a stdlib-only asyncio service:
     no response ever mixes old and new model versions, and the old
     deployment keeps serving until the instant of the flip.
 
+    *Live ingestion*: :meth:`PredictionServer.apply_delta` hot-applies a
+    :class:`~repro.ingest.GraphDelta` to the active deployment under the
+    same swap lock dispatch scoring holds — dataset apply, embedding
+    growth, warm-start fine-tuning and incremental index maintenance all
+    land atomically between micro-batches, and every subsequent response
+    carries the advanced ``graph_version``.
+
     *Shutdown*: :meth:`PredictionServer.close` stops admission, drains
     queued requests (or fails them fast with
     :class:`~repro.errors.ServerClosedError` when ``drain=False``) and
@@ -56,7 +63,8 @@ that gap with a stdlib-only asyncio service:
     A newline-delimited-JSON TCP front-end and the blocking entry point
     behind the ``repro-kge serve`` CLI command.  Protocol: one JSON
     object per line with an ``op`` of ``top_k``, ``stats``, ``health``,
-    ``ping``, ``swap`` or ``shutdown``; responses echo the request ``id`` and
+    ``ping``, ``swap``, ``apply_delta`` or ``shutdown``; responses echo
+    the request ``id`` and
     carry either the payload (``ok: true``) or a structured error with
     a machine-readable ``code`` (``ok: false``).  Filtered-out
     candidates' ``-inf`` scores are transported as ``null``.
@@ -116,6 +124,21 @@ def k_bucket(k: int) -> int:
 
 _SIDES = ("tail", "head", "relation")
 
+#: Keyword knobs the wire ``apply_delta`` op may forward to
+#: :func:`repro.ingest.ingest_delta` (mirrors ``IngestSection``).
+_INGEST_KNOBS = frozenset(
+    {
+        "epochs",
+        "batch_size",
+        "learning_rate",
+        "optimizer",
+        "num_negatives",
+        "seed",
+        "drift_threshold",
+        "grow_initializer",
+    }
+)
+
 
 @dataclass(frozen=True)
 class Deployment:
@@ -131,6 +154,9 @@ class Deployment:
     run_dir: str | None = None
     label: str | None = None
     degraded: bool = False
+    #: Monotonic count of graph deltas hot-applied to this serving line
+    #: (see :meth:`PredictionServer.apply_delta`); 0 for a fresh deploy.
+    graph_version: int = 0
 
     @property
     def scoring_version(self) -> int:
@@ -161,6 +187,7 @@ class ServedTopK:
     coalesced: int
     waited_ms: float
     degraded: bool = False
+    graph_version: int = 0
 
 
 @dataclass
@@ -180,6 +207,7 @@ class ServerStats:
     peak_depth: int = 0
     degraded: int = 0
     deadline_expired: int = 0
+    deltas_applied: int = 0
 
     @property
     def mean_coalesced(self) -> float:
@@ -317,6 +345,7 @@ class PredictionServer:
             "status": status,
             "degraded": self._degraded,
             "generation": self._generation,
+            "graph_version": active.graph_version if active else None,
             "queue_len": len(self._pending),
             "queue_depth": self.queue_depth,
             "degraded_served": self.stats.degraded,
@@ -329,6 +358,7 @@ class PredictionServer:
         active = self._active
         return {
             "generation": self._generation,
+            "graph_version": active.graph_version if active else None,
             "scoring_version": active.scoring_version if active else None,
             "run_dir": active.run_dir if active else None,
             "label": active.label if active else None,
@@ -351,6 +381,7 @@ class PredictionServer:
             "degraded": self._degraded,
             "degraded_served": self.stats.degraded,
             "deadline_expired": self.stats.deadline_expired,
+            "deltas_applied": self.stats.deltas_applied,
             "index": active.predictor.index_stats_dict() if active else None,
         }
 
@@ -467,6 +498,85 @@ class PredictionServer:
         return await self.swap_predictor(
             predictor, run_dir=str(run_dir), label=label, degraded=degraded
         )
+
+    # ------------------------------------------------------------- ingestion
+    async def apply_delta(self, delta, **ingest_kwargs) -> dict:
+        """Hot-apply a :class:`~repro.ingest.GraphDelta` to the active line.
+
+        The full ingest pipeline — transactional dataset apply,
+        embedding-table growth, touched-row fine-tuning, incremental
+        index maintenance (:func:`repro.ingest.ingest_delta`) — runs in
+        a worker thread **while holding the swap lock**, the same lock
+        every micro-batch dispatch holds while scoring.  No response is
+        ever computed against a half-applied delta: queries either see
+        the pre-delta deployment or the post-delta one, whose
+        ``graph_version`` (echoed on every :class:`ServedTopK`) has
+        advanced by one.  *delta* may be a :class:`GraphDelta` or its
+        ``to_dict`` payload; keyword knobs are forwarded to
+        :func:`~repro.ingest.ingest_delta`.  An empty delta is a no-op:
+        the receipt reports ``applied: false`` and neither the
+        generation nor the graph version moves.
+        """
+        from repro.ingest import GraphDelta, ingest_delta
+
+        if isinstance(delta, dict):
+            delta = GraphDelta.from_dict(delta)
+        if not isinstance(delta, GraphDelta):
+            raise ServingError(
+                f"apply_delta needs a GraphDelta or its dict form; got "
+                f"{type(delta).__name__}"
+            )
+        if self._closing:
+            raise ServerClosedError("server is shutting down; request refused")
+        async with self._swap_lock:
+            deployment = self._active
+            if deployment is None:
+                raise ServingError(
+                    "no model deployed; call load_run/swap_predictor first"
+                )
+            predictor = deployment.predictor
+            if predictor.dataset is None:
+                raise ServingError(
+                    "apply_delta needs a deployment backed by a dataset"
+                )
+
+            def _apply():
+                return ingest_delta(
+                    predictor.model,
+                    predictor.dataset,
+                    delta,
+                    index=predictor.index,
+                    **ingest_kwargs,
+                )
+
+            outcome = await asyncio.to_thread(_apply)
+            receipt = outcome.to_dict()
+            if not outcome.applied:
+                receipt["generation"] = deployment.generation
+                receipt["graph_version"] = deployment.graph_version
+                return receipt
+            # Mutate the predictor in place: version-keyed caches resync
+            # on the next query, and the spliced index must NOT be
+            # invalidated (clear_cache would discard the splice).
+            predictor.dataset = outcome.dataset
+            if predictor._filter_index is not None:
+                predictor._filter_index = outcome.dataset.filter_index
+            if predictor._index_stats is not None:
+                predictor._index_stats.num_entities = predictor.model.num_entities
+            self._generation += 1
+            self._active = Deployment(
+                predictor,
+                self._generation,
+                run_dir=deployment.run_dir,
+                label=deployment.label,
+                degraded=deployment.degraded,
+                graph_version=deployment.graph_version + 1,
+            )
+            self.stats.deltas_applied += 1
+            receipt["generation"] = self._active.generation
+            receipt["graph_version"] = self._active.graph_version
+            receipt["scoring_version"] = self._active.scoring_version
+            return receipt
 
     # ------------------------------------------------------------- requests
     def _submit(
@@ -647,15 +757,13 @@ class PredictionServer:
 
         def _score(exact: bool = False):
             faults.fire(DISPATCH_SITE, context=f"side:{side};bucket:{bucket}")
-            if side == "tail":
-                return predictor.top_k_tails(
-                    first, second, k=bucket, filtered=filtered, exact=exact
-                )
-            if side == "head":
-                return predictor.top_k_heads(
-                    first, second, k=bucket, filtered=filtered, exact=exact
-                )
-            return predictor.top_k_relations(first, second, k=bucket)
+            # One entry point for every side: the predictor's unified
+            # top_k.  Relation groups are admitted with filtered=False
+            # (the filter index is entity-keyed), so the shared knobs
+            # pass through unchanged.
+            return predictor.top_k(
+                first, second, side=side, k=bucket, filtered=filtered, exact=exact
+            )
 
         started = loop.time()
         degraded = False
@@ -705,6 +813,7 @@ class PredictionServer:
                     coalesced=len(requests),
                     waited_ms=1000.0 * (now - request.enqueued_at),
                     degraded=degraded,
+                    graph_version=deployment.graph_version,
                 )
             )
             self.stats.served += 1
@@ -782,6 +891,7 @@ async def _handle_top_k(server: PredictionServer, message: dict) -> dict:
         "scores": _json_scores(served.scores),
         "generation": served.generation,
         "scoring_version": served.scoring_version,
+        "graph_version": served.graph_version,
         "coalesced": served.coalesced,
         "waited_ms": served.waited_ms,
         "degraded": served.degraded,
@@ -812,13 +922,28 @@ async def _handle_message(
             "scoring_version": deployment.scoring_version,
             "run_dir": deployment.run_dir,
         }
+    if op == "apply_delta":
+        delta = message.get("delta")
+        if not isinstance(delta, dict):
+            raise ServingError("apply_delta needs a delta object")
+        knobs = message.get("ingest", {})
+        if not isinstance(knobs, dict):
+            raise ServingError("ingest knobs must be a JSON object")
+        unknown = set(knobs) - _INGEST_KNOBS
+        if unknown:
+            raise ServingError(
+                f"unknown ingest knobs {sorted(unknown)}; known: "
+                f"{sorted(_INGEST_KNOBS)}"
+            )
+        return {"ingest": await server.apply_delta(delta, **knobs)}
     if op == "shutdown":
         if shutdown is None:
             raise ServingError("shutdown is not enabled on this frontend")
         shutdown.set()
         return {"closing": True}
     raise ServingError(
-        f"unknown op {op!r}; known: top_k, stats, health, ping, swap, shutdown"
+        f"unknown op {op!r}; known: top_k, stats, health, ping, swap, "
+        "apply_delta, shutdown"
     )
 
 

@@ -1,0 +1,112 @@
+"""The ``repro ingest`` CLI command: delta file -> coherent run directory."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.serialization import load_model
+from repro.ingest import GraphDelta
+from repro.pipeline.config import (
+    DatasetSection,
+    IndexSection,
+    ModelSection,
+    RunConfig,
+    TrainingSection,
+)
+from repro.pipeline.runner import load_run, run_pipeline
+
+pytestmark = [pytest.mark.ingest, pytest.mark.pipeline]
+
+
+@pytest.fixture(scope="module")
+def trained_run(tmp_path_factory):
+    config = RunConfig(
+        dataset=DatasetSection(
+            generator="synthetic_wn18",
+            params={"num_entities": 120, "num_clusters": 6, "seed": 3},
+        ),
+        model=ModelSection(name="complex", total_dim=8),
+        training=TrainingSection(epochs=2, batch_size=256),
+        index=IndexSection(kind="ivf", nlist=8, nprobe=8),
+    )
+    path = tmp_path_factory.mktemp("ingest_run") / "run"
+    run_pipeline(config, run_dir=path)
+    return path
+
+
+def write_delta(run_dir, tmp_path, tag="fresh") -> tuple:
+    dataset = load_run(run_dir).build_dataset()
+    names = dataset.entities.to_list()
+    rels = dataset.relations.to_list()
+    delta = GraphDelta(
+        add_triples=(
+            (f"{tag}_entity", names[0], rels[0]),
+            (names[1], f"{tag}_entity", rels[1 % len(rels)]),
+        )
+    )
+    path = delta.save(tmp_path / f"delta_{tag}.json")
+    return dataset, delta, path
+
+
+class TestIngestCommand:
+    def test_dry_run_leaves_run_dir_untouched(self, trained_run, tmp_path, capsys):
+        dataset, _, delta_path = write_delta(trained_run, tmp_path, tag="dry")
+        config_before = (trained_run / "config.json").read_text(encoding="utf-8")
+        assert main(["ingest", str(trained_run), str(delta_path), "--dry-run",
+                     "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert '"applied": true' in out
+        assert (trained_run / "config.json").read_text(encoding="utf-8") == config_before
+        model = load_model(trained_run / "checkpoint")
+        assert model.num_entities == dataset.num_entities  # not persisted
+
+    def test_ingest_persists_a_coherent_run_dir(self, trained_run, tmp_path, capsys):
+        dataset, delta, delta_path = write_delta(trained_run, tmp_path, tag="live")
+        assert main(["ingest", str(trained_run), str(delta_path),
+                     "--epochs", "1", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert '"applied": true' in out
+        assert "updated" in out
+
+        # checkpoint grew and reloads cleanly
+        model = load_model(trained_run / "checkpoint")
+        assert model.num_entities == dataset.num_entities + 1
+
+        # the config now points at the persisted directory dataset, the
+        # manifest re-verifies, and the dataset round-trips with the
+        # ingested triples present
+        loaded = load_run(trained_run)  # manifest check happens here
+        assert loaded.config.dataset.generator == "directory"
+        successor = loaded.build_dataset()
+        assert successor.num_entities == dataset.num_entities + 1
+        assert "live_entity" in successor.entities.to_list()
+        assert len(successor.train) == len(dataset.train) + len(delta.add_triples)
+
+        # the index directory was re-persisted (incrementally or rebuilt)
+        assert (trained_run / "index").exists()
+
+    def test_empty_delta_is_reported_and_skipped(self, trained_run, tmp_path, capsys):
+        delta_path = GraphDelta().save(tmp_path / "empty.json")
+        config_before = (trained_run / "config.json").read_text(encoding="utf-8")
+        assert main(["ingest", str(trained_run), str(delta_path)]) == 0
+        out = capsys.readouterr().out
+        assert '"applied": false' in out
+        assert "empty delta" in out
+        assert (trained_run / "config.json").read_text(encoding="utf-8") == config_before
+
+    def test_missing_delta_file_fails_cleanly(self, trained_run, tmp_path, capsys):
+        assert main(["ingest", str(trained_run), str(tmp_path / "absent.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_receipt_is_parseable_json(self, trained_run, tmp_path, capsys):
+        _, _, delta_path = write_delta(trained_run, tmp_path, tag="json")
+        assert main(["ingest", str(trained_run), str(delta_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        receipt = json.loads(out[: out.rindex("}") + 1])
+        for key in ("applied", "seconds", "num_added", "warm"):
+            assert key in receipt

@@ -1,0 +1,93 @@
+"""GraphDelta: validation, emptiness, and serialisation round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest import GraphDelta
+
+pytestmark = pytest.mark.ingest
+
+
+class TestConstruction:
+    def test_default_is_empty(self):
+        delta = GraphDelta()
+        assert delta.is_empty
+        assert len(delta) == 0
+
+    def test_len_counts_every_mutation(self):
+        delta = GraphDelta(
+            add_entities=("x",),
+            add_relations=("r",),
+            add_triples=(("a", "b", "r"),),
+            delete_triples=(("c", "d", "s"),),
+        )
+        assert not delta.is_empty
+        assert len(delta) == 4
+
+    def test_non_string_names_rejected(self):
+        with pytest.raises(IngestError, match="add_entities"):
+            GraphDelta(add_entities=(1,))
+        with pytest.raises(IngestError, match="add_relations"):
+            GraphDelta(add_relations=(None,))
+
+    def test_malformed_triples_rejected(self):
+        with pytest.raises(IngestError, match="add_triples"):
+            GraphDelta(add_triples=(("a", "b"),))
+        with pytest.raises(IngestError, match="delete_triples"):
+            GraphDelta(delete_triples=(("a", "b", 3),))
+
+    def test_duplicate_triples_rejected(self):
+        with pytest.raises(IngestError, match="duplicate"):
+            GraphDelta(add_triples=(("a", "b", "r"), ("a", "b", "r")))
+
+    def test_add_delete_conflict_rejected(self):
+        with pytest.raises(IngestError, match="adds and deletes"):
+            GraphDelta(
+                add_triples=(("a", "b", "r"),),
+                delete_triples=(("a", "b", "r"),),
+            )
+
+
+class TestRoundTrip:
+    def _delta(self) -> GraphDelta:
+        return GraphDelta(
+            add_entities=("zed",),
+            add_relations=("knows",),
+            add_triples=(("zed", "alice", "knows"), ("alice", "zed", "knows")),
+            delete_triples=(("alice", "bob", "likes"),),
+        )
+
+    def test_dict_round_trip(self):
+        delta = self._delta()
+        assert GraphDelta.from_dict(delta.to_dict()) == delta
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+
+        payload = self._delta().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(IngestError, match="unknown delta keys"):
+            GraphDelta.from_dict({"add_triples": [], "drop_tables": True})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(IngestError, match="object"):
+            GraphDelta.from_dict([("a", "b", "r")])
+
+    def test_file_round_trip(self, tmp_path):
+        delta = self._delta()
+        path = delta.save(tmp_path / "delta.json")
+        assert GraphDelta.load(path) == delta
+
+    def test_load_corrupt_file_raises_ingest_error(self, tmp_path):
+        path = tmp_path / "delta.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(IngestError, match="cannot read delta file"):
+            GraphDelta.load(path)
+
+    def test_load_missing_file_raises_ingest_error(self, tmp_path):
+        with pytest.raises(IngestError, match="cannot read delta file"):
+            GraphDelta.load(tmp_path / "absent.json")

@@ -1,0 +1,176 @@
+"""Incremental FilterIndex maintenance: per-key edits ≡ full rebuild.
+
+Plus the architectural invariant the satellite demands: the lazy
+``KGDataset.filter_index`` property is the *only* place in the library
+where a FilterIndex is constructed from scratch — every mutating path
+(delta ingestion, inverse augmentation) derives the successor index via
+``copy`` + ``add_triples``/``remove_triples``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.kg.augment import augment_with_inverses
+from repro.kg.graph import FilterIndex, KGDataset
+
+pytestmark = pytest.mark.ingest
+
+SRC_ROOT = Path(__file__).parent.parent.parent / "src" / "repro"
+
+
+def assert_same_index(actual: FilterIndex, expected: FilterIndex) -> None:
+    assert actual.num_entities == expected.num_entities
+    assert actual.num_relations == expected.num_relations
+    assert set(actual._tails) == set(expected._tails)
+    assert set(actual._heads) == set(expected._heads)
+    for key in expected._tails:
+        np.testing.assert_array_equal(actual._tails[key], expected._tails[key])
+    for key in expected._heads:
+        np.testing.assert_array_equal(actual._heads[key], expected._heads[key])
+
+
+class TestIncrementalEqualsRebuilt:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_edit_sequences(self, seed, tiny_dataset):
+        """Apply random insert/remove batches both incrementally and by
+        rebuilding; the two indexes must be structurally identical."""
+        rng = np.random.default_rng(seed)
+        ne, nr = tiny_dataset.num_entities, tiny_dataset.num_relations
+        rows = tiny_dataset.all_triples().array.copy()
+        incremental = FilterIndex(tiny_dataset.all_triples())
+
+        current = {tuple(int(v) for v in row) for row in rows}
+        for _ in range(4):
+            removable = list(current)
+            removals = [
+                removable[i]
+                for i in rng.choice(
+                    len(removable), size=min(15, len(removable) // 2), replace=False
+                )
+            ]
+            additions = set()
+            while len(additions) < 15:
+                row = (
+                    int(rng.integers(ne)),
+                    int(rng.integers(ne)),
+                    int(rng.integers(nr)),
+                )
+                if row not in current:
+                    additions.add(row)
+            incremental.remove_triples(np.array(removals, dtype=np.int64))
+            incremental.add_triples(np.array(sorted(additions), dtype=np.int64))
+            current -= set(removals)
+            current |= additions
+
+            from repro.kg.triples import TripleSet
+
+            rebuilt = FilterIndex(
+                TripleSet(np.array(sorted(current), dtype=np.int64), ne, nr)
+            )
+            assert_same_index(incremental, rebuilt)
+
+    def test_emptied_keys_are_popped(self, toy_dataset):
+        """Removing a key's last member must delete the key outright —
+        the structural property that makes incremental ≡ rebuilt."""
+        index = FilterIndex(toy_dataset.all_triples())
+        h = toy_dataset.entities.index("frank")
+        t = toy_dataset.entities.index("bob")
+        r = toy_dataset.relations.index("likes")
+        assert (h, r) in index._tails
+        index.remove_triples(np.array([[h, t, r]], dtype=np.int64))
+        assert (h, r) not in index._tails
+
+    def test_removing_absent_triples_is_a_noop(self, toy_dataset):
+        index = FilterIndex(toy_dataset.all_triples())
+        snapshot = {k: v.copy() for k, v in index._tails.items()}
+        index.remove_triples(np.array([[0, 0, 0]], dtype=np.int64))
+        assert set(index._tails) == set(snapshot)
+        for key, values in snapshot.items():
+            np.testing.assert_array_equal(index._tails[key], values)
+
+
+class TestCopyAndGrow:
+    def test_copy_is_mutation_isolated(self, toy_dataset):
+        index = toy_dataset.filter_index
+        clone = index.copy()
+        clone.grow(toy_dataset.num_entities + 5)
+        clone.add_triples(
+            np.array([[toy_dataset.num_entities, 0, 0]], dtype=np.int64)
+        )
+        assert index.num_entities == toy_dataset.num_entities
+        assert (toy_dataset.num_entities, 0) not in index._tails
+        assert (toy_dataset.num_entities, 0) in clone._tails
+
+    def test_grow_refuses_shrink(self, toy_dataset):
+        index = FilterIndex(toy_dataset.all_triples())
+        with pytest.raises(DatasetError, match="shrink"):
+            index.grow(num_entities=1)
+        with pytest.raises(DatasetError, match="shrink"):
+            index.grow(num_relations=0)
+
+    def test_add_out_of_range_rejected(self, toy_dataset):
+        index = FilterIndex(toy_dataset.all_triples())
+        with pytest.raises(DatasetError, match="out of range"):
+            index.add_triples(
+                np.array([[toy_dataset.num_entities, 0, 0]], dtype=np.int64)
+            )
+        with pytest.raises(DatasetError, match="out of range"):
+            index.add_triples(
+                np.array([[0, 0, toy_dataset.num_relations]], dtype=np.int64)
+            )
+
+    def test_malformed_rows_rejected(self, toy_dataset):
+        index = FilterIndex(toy_dataset.all_triples())
+        with pytest.raises(DatasetError, match=r"\(n, 3\)"):
+            index.add_triples(np.zeros((2, 4), dtype=np.int64))
+
+
+class TestAugmentRoutesIncrementally:
+    def test_augmented_index_matches_from_scratch(self, toy_dataset):
+        _ = toy_dataset.filter_index  # source has paid for its index
+        augmented = augment_with_inverses(toy_dataset)
+        # derived during augmentation — no lazy rebuild pending
+        assert augmented._filter_index is not None
+        assert_same_index(
+            augmented._filter_index, FilterIndex(augmented.all_triples())
+        )
+
+    def test_without_source_index_augment_stays_lazy(self, toy_dataset):
+        bare = KGDataset(
+            entities=toy_dataset.entities,
+            relations=toy_dataset.relations,
+            train=toy_dataset.train,
+            valid=toy_dataset.valid,
+            test=toy_dataset.test,
+            name=toy_dataset.name,
+        )
+        augmented = augment_with_inverses(bare)
+        assert augmented._filter_index is None
+
+
+def test_single_from_scratch_construction_site():
+    """Exactly one ``FilterIndex(...)`` construction in the library: the
+    lazy ``KGDataset.filter_index`` property.  Every other path must go
+    through the incremental update API."""
+    pattern = re.compile(r"FilterIndex\(")
+    sites = []
+    for path in SRC_ROOT.rglob("*.py"):
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if pattern.search(line) and "class FilterIndex" not in line:
+                stripped = line.strip()
+                # skip annotations/doc references; keep real call sites
+                if re.search(r"(?<![\w.])FilterIndex\(", stripped) and not (
+                    stripped.startswith(("#", '"', "'"))
+                ):
+                    sites.append(f"{path.relative_to(SRC_ROOT)}:{lineno}")
+    assert len(sites) == 1 and sites[0].startswith(
+        "kg/graph.py"
+    ), f"unexpected FilterIndex construction sites: {sites}"

@@ -1,0 +1,149 @@
+"""Online IVF index maintenance: splice dirty entities, rebuild on drift.
+
+Contract (see :meth:`repro.index.ivf.IVFIndex.update_entities`): after a
+delta moves or creates entity rows, only those rows are re-folded and
+re-assigned against *frozen* centroids; untouched entities' cell
+assignments are preserved exactly, candidate retrieval covers the new
+ids, and when assignment drift exceeds the caller's threshold the index
+abandons the splice for a from-scratch rebuild.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import make_complex
+from repro.errors import ServingError
+from repro.index.ivf import IVFIndex
+from repro.ingest import GraphDelta, ingest_delta
+
+pytestmark = pytest.mark.ingest
+
+BUDGET = 16
+
+
+@pytest.fixture()
+def model(tiny_dataset):
+    return make_complex(
+        tiny_dataset.num_entities,
+        tiny_dataset.num_relations,
+        BUDGET,
+        np.random.default_rng(5),
+    )
+
+
+@pytest.fixture()
+def index(model, tiny_dataset):
+    ivf = IVFIndex(model, seed=0, spill=2)
+    ivf.build(
+        relations=np.arange(tiny_dataset.num_relations), sides=("tail", "head")
+    )
+    return ivf
+
+
+def all_candidates(index, relation: int, side: str, anchors) -> list[set]:
+    anchors = np.asarray(anchors, dtype=np.int64)
+    relations = np.full(len(anchors), relation, dtype=np.int64)
+    batch = index.candidate_lists(anchors, relations, side)
+    assert not batch.covers_all
+    return [set(row.tolist()) for row in batch.rows]
+
+
+class TestNoopUpdates:
+    def test_empty_dirty_set_resyncs_version(self, index, model):
+        model.grow(model.num_entities)  # no-op growth, no version bump
+        report = index.update_entities(np.empty(0, dtype=np.int64))
+        assert report.partitions_updated == 0
+        assert report.entities_updated == 0
+        assert not report.rebuild_triggered
+        assert index.rebuilds == 0
+
+    def test_out_of_range_dirty_ids_rejected(self, index, model):
+        with pytest.raises(ServingError, match="out of range"):
+            index.update_entities(np.array([model.num_entities], dtype=np.int64))
+
+    def test_bad_threshold_rejected(self, index):
+        with pytest.raises(ServingError, match="drift_threshold"):
+            index.update_entities(np.array([0], dtype=np.int64), drift_threshold=0.0)
+        with pytest.raises(ServingError, match="drift_threshold"):
+            index.update_entities(np.array([0], dtype=np.int64), drift_threshold=1.5)
+
+
+class TestSplice:
+    def test_unmoved_entities_report_zero_drift(self, index, model):
+        dirty = np.arange(0, 20, dtype=np.int64)
+        model._bump_scoring_version()  # pretend training happened
+        report = index.update_entities(dirty)
+        assert report.drift == 0.0
+        assert not report.rebuild_triggered
+        assert report.entities_updated == 20
+        assert report.partitions_updated == len(index._partitions)
+
+    def test_splice_preserves_untouched_assignments(self, index, model, tiny_dataset):
+        anchors = np.arange(model.num_entities, dtype=np.int64)
+        before = all_candidates(index, 0, "tail", anchors)
+        dirty = np.array([1, 3, 5], dtype=np.int64)
+        index.update_entities(dirty, drift_threshold=1.0)
+        after = all_candidates(index, 0, "tail", anchors)
+        # Candidate sets may only differ in membership of dirty entities.
+        for row_before, row_after in zip(before, after):
+            assert row_before - set(dirty.tolist()) == row_after - set(dirty.tolist())
+
+    def test_new_entities_become_retrievable(self, index, model, tiny_dataset):
+        old_ne = model.num_entities
+        model.grow(old_ne + 5, rng=np.random.default_rng(7))
+        dirty = np.arange(old_ne, old_ne + 5, dtype=np.int64)
+        report = index.update_entities(dirty, drift_threshold=1.0)
+        assert report.new_entities == 5
+        assert not report.rebuild_triggered
+        # every new id is a member of some cell in every partition
+        union = set()
+        for sets in (all_candidates(index, r, "tail", np.arange(model.num_entities))
+                     for r in range(tiny_dataset.num_relations)):
+            for member_set in sets:
+                union |= member_set
+        assert set(dirty.tolist()) <= union
+
+    def test_splice_resyncs_version_without_counting_a_rebuild(self, index, model):
+        model._bump_scoring_version()
+        assert index.update_entities(
+            np.array([0], dtype=np.int64), drift_threshold=1.0
+        ).rebuild_triggered is False
+        assert index.rebuilds == 0
+        index.ensure_fresh()  # no StaleIndexError: version adopted
+
+
+class TestDriftRebuild:
+    def test_large_movement_triggers_rebuild(self, index, model):
+        """Scrambling many folded rows beyond recognition must push
+        assignment drift over a tight threshold and drop the splice."""
+        rng = np.random.default_rng(13)
+        dirty = np.arange(0, model.num_entities // 2, dtype=np.int64)
+        scrambled = model.entity_embeddings.copy()
+        scrambled[dirty] = rng.normal(size=scrambled[dirty].shape) * 50.0
+        model.entity_embeddings = scrambled
+        model._bump_scoring_version()
+        report = index.update_entities(dirty, drift_threshold=1e-6)
+        assert report.drift > 0.0
+        assert report.rebuild_triggered
+        assert index.rebuilds == 1  # invalidate() counted it
+        # partitions were dropped for lazy from-scratch rebuild
+        assert not index._partitions
+
+    def test_ingest_delta_threads_the_threshold_through(
+        self, index, model, tiny_dataset
+    ):
+        names = tiny_dataset.entities.to_list()
+        rels = tiny_dataset.relations.to_list()
+        delta = GraphDelta(
+            add_triples=(("fresh_entity", names[0], rels[0]),)
+        )
+        outcome = ingest_delta(
+            model, tiny_dataset, delta, index=index, epochs=1, drift_threshold=1.0
+        )
+        assert outcome.applied
+        assert outcome.index_update is not None
+        assert not outcome.index_update.rebuild_triggered
+        receipt = outcome.to_dict()
+        assert receipt["index"]["rebuild_triggered"] is False

@@ -1,0 +1,183 @@
+"""Warm-start delta training: in-place table growth + touched-row tuning.
+
+The economic property the whole ingestion path rests on: after a delta,
+only the *touched* entity rows move — every other entity embedding is
+bit-identical — and growth never disturbs existing rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import make_complex
+from repro.errors import IngestError, ModelError
+from repro.ingest import GraphDelta, fine_tune_delta, grow_model, ingest_delta
+from repro.training.trainer import TrainingConfig
+
+pytestmark = pytest.mark.ingest
+
+BUDGET = 8
+
+
+@pytest.fixture()
+def model(toy_dataset):
+    return make_complex(
+        toy_dataset.num_entities,
+        toy_dataset.num_relations,
+        BUDGET,
+        np.random.default_rng(3),
+    )
+
+
+class TestGrow:
+    def test_existing_rows_carried_bit_identically(self, model):
+        before_e = model.entity_embeddings.copy()
+        before_r = model.relation_embeddings.copy()
+        old_ne, old_nr = model.num_entities, model.num_relations
+        added = model.grow(old_ne + 3, old_nr + 1, rng=np.random.default_rng(0))
+        assert added == (3, 1)
+        assert model.num_entities == old_ne + 3
+        assert model.num_relations == old_nr + 1
+        np.testing.assert_array_equal(model.entity_embeddings[:old_ne], before_e)
+        np.testing.assert_array_equal(model.relation_embeddings[:old_nr], before_r)
+
+    def test_growth_bumps_scoring_version(self, model):
+        version = model.scoring_version
+        model.grow(model.num_entities + 1)
+        assert model.scoring_version > version
+
+    def test_zero_growth_is_a_versionless_noop(self, model):
+        version = model.scoring_version
+        table = model.entity_embeddings
+        assert model.grow() == (0, 0)
+        assert model.grow(model.num_entities, model.num_relations) == (0, 0)
+        assert model.scoring_version == version
+        assert model.entity_embeddings is table
+
+    def test_shrink_refused(self, model):
+        with pytest.raises(ModelError, match="never shrink"):
+            model.grow(model.num_entities - 1)
+        with pytest.raises(ModelError, match="never shrink"):
+            model.grow(num_relations=model.num_relations - 1)
+
+    def test_growth_works_on_read_only_tables(self, model):
+        """A memmapped checkpoint loads read-only; growth must still work
+        (fresh writable arrays, sources untouched)."""
+        model.entity_embeddings.flags.writeable = False
+        model.relation_embeddings.flags.writeable = False
+        old = model.num_entities
+        model.grow(old + 2)
+        assert model.entity_embeddings.flags.writeable
+        assert model.num_entities == old + 2
+
+    def test_new_rows_respect_initializer(self, model):
+        old = model.num_entities
+        model.grow(old + 4, rng=np.random.default_rng(1), initializer="unit_normalized")
+        fresh = model.entity_embeddings[old:]
+        norms = np.linalg.norm(fresh, axis=-1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-12)
+
+    def test_grow_model_helper_rejects_foreign_models(self):
+        with pytest.raises(IngestError, match="MultiEmbeddingModel"):
+            grow_model(object(), 10, 3)
+
+
+class TestFineTuneDelta:
+    def _config(self, **overrides) -> TrainingConfig:
+        base = dict(
+            epochs=3,
+            batch_size=8,
+            learning_rate=0.05,
+            optimizer="adagrad",
+            num_negatives=2,
+            seed=0,
+            validate_every=10**9,
+            patience=10**9,
+        )
+        base.update(overrides)
+        return TrainingConfig(**base)
+
+    def test_untouched_rows_stay_bit_identical(self, model, toy_dataset):
+        touched = np.array(
+            [toy_dataset.entities.index("alice"), toy_dataset.entities.index("bob"),
+             toy_dataset.entities.index("eve")],
+            dtype=np.int64,
+        )
+        before = model.entity_embeddings.copy()
+        report = fine_tune_delta(model, toy_dataset, touched, self._config())
+        assert report.steps > 0 and report.triples > 0
+        untouched = np.setdiff1d(np.arange(model.num_entities), touched)
+        np.testing.assert_array_equal(
+            model.entity_embeddings[untouched], before[untouched]
+        )
+        # and the pass actually trained: some touched row moved
+        assert not np.array_equal(model.entity_embeddings[touched], before[touched])
+
+    def test_no_induced_triples_is_a_noop(self, model, toy_dataset):
+        # frank only relates to bob/eve; alone he induces no triple
+        touched = np.array([toy_dataset.entities.index("frank")], dtype=np.int64)
+        before = model.entity_embeddings.copy()
+        report = fine_tune_delta(model, toy_dataset, touched, self._config())
+        assert report.steps == 0 and report.triples == 0
+        np.testing.assert_array_equal(model.entity_embeddings, before)
+
+    def test_empty_touched_set_is_a_noop(self, model, toy_dataset):
+        report = fine_tune_delta(
+            model, toy_dataset, np.empty(0, dtype=np.int64), self._config()
+        )
+        assert report.steps == 0
+
+    def test_out_of_range_ids_rejected(self, model, toy_dataset):
+        with pytest.raises(IngestError, match="out of range"):
+            fine_tune_delta(
+                model,
+                toy_dataset,
+                np.array([model.num_entities], dtype=np.int64),
+                self._config(),
+            )
+
+
+class TestIngestDelta:
+    def test_end_to_end_outcome(self, model, toy_dataset):
+        delta = GraphDelta(
+            add_triples=(("grace", "alice", "likes"), ("grace", "dave", "likes"))
+        )
+        outcome = ingest_delta(model, toy_dataset, delta, epochs=2, seed=1)
+        assert outcome.applied
+        assert outcome.dataset.num_entities == toy_dataset.num_entities + 1
+        assert model.num_entities == outcome.dataset.num_entities
+        assert outcome.warm.grew_entities == 1
+        receipt = outcome.to_dict()
+        for key in ("applied", "seconds", "num_added", "warm"):
+            assert key in receipt
+
+    def test_empty_delta_touches_nothing(self, model, toy_dataset):
+        version = model.scoring_version
+        outcome = ingest_delta(model, toy_dataset, GraphDelta())
+        assert not outcome.applied
+        assert outcome.dataset is toy_dataset
+        assert model.scoring_version == version
+
+    def test_epochs_zero_grows_without_tuning(self, model, toy_dataset):
+        old_ne = model.num_entities
+        before = model.entity_embeddings.copy()
+        delta = GraphDelta(add_triples=(("grace", "alice", "likes"),))
+        outcome = ingest_delta(model, toy_dataset, delta, epochs=0)
+        assert outcome.applied
+        assert model.num_entities == old_ne + 1
+        assert outcome.warm.steps == 0
+        np.testing.assert_array_equal(model.entity_embeddings[:old_ne], before)
+
+    def test_index_without_update_hook_is_invalidated(self, model, toy_dataset):
+        class Dummy:
+            invalidated = False
+
+            def invalidate(self):
+                self.invalidated = True
+
+        dummy = Dummy()
+        delta = GraphDelta(add_triples=(("grace", "alice", "likes"),))
+        outcome = ingest_delta(model, toy_dataset, delta, index=dummy, epochs=0)
+        assert dummy.invalidated
+        assert outcome.index_update is None

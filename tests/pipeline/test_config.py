@@ -8,6 +8,7 @@ from repro.errors import ConfigError
 from repro.pipeline.config import (
     DatasetSection,
     EvalSection,
+    IngestSection,
     ModelSection,
     RunConfig,
     TrainingSection,
@@ -96,6 +97,48 @@ class TestTightenedTrainingValidation:
     def test_unknown_optimizer_named(self):
         with pytest.raises(ConfigError, match="optimizer"):
             TrainingConfig(optimizer="rmsprop")
+
+
+class TestIngestSection:
+    def test_defaults_valid_and_splat_into_ingest_delta(self):
+        import inspect
+
+        from repro.ingest import ingest_delta
+
+        section = IngestSection()
+        knobs = section.ingest_kwargs()
+        accepted = set(inspect.signature(ingest_delta).parameters)
+        assert set(knobs) <= accepted, "section fields must mirror ingest_delta"
+
+    def test_epochs_zero_allowed_negative_rejected(self):
+        assert IngestSection(epochs=0).epochs == 0
+        with pytest.raises(ConfigError, match="ingest.epochs"):
+            IngestSection(epochs=-1)
+
+    def test_unknown_optimizer_named(self):
+        with pytest.raises(ConfigError, match="ingest.optimizer"):
+            IngestSection(optimizer="sgd_with_momentum_v2")
+
+    def test_unknown_initializer_named(self):
+        with pytest.raises(ConfigError, match="ingest.grow_initializer"):
+            IngestSection(grow_initializer="xavier_cubed")
+
+    def test_drift_threshold_bounds(self):
+        IngestSection(drift_threshold=1.0)
+        with pytest.raises(ConfigError, match="drift_threshold"):
+            IngestSection(drift_threshold=0.0)
+        with pytest.raises(ConfigError, match="drift_threshold"):
+            IngestSection(drift_threshold=1.5)
+
+    def test_run_config_round_trips_ingest_section(self):
+        config = toy_config(ingest=IngestSection(epochs=5, drift_threshold=0.3))
+        restored = RunConfig.from_json(config.to_json())
+        assert restored.ingest == config.ingest
+        assert restored.ingest.epochs == 5
+
+    def test_unknown_ingest_field_named(self):
+        with pytest.raises(ConfigError, match="ingest field.*'warmup'"):
+            RunConfig.from_dict({"ingest": {"warmup": 3}})
 
 
 class TestSerialization:

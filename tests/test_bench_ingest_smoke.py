@@ -1,0 +1,110 @@
+"""Tier-1 smoke run of the incremental-ingestion benchmark.
+
+Runs ``benchmarks/bench_ingest.py`` in fast mode (1k-entity graph,
+three ingest batches): the JSON payload must have the documented
+schema, and the acceptance shape must hold — after streaming the delta
+batches through :func:`repro.ingest.ingest_delta`, filtered MRR and
+index recall@10 stay within tolerance of a from-scratch retrain+rebuild
+at a fraction of its wall-clock cost.  The headline ≤ 25% cost-ratio
+claim at full scale is evidenced by the committed ``BENCH_ingest.json``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.ingest
+
+BENCH_PATH = Path(__file__).parent.parent / "benchmarks" / "bench_ingest.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_ingest", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def smoke_results(bench_module, tmp_path_factory):
+    json_path = tmp_path_factory.mktemp("bench") / "BENCH_ingest.json"
+    results = bench_module.run_benchmark(fast=True, json_path=json_path)
+    return results, json_path
+
+
+def test_json_written_with_schema(smoke_results):
+    results, json_path = smoke_results
+    on_disk = json.loads(json_path.read_text(encoding="utf-8"))
+    assert on_disk["config"]["fast"] is True
+    assert (
+        on_disk["dataset"]["num_entities_final"]
+        == results["dataset"]["num_entities_final"]
+    )
+    assert on_disk["dataset"]["new_entities"] > 0
+    assert on_disk["dataset"]["stream_triples"] > 0
+    assert (
+        on_disk["dataset"]["num_entities_final"]
+        == on_disk["dataset"]["num_entities_base"] + on_disk["dataset"]["new_entities"]
+    )
+    for arm in ("incremental", "scratch"):
+        stats = on_disk[arm]
+        for key in ("seconds", "filtered_mrr", "recall_at_10"):
+            assert key in stats, f"{arm} missing {key}"
+        assert stats["seconds"] > 0
+        assert 0.0 <= stats["recall_at_10"] <= 1.0
+    assert len(on_disk["incremental"]["batches"]) == on_disk["config"]["batches"]
+    for key in ("cost_ratio", "mrr_delta", "recall_delta", "achieved"):
+        assert key in on_disk["acceptance"]
+
+
+def test_every_batch_applied_and_versioned(smoke_results):
+    """Each ingest batch must report applied=True, and the graph version
+    must have advanced once per batch."""
+    results, _ = smoke_results
+    receipts = results["incremental"]["batches"]
+    assert all(receipt["applied"] for receipt in receipts)
+    assert results["incremental"]["graph_version"] == results["config"]["batches"]
+
+
+def test_index_maintained_online_with_drift_reports(smoke_results):
+    """Every batch must carry an index-maintenance report: either an
+    in-place splice (drift under threshold) or an explicit
+    drift-triggered rebuild — never a silent full rebuild per batch."""
+    results, _ = smoke_results
+    receipts = results["incremental"]["batches"]
+    rebuilds_reported = 0
+    for receipt in receipts:
+        report = receipt["index"]
+        for key in ("drift", "rebuild_triggered", "entities_updated", "new_entities"):
+            assert key in report, f"index report missing {key}"
+        assert report["drift"] >= 0.0
+        rebuilds_reported += bool(report["rebuild_triggered"])
+    assert results["incremental"]["index_rebuilds"] == rebuilds_reported
+    # Maintenance must be incremental overall, not a rebuild per batch.
+    assert rebuilds_reported < len(receipts)
+
+
+def test_acceptance_quality_within_tolerance_at_lower_cost(smoke_results, bench_module):
+    results, _ = smoke_results
+    acceptance = results["acceptance"]
+    assert acceptance["achieved"], acceptance
+    assert acceptance["cost_ratio"] <= bench_module.COST_RATIO_TARGET
+    assert acceptance["mrr_delta"] >= -bench_module.MRR_TOLERANCE
+    assert acceptance["recall_delta"] >= -bench_module.RECALL_TOLERANCE
+
+
+def test_committed_artifact_is_a_passing_full_run():
+    """The repo-root BENCH_ingest.json must be a real full-scale run
+    that met the ≤25% cost target — the committed evidence."""
+    artifact = Path(__file__).parent.parent / "BENCH_ingest.json"
+    payload = json.loads(artifact.read_text(encoding="utf-8"))
+    assert payload["config"]["fast"] is False
+    assert payload["acceptance"]["achieved"] is True
+    assert payload["acceptance"]["cost_ratio"] <= 0.25
+    assert payload["acceptance"]["mrr_delta"] >= -0.05
+    assert payload["acceptance"]["recall_delta"] >= -0.05
