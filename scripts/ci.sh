@@ -31,6 +31,7 @@ SMOKE_TESTS=(
   tests/test_bench_reliability_smoke.py
   tests/test_bench_memory_smoke.py
   tests/test_bench_ingest_smoke.py
+  tests/test_bench_obs_smoke.py
 )
 IGNORE_SMOKE=("${SMOKE_TESTS[@]/#/--ignore=}")
 

@@ -74,6 +74,13 @@ _LAZY_EXPORTS = {
     "FaultPlan": "repro.reliability",
     "FaultSpec": "repro.reliability",
     "fault_scope": "repro.reliability",
+    "MetricsRegistry": "repro.obs",
+    "MetricsSnapshot": "repro.obs",
+    "Tracer": "repro.obs",
+    "metrics_scope": "repro.obs",
+    "prometheus_text": "repro.obs",
+    "telemetry_scope": "repro.obs",
+    "trace_scope": "repro.obs",
 }
 
 __getattr__, __dir__ = lazy_exports(__name__, globals(), _LAZY_EXPORTS)
@@ -95,6 +102,8 @@ __all__ = [
     "LearnedWeightModel",
     "LinkPredictionEvaluator",
     "LinkPredictor",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "MultiEmbeddingModel",
     "RankingMetrics",
     "Registry",
@@ -104,6 +113,7 @@ __all__ = [
     "TopKResult",
     "ReproError",
     "SyntheticKGConfig",
+    "Tracer",
     "Trainer",
     "TrainingConfig",
     "TrainingResult",
@@ -126,9 +136,13 @@ __all__ = [
     "make_learned_weight_model",
     "make_model",
     "make_quaternion",
+    "metrics_scope",
     "parity_dim",
+    "prometheus_text",
     "run_pipeline",
     "serve_run",
     "sweep",
+    "telemetry_scope",
+    "trace_scope",
     "train_model",
 ]

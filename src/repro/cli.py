@@ -16,6 +16,9 @@ Commands
   warm-start fine-tuning of touched rows, incremental index upkeep.
 * ``serve``    — run the micro-batched async serving daemon
   (:mod:`repro.serving.server`) over a pipeline run directory.
+* ``obs``      — render a run's persisted telemetry
+  (``telemetry.jsonl``): the span tree and the merged metrics registry,
+  optionally in Prometheus text format.
 * ``table``    — regenerate paper Table 2, 3 or 4 end-to-end.
 * ``weights``  — list ω presets with their §6.1.2 property analysis.
 
@@ -222,6 +225,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="apply in memory and print the receipt without "
                           "persisting anything")
 
+    obs_p = sub.add_parser(
+        "obs",
+        help="render a run's persisted telemetry: span tree + metrics "
+             "(train with observability.enabled to produce telemetry.jsonl)",
+    )
+    obs_p.add_argument("run_dir", help="pipeline run directory containing telemetry.jsonl")
+    obs_p.add_argument("--prometheus", action="store_true",
+                       help="dump the metrics in Prometheus text format instead "
+                            "of the human-readable summary")
+
     sub.add_parser("weights", help="list weight-vector presets and their properties")
 
     table = sub.add_parser("table", help="regenerate a paper table (2, 3 or 4)")
@@ -421,13 +434,19 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         index=index,
         recall_sample_every=1 if (args.stats and index is not None) else 0,
     )
-    predictions = predictor.predict(
-        head=args.head,
-        relation=args.relation,
-        tail=args.tail,
-        k=args.top,
-        filtered=not args.raw,
-    )
+    from repro.obs import MetricsRegistry, metrics_scope
+
+    # Ambient registry so index-level counters (e.g. the PQ prune pass)
+    # land somewhere --stats can report them from.
+    registry = MetricsRegistry()
+    with metrics_scope(registry):
+        predictions = predictor.predict(
+            head=args.head,
+            relation=args.relation,
+            tail=args.tail,
+            k=args.top,
+            filtered=not args.raw,
+        )
     missing = "relation" if args.relation is None else ("tail" if args.tail is None else "head")
     query = (args.head or "?", args.relation or "?", args.tail or "?")
     print(f"{model.name}: top-{len(predictions)} {missing} candidates for "
@@ -454,6 +473,26 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             if fold is not None:
                 print(f"fold cache: {fold.hits} hits / {fold.misses} misses, "
                       f"{fold.evictions} evictions, {fold.store_hits} store hits")
+        from repro.obs import prometheus_text, publish_predictor_metrics
+
+        publish_predictor_metrics(registry, predictor)
+        print("\nregistry metrics:")
+        print(prometheus_text(registry.snapshot()).rstrip())
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import load_telemetry, prometheus_text, summarize_run
+
+    if args.prometheus:
+        _, metrics = load_telemetry(args.run_dir)
+        if metrics is None:
+            raise ConfigError(
+                f"telemetry at {args.run_dir} carries no metrics record"
+            )
+        print(prometheus_text(metrics).rstrip())
+        return 0
+    print(summarize_run(args.run_dir))
     return 0
 
 
@@ -695,6 +734,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "ingest": _cmd_ingest,
     "inspect": _cmd_inspect,
+    "obs": _cmd_obs,
     "predict": _cmd_predict,
     "serve": _cmd_serve,
     "table": _cmd_table,

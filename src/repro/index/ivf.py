@@ -57,6 +57,8 @@ from repro.index.folded_vectors import (
     fold_candidate_rows,
 )
 from repro.index.pq import PQConfig, ProductQuantizer
+from repro.obs import registry as obs_registry
+from repro.obs.trace import trace_scope
 from repro.parallel.payload import ModelPayload, model_from_payload, model_to_payload
 from repro.parallel.pool import run_tasks
 
@@ -691,6 +693,7 @@ class IVFIndex(CandidateIndex):
         rows: list[np.ndarray | None] = [None] * batch
         num_scored = 0
         num_scanned = 0
+        pq_rows = 0
         for relation in np.unique(relations):
             partition = self._partition(int(relation), side)
             selectors = np.flatnonzero(relations == relation)
@@ -715,14 +718,22 @@ class IVFIndex(CandidateIndex):
                     # score (descending, ties to the lower id — union is
                     # ascending and the sort is stable), then restore the
                     # ascending-id contract for the exact re-rank.
-                    approx = ProductQuantizer.adc_scores(
-                        luts[position], partition.codes[union]
-                    )
-                    keep = np.argsort(-approx, kind="stable")[: self.pq.refine]
+                    with trace_scope("index.pq_prune", candidates=len(union)):
+                        approx = ProductQuantizer.adc_scores(
+                            luts[position], partition.codes[union]
+                        )
+                        keep = np.argsort(-approx, kind="stable")[: self.pq.refine]
                     num_scanned += len(union)
+                    pq_rows += 1
                     union = np.sort(union[keep])
                 rows[int(row_index)] = union
                 num_scored += len(union)
+        if pq_rows and obs_registry.active_registry() is not None:
+            # Each ADC row scanned its whole union and kept `refine` ids.
+            obs_registry.inc("index.pq.rows_pruned", pq_rows)
+            obs_registry.inc(
+                "index.pq.candidates_pruned", num_scanned - pq_rows * self.pq.refine
+            )
         return CandidateBatch(
             rows=rows,
             covers_all=False,

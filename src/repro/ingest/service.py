@@ -17,6 +17,8 @@ from repro.ingest.apply import DeltaStats, _empty_stats, apply_delta
 from repro.ingest.delta import GraphDelta
 from repro.ingest.warm import WarmStartReport, fine_tune_delta, grow_model
 from repro.kg.graph import KGDataset
+from repro.obs import registry as obs_registry
+from repro.obs.trace import trace_scope
 from repro.training.trainer import TrainingConfig
 
 
@@ -70,45 +72,62 @@ def ingest_delta(
     and index are untouched.
     """
     start = time.perf_counter()
-    new_dataset, stats = apply_delta(dataset, delta)
-    if new_dataset is dataset:
-        return IngestOutcome(
-            dataset, _empty_stats(), applied=False, seconds=time.perf_counter() - start
-        )
-    grew = grow_model(
-        model,
-        new_dataset.num_entities,
-        new_dataset.num_relations,
-        seed=seed,
-        initializer=grow_initializer,
-    )
-    warm = WarmStartReport()
-    if epochs > 0:
-        config = TrainingConfig(
-            epochs=epochs,
-            batch_size=batch_size,
-            learning_rate=learning_rate,
-            optimizer=optimizer,
-            num_negatives=num_negatives,
-            seed=seed,
-            validate_every=10**9,
-            patience=10**9,
-        )
-        warm = fine_tune_delta(model, new_dataset, stats.touched_entities, config)
-    warm = replace(warm, grew_entities=grew[0], grew_relations=grew[1])
-    index_update = None
-    if index is not None:
-        if hasattr(index, "update_entities"):
-            index_update = index.update_entities(
-                stats.touched_entities, drift_threshold=drift_threshold
+    with trace_scope(
+        "ingest.delta", adds=len(delta.add_triples), deletes=len(delta.delete_triples)
+    ):
+        new_dataset, stats = apply_delta(dataset, delta)
+        if new_dataset is dataset:
+            obs_registry.inc("ingest.noop_deltas")
+            return IngestOutcome(
+                dataset,
+                _empty_stats(),
+                applied=False,
+                seconds=time.perf_counter() - start,
             )
-        else:
-            index.invalidate()
+        grew = grow_model(
+            model,
+            new_dataset.num_entities,
+            new_dataset.num_relations,
+            seed=seed,
+            initializer=grow_initializer,
+        )
+        warm = WarmStartReport()
+        if epochs > 0:
+            config = TrainingConfig(
+                epochs=epochs,
+                batch_size=batch_size,
+                learning_rate=learning_rate,
+                optimizer=optimizer,
+                num_negatives=num_negatives,
+                seed=seed,
+                validate_every=10**9,
+                patience=10**9,
+            )
+            with trace_scope("ingest.fine_tune", epochs=epochs):
+                warm = fine_tune_delta(
+                    model, new_dataset, stats.touched_entities, config
+                )
+        warm = replace(warm, grew_entities=grew[0], grew_relations=grew[1])
+        index_update = None
+        if index is not None:
+            with trace_scope("ingest.index_update"):
+                if hasattr(index, "update_entities"):
+                    index_update = index.update_entities(
+                        stats.touched_entities, drift_threshold=drift_threshold
+                    )
+                else:
+                    index.invalidate()
+    elapsed = time.perf_counter() - start
+    if obs_registry.active_registry() is not None:
+        obs_registry.inc("ingest.deltas_applied")
+        obs_registry.inc("ingest.triples_added", stats.num_added)
+        obs_registry.inc("ingest.triples_deleted", stats.num_deleted)
+        obs_registry.observe("ingest.delta_seconds", elapsed)
     return IngestOutcome(
         dataset=new_dataset,
         stats=stats,
         applied=True,
         warm=warm,
         index_update=index_update,
-        seconds=time.perf_counter() - start,
+        seconds=elapsed,
     )

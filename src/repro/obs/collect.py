@@ -1,0 +1,63 @@
+"""Publish component-local counters as first-class registry metrics.
+
+The serving stack keeps several ad-hoc tallies that predate the
+registry: :class:`~repro.serving.cache.LRUScoreCache` hit/miss/eviction
+counts, the folded-matrix LRU inside the IVF index, and
+:class:`~repro.index.base.IndexUsageStats` (probed fraction, sampled
+recall).  Rather than tax every cache hit with a registry write, those
+components stay as they are and this module *publishes* their current
+values into a registry at exposition time — ``predict --stats`` and
+the daemon ``metrics`` op both call :func:`publish_predictor_metrics`
+right before snapshotting.
+
+Everything is duck-typed on the predictor's existing surface
+(``cache_stats`` / ``index_stats`` / ``index.fold_cache_stats``), so
+this module imports nothing from ``repro.serving`` and stays free of
+import cycles.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+
+def publish_predictor_metrics(registry: MetricsRegistry, predictor) -> None:
+    """Copy a ``LinkPredictor``'s cache and index tallies into *registry*.
+
+    Published names (all under ``serving.`` / ``index.``):
+
+    - ``serving.cache.{hits,misses,evictions,size,capacity}`` and the
+      derived ``serving.cache.hit_rate`` gauge
+    - ``index.fold_cache.{hits,misses,evictions,store_hits}``
+    - ``index.{queries,entities_scored,entities_scanned,exhaustive_queries}``
+      counters plus ``index.probed_fraction`` / ``index.recall_estimate``
+      gauges (the IVF coarse-pass quality signals)
+    """
+    cache_stats = getattr(predictor, "cache_stats", None)
+    if cache_stats is not None:
+        registry.set_counter("serving.cache.hits", cache_stats.hits)
+        registry.set_counter("serving.cache.misses", cache_stats.misses)
+        registry.set_counter("serving.cache.evictions", cache_stats.evictions)
+        registry.gauge_set("serving.cache.size", cache_stats.size)
+        registry.gauge_set("serving.cache.capacity", cache_stats.capacity)
+        registry.gauge_set("serving.cache.hit_rate", cache_stats.hit_rate)
+
+    index_stats = getattr(predictor, "index_stats", None)
+    if index_stats is None:
+        return
+    registry.set_counter("index.queries", index_stats.queries)
+    registry.set_counter("index.entities_scored", index_stats.entities_scored)
+    registry.set_counter("index.entities_scanned", index_stats.entities_scanned)
+    registry.set_counter("index.exhaustive_queries", index_stats.exhaustive_queries)
+    registry.gauge_set("index.probed_fraction", index_stats.probed_fraction)
+    recall = index_stats.recall_estimate
+    if recall is not None:
+        registry.gauge_set("index.recall_estimate", recall)
+    registry.set_counter("index.fold_cache.hits", index_stats.fold_cache_hits)
+    registry.set_counter("index.fold_cache.misses", index_stats.fold_cache_misses)
+
+    index = getattr(predictor, "index", None)
+    fold = getattr(index, "fold_cache_stats", None)
+    if fold is not None:
+        registry.set_counter("index.fold_cache.evictions", fold.evictions)
+        registry.set_counter("index.fold_cache.store_hits", fold.store_hits)

@@ -1,0 +1,63 @@
+"""Prometheus-style text exposition for metric snapshots.
+
+Stdlib-only rendering of a :class:`~repro.obs.registry.MetricsSnapshot`
+into the Prometheus text format (v0.0.4 shape: ``# TYPE`` comments,
+``_bucket{le="..."}`` cumulative histogram series, ``_sum``/``_count``
+companions).  Metric names are sanitised — dots and dashes become
+underscores — so ``server.service_seconds`` exposes as
+``repro_server_service_seconds``.
+
+This is a *dump*, not a server: the daemon's ``metrics`` TCP op returns
+the structured snapshot dict, and callers that want a scrape page call
+:func:`prometheus_text` on it (or on any snapshot) themselves.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import HistogramSnapshot, MetricsSnapshot
+
+_SANITIZE = str.maketrans({".": "_", "-": "_", " ": "_", "/": "_"})
+
+
+def _name(raw: str, prefix: str) -> str:
+    clean = raw.translate(_SANITIZE)
+    return f"{prefix}_{clean}" if prefix else clean
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _histogram_lines(name: str, hist: HistogramSnapshot) -> list[str]:
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = 0
+    for bound, count in zip(hist.bounds, hist.counts):
+        cumulative += count
+        lines.append(f'{name}_bucket{{le="{_format_value(float(bound))}"}} {cumulative}')
+    cumulative += hist.counts[-1]
+    lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(f"{name}_sum {_format_value(hist.total)}")
+    lines.append(f"{name}_count {hist.count}")
+    return lines
+
+
+def prometheus_text(snapshot: MetricsSnapshot, prefix: str = "repro") -> str:
+    """Render *snapshot* as a Prometheus text-format page (sorted, stable)."""
+    lines: list[str] = []
+    for raw in sorted(snapshot.counters):
+        name = _name(raw, prefix)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {snapshot.counters[raw]}")
+    for raw in sorted(snapshot.gauges):
+        name = _name(raw, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(snapshot.gauges[raw])}")
+    for raw in sorted(snapshot.histograms):
+        lines.extend(_histogram_lines(_name(raw, prefix), snapshot.histograms[raw]))
+    return "\n".join(lines) + ("\n" if lines else "")

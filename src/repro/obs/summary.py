@@ -1,0 +1,153 @@
+"""Summarise a run dir's ``telemetry.jsonl``: span tree + metrics.
+
+The emission side (:mod:`repro.pipeline.runner`) writes one JSON record
+per line: ``type: "span"`` records from the run's tracer, then a final
+``type: "metrics"`` record carrying the registry snapshot.  This module
+is the read side, backing ``repro obs <run-dir>``.
+
+The span tree aggregates siblings by name — thirty ``train.epoch``
+spans under one parent render as a single line with count, total and
+mean duration — so a real training run summarises in a screenful.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs.registry import MetricsSnapshot
+
+TELEMETRY_FILE = "telemetry.jsonl"
+
+
+def load_telemetry(path: Path) -> tuple[list[dict], MetricsSnapshot | None]:
+    """Parse a telemetry JSONL file into (span records, metrics snapshot)."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / TELEMETRY_FILE
+    if not path.exists():
+        raise ReproError(
+            f"no telemetry found at {path} — run with telemetry enabled "
+            "(observability.enabled in the run config, or an ambient "
+            "repro.obs.telemetry_scope)"
+        )
+    spans: list[dict] = []
+    metrics: MetricsSnapshot | None = None
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"{path}:{line_number}: invalid telemetry record: {error}")
+        kind = record.get("type")
+        if kind == "span":
+            spans.append(record)
+        elif kind == "metrics":
+            snap = MetricsSnapshot.from_dict(record.get("metrics", {}))
+            metrics = snap if metrics is None else metrics.merged(snap)
+    return spans, metrics
+
+
+def _format_ms(value: float | None) -> str:
+    if value is None:
+        return "?"
+    if value >= 1000.0:
+        return f"{value / 1000.0:.2f}s"
+    return f"{value:.1f}ms"
+
+
+def _tag_text(tags: dict) -> str:
+    if not tags:
+        return ""
+    parts = [f"{key}={tags[key]}" for key in sorted(tags)]
+    return " [" + " ".join(parts) + "]"
+
+
+def render_span_tree(spans: list[dict]) -> str:
+    """Indented span tree with same-name siblings aggregated."""
+    if not spans:
+        return "(no spans)"
+    children: dict[int | None, list[dict]] = {}
+    ids = {record["span"] for record in spans}
+    for record in spans:
+        parent = record.get("parent")
+        # Ring eviction can orphan a child; hoist orphans to the root.
+        key = parent if parent in ids else None
+        children.setdefault(key, []).append(record)
+
+    lines: list[str] = []
+
+    def emit(parent: int | None, depth: int) -> None:
+        group: dict[str, list[dict]] = {}
+        for record in children.get(parent, []):
+            group.setdefault(record["name"], []).append(record)
+        pad = "  " * depth
+        for name in sorted(group, key=lambda n: min(r["start_ms"] for r in group[n])):
+            records = group[name]
+            durations = [r["duration_ms"] for r in records if r["duration_ms"] is not None]
+            total = sum(durations) if durations else None
+            errors = sum(1 for r in records if r.get("status") != "ok")
+            suffix = f"  !{errors} error(s)" if errors else ""
+            if len(records) == 1:
+                record = records[0]
+                lines.append(
+                    f"{pad}{name}{_tag_text(record.get('tags', {}))} "
+                    f"({_format_ms(record['duration_ms'])}){suffix}"
+                )
+                emit(record["span"], depth + 1)
+            else:
+                mean = total / len(durations) if durations else None
+                lines.append(
+                    f"{pad}{name} x{len(records)} "
+                    f"(total {_format_ms(total)}, mean {_format_ms(mean)}){suffix}"
+                )
+                # Aggregate the children of every sibling under one node.
+                for record in records:
+                    emit(record["span"], depth + 1)
+
+    emit(None, 0)
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: MetricsSnapshot | None) -> str:
+    if metrics is None or metrics.empty:
+        return "(no metrics)"
+    lines: list[str] = []
+    for name in sorted(metrics.counters):
+        lines.append(f"{name} = {metrics.counters[name]}")
+    for name in sorted(metrics.gauges):
+        lines.append(f"{name} = {metrics.gauges[name]:.6g}")
+    for name in sorted(metrics.histograms):
+        hist = metrics.histograms[name]
+        mean = hist.mean
+        p90 = hist.quantile(0.9)
+        lines.append(
+            f"{name}: count={hist.count}"
+            + (f" mean={mean * 1000.0:.2f}ms" if mean is not None else "")
+            + (f" p90<={p90 * 1000.0:.2f}ms" if p90 is not None else "")
+            + (
+                f" max={hist.max_value * 1000.0:.2f}ms"
+                if hist.max_value is not None
+                else ""
+            )
+        )
+    return "\n".join(lines)
+
+
+def summarize_run(run_dir: Path) -> str:
+    """Human-readable telemetry summary for ``repro obs <run-dir>``."""
+    spans, metrics = load_telemetry(Path(run_dir))
+    sections = [
+        f"telemetry: {Path(run_dir) / TELEMETRY_FILE}",
+        f"spans: {len(spans)}",
+        "",
+        "== span tree ==",
+        render_span_tree(spans),
+        "",
+        "== metrics ==",
+        render_metrics(metrics),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,215 @@
+"""Request tracing: explicit parent/child spans with a bounded ring.
+
+A :class:`Tracer` hands out integer span ids from a process-local
+counter (no randomness — two identical runs produce identical span
+trees, only the timings differ) and keeps finished spans in a bounded
+``deque`` ring so a long-lived serving daemon cannot grow without
+bound.  Parent/child linkage is explicit: :class:`trace_scope` keeps a
+per-thread stack of open spans, so nested ``with`` blocks on one
+thread become child spans automatically, and code that hops threads
+(the serving daemon scores micro-batches via ``asyncio.to_thread``)
+passes ``parent=span.span_id`` explicitly.
+
+Like the metrics registry (and ``install_fault_injector`` before it),
+the disabled path is a ``None`` check: ``trace_scope`` with no tracer
+installed allocates nothing and yields ``None``.
+
+Spans serialise to JSONL records (``type: "span"``) via
+:meth:`Tracer.to_jsonl`; the pipeline runner appends one final
+``type: "metrics"`` record carrying the run's registry snapshot, and
+writes the whole file atomically as ``telemetry.jsonl`` in the run
+dir.  ``telemetry.jsonl`` is deliberately *not* listed in
+``manifest.json`` — telemetry must never change what a run's artifacts
+hash to.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+DEFAULT_RING_SIZE = 4096
+
+
+@dataclass
+class Span:
+    """One timed operation.  ``start_s``/``end_s`` are relative to the
+    tracer's birth (``perf_counter`` deltas, not wall-clock)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_s: float
+    end_s: float | None = None
+    status: str = "ok"
+    tags: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float | None:
+        return None if self.end_s is None else self.end_s - self.start_s
+
+    def to_record(self) -> dict:
+        duration = self.duration_s
+        return {
+            "type": "span",
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_ms": round(self.start_s * 1000.0, 3),
+            "duration_ms": None if duration is None else round(duration * 1000.0, 3),
+            "status": self.status,
+            "tags": self.tags,
+        }
+
+
+class Tracer:
+    """Allocates spans and keeps the most recent *ring_size* finished ones."""
+
+    def __init__(self, ring_size: int = DEFAULT_RING_SIZE) -> None:
+        self._ring: deque[Span] = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._clock_zero = time.perf_counter()
+        self.started_at = time.time()
+        self.dropped = 0
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._clock_zero
+
+    def begin(
+        self,
+        name: str,
+        parent_id: int | None = None,
+        tags: dict | None = None,
+    ) -> Span:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            start_s=self._now(),
+            tags=tags or {},
+        )
+
+    def end(self, span: Span, status: str = "ok") -> None:
+        span.end_s = self._now()
+        span.status = status
+        with self._lock:
+            if len(self._ring) == self._ring.maxlen:
+                self.dropped += 1
+            self._ring.append(span)
+
+    def spans(self) -> list[Span]:
+        """Finished spans, oldest first (bounded by the ring size)."""
+        with self._lock:
+            return list(self._ring)
+
+    def records(self) -> list[dict]:
+        return [span.to_record() for span in self.spans()]
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(record, sort_keys=True) for record in self.records()]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------- active scope
+_ACTIVE: Tracer | None = None
+_STACK = threading.local()
+
+
+def install_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install *tracer* as this process's active tracer; returns the old one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def active_tracer() -> Tracer | None:
+    return _ACTIVE
+
+
+def current_span_id() -> int | None:
+    """Span id of the innermost open ``trace_scope`` on this thread."""
+    stack = getattr(_STACK, "spans", None)
+    return stack[-1] if stack else None
+
+
+class trace_scope:
+    """Span-scoped ``with`` block; a no-op ``None`` when no tracer is active.
+
+    >>> with trace_scope("index.probe", side="tail") as span:
+    ...     ...  # span is None when tracing is disabled
+
+    ``parent`` overrides the implicit per-thread parent — required when
+    the parent span lives on another thread (``asyncio.to_thread``).
+    """
+
+    __slots__ = ("name", "tags", "parent", "_tracer", "_span")
+
+    def __init__(self, name: str, *, parent: int | None = None, **tags: object) -> None:
+        self.name = name
+        self.tags = tags
+        self.parent = parent
+        self._tracer: Tracer | None = None
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span | None:
+        tracer = _ACTIVE
+        if tracer is None:
+            return None
+        parent = self.parent if self.parent is not None else current_span_id()
+        self._tracer = tracer
+        self._span = tracer.begin(self.name, parent_id=parent, tags=self.tags)
+        stack = getattr(_STACK, "spans", None)
+        if stack is None:
+            stack = []
+            _STACK.spans = stack
+        stack.append(self._span.span_id)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._span is None:
+            return
+        stack = getattr(_STACK, "spans", None)
+        if stack and stack[-1] == self._span.span_id:
+            stack.pop()
+        assert self._tracer is not None
+        self._tracer.end(self._span, status="error" if exc_type else "ok")
+
+
+class telemetry_scope:
+    """Install a registry and a tracer together for a ``with`` block.
+
+    The one-liner every caller of :func:`repro.pipeline.run_pipeline`
+    uses to turn telemetry on ambiently without touching the run's
+    config (and therefore without changing a single artifact byte):
+
+    >>> from repro.obs import MetricsRegistry, Tracer, telemetry_scope
+    >>> with telemetry_scope(MetricsRegistry(), Tracer()) as (registry, tracer):
+    ...     ...  # instrumented code records into both
+    """
+
+    def __init__(self, registry=None, tracer: Tracer | None = None) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self._previous_registry = None
+        self._previous_tracer: Tracer | None = None
+
+    def __enter__(self):
+        from repro.obs.registry import install_metrics_registry
+
+        self._previous_registry = install_metrics_registry(self.registry)
+        self._previous_tracer = install_tracer(self.tracer)
+        return self.registry, self.tracer
+
+    def __exit__(self, *exc_info) -> None:
+        from repro.obs.registry import install_metrics_registry
+
+        install_metrics_registry(self._previous_registry)
+        install_tracer(self._previous_tracer)

@@ -56,6 +56,9 @@ from functools import partial
 from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigError, TransientError
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
 from repro.reliability import faults
 from repro.reliability.faults import FaultInjector, FaultPlan
 
@@ -82,12 +85,22 @@ def _worker_bootstrap(
     initializer: Callable[..., None] | None,
     initargs: tuple,
     fault_plan: FaultPlan | None,
+    telemetry: bool = False,
 ) -> None:
-    """Per-worker setup: mark the process, arm faults, run the initializer."""
+    """Per-worker setup: mark the process, arm faults, run the initializer.
+
+    ``telemetry`` mirrors whether the *parent* had a metrics registry
+    installed when the pool was built: the flag (not the registry — it
+    is process-local state) ships across the process boundary, and the
+    worker arms a private registry so per-task snapshot capture in
+    :func:`_call_captured` switches on.
+    """
     global _IN_WORKER_PROCESS
     _IN_WORKER_PROCESS = True
     if fault_plan is not None:
         faults.install_fault_injector(FaultInjector(fault_plan))
+    if telemetry:
+        obs_registry.install_metrics_registry(MetricsRegistry())
     if initializer is not None:
         initializer(*initargs)
 
@@ -99,6 +112,10 @@ class TaskOutcome:
     ``retryable`` marks failures the pool may heal by re-running
     (transient exceptions, worker death, timeouts); ``attempts`` counts
     how many times the task actually ran (1 = first try succeeded).
+    ``metrics`` carries the task's private metrics-registry snapshot
+    when telemetry was armed (``None`` otherwise); :func:`run_tasks`
+    merges the snapshot of each task's *final* attempt into the
+    caller's registry, so a retried task counts exactly once.
     """
 
     index: int
@@ -106,6 +123,7 @@ class TaskOutcome:
     error: str | None = None
     retryable: bool = False
     attempts: int = 1
+    metrics: MetricsSnapshot | None = None
 
     @property
     def ok(self) -> bool:
@@ -120,15 +138,33 @@ def default_start_method() -> str:
 def _call_captured(
     fn: Callable[[Any], Any], attempt: int, indexed_task: tuple[int, Any]
 ) -> TaskOutcome:
-    """Run one task, converting any exception into a classified outcome."""
+    """Run one task, converting any exception into a classified outcome.
+
+    When telemetry is armed (a registry is active in this process), the
+    task runs against a *fresh* per-attempt registry and its snapshot
+    travels home on the outcome — so metrics from a failed attempt are
+    dropped when a retry supersedes it, and long-lived workers never
+    leak one task's counts into another's.
+    """
     index, task = indexed_task
+    context = f"task:{index};attempt:{attempt}"
+    telemetry = obs_registry.active_registry() is not None
+    task_registry = MetricsRegistry() if telemetry else None
+    previous = obs_registry.install_metrics_registry(task_registry) if telemetry else None
     try:
-        faults.fire(TASK_SITE, context=f"task:{index};attempt:{attempt}")
-        return TaskOutcome(index=index, value=fn(task))
+        with obs_trace.trace_scope("pool.task", context=context):
+            faults.fire(TASK_SITE, context=context)
+            outcome = TaskOutcome(index=index, value=fn(task))
     except TransientError:
-        return TaskOutcome(index=index, error=traceback.format_exc(), retryable=True)
+        outcome = TaskOutcome(index=index, error=traceback.format_exc(), retryable=True)
     except BaseException:  # noqa: BLE001 — worker tracebacks must travel home
-        return TaskOutcome(index=index, error=traceback.format_exc())
+        outcome = TaskOutcome(index=index, error=traceback.format_exc())
+    finally:
+        if telemetry:
+            obs_registry.install_metrics_registry(previous)
+    if task_registry is not None:
+        outcome = replace(outcome, metrics=task_registry.snapshot())
+    return outcome
 
 
 def _pool_attempt(
@@ -141,6 +177,7 @@ def _pool_attempt(
     task_timeout: float | None,
     fault_plan: FaultPlan | None,
     attempt: int,
+    telemetry: bool,
 ) -> list[TaskOutcome]:
     """One executor lifetime: submit *indexed*, collect classified outcomes."""
     context = multiprocessing.get_context(start_method or default_start_method())
@@ -148,7 +185,7 @@ def _pool_attempt(
         max_workers=min(workers, len(indexed)),
         mp_context=context,
         initializer=_worker_bootstrap,
-        initargs=(initializer, initargs, fault_plan),
+        initargs=(initializer, initargs, fault_plan, telemetry),
     )
     outcomes: list[TaskOutcome] = []
     torn_down = False
@@ -282,6 +319,7 @@ def run_tasks(
     tasks = list(tasks)
     if not tasks:
         return []
+    telemetry = obs_registry.active_registry() is not None
     remaining = list(enumerate(tasks))
     results: dict[int, TaskOutcome] = {}
     for attempt in range(retries + 1):
@@ -302,6 +340,7 @@ def run_tasks(
                 task_timeout,
                 fault_plan,
                 attempt,
+                telemetry,
             )
         for outcome in attempt_outcomes:
             results[outcome.index] = replace(outcome, attempts=attempt + 1)
@@ -312,4 +351,16 @@ def run_tasks(
         ]
         if not remaining:
             break
-    return [results[index] for index in sorted(results)]
+    ordered = [results[index] for index in sorted(results)]
+    parent = obs_registry.active_registry()
+    if parent is not None:
+        # Fold each task's *final* attempt home: earlier failed attempts
+        # were overwritten above, so a retried task contributes exactly
+        # one snapshot and crashed attempts (no outcome at all) none.
+        for outcome in ordered:
+            if outcome.metrics is not None:
+                parent.merge(outcome.metrics)
+        parent.inc("pool.tasks", len(ordered))
+        parent.inc("pool.task_attempts", sum(o.attempts for o in ordered))
+        parent.inc("pool.task_failures", sum(1 for o in ordered if not o.ok))
+    return ordered

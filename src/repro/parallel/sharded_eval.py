@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -56,6 +57,8 @@ from repro.parallel.payload import (
     model_from_payload,
     model_to_payload,
 )
+from repro.obs import registry as obs_registry
+from repro.obs.trace import trace_scope
 from repro.parallel.pool import in_worker_process, run_tasks
 from repro.serving.scorer import BatchedScorer
 
@@ -187,15 +190,27 @@ def _run_shard_task(task: tuple[str, str, int, int]):
     ctx = _EVAL_CTX
     if ctx is None:
         raise EvaluationError("evaluation context not initialised in this process")
-    if axis == "triples":
-        return compute_side_ranks(
-            ctx.model,
-            ctx.triples[start:stop],
-            ctx.filter_index,
-            side,
-            batch_size=ctx.batch_size,
-            tie_policy=ctx.tie_policy,
-        )
+    telemetry = obs_registry.active_registry() is not None
+    started = time.perf_counter() if telemetry else 0.0
+    try:
+        if axis == "triples":
+            obs_registry.inc("eval.triples_ranked", stop - start)
+            return compute_side_ranks(
+                ctx.model,
+                ctx.triples[start:stop],
+                ctx.filter_index,
+                side,
+                batch_size=ctx.batch_size,
+                tie_policy=ctx.tie_policy,
+            )
+        return _entity_shard_counts(ctx, side, start, stop)
+    finally:
+        if telemetry:
+            obs_registry.inc("eval.shard_tasks")
+            obs_registry.observe("eval.shard_seconds", time.perf_counter() - started)
+
+
+def _entity_shard_counts(ctx, side: str, start: int, stop: int):
     anchors, relations, true_indices, _ = side_queries(
         ctx.triples, ctx.filter_index, side
     )
@@ -397,25 +412,31 @@ class ShardedEvaluator:
                 describe_shipping(shipped),
             )
         try:
-            outcomes = run_tasks(
-                _run_shard_task,
-                tasks,
+            with trace_scope(
+                "eval.sharded",
+                axis=plan.axis,
+                shards=len(tasks),
                 workers=workers,
-                initializer=_init_eval_context,
-                initargs=(
-                    shipped,
-                    arr,
-                    filter_index,
-                    self.batch_size,
-                    self.tie_policy,
-                    true_scores,
-                    filters,
-                ),
-                retries=self.retries,
-                backoff=self.backoff,
-                task_timeout=self.task_timeout,
-                fault_plan=self.fault_plan,
-            )
+            ):
+                outcomes = run_tasks(
+                    _run_shard_task,
+                    tasks,
+                    workers=workers,
+                    initializer=_init_eval_context,
+                    initargs=(
+                        shipped,
+                        arr,
+                        filter_index,
+                        self.batch_size,
+                        self.tie_policy,
+                        true_scores,
+                        filters,
+                    ),
+                    retries=self.retries,
+                    backoff=self.backoff,
+                    task_timeout=self.task_timeout,
+                    fault_plan=self.fault_plan,
+                )
         finally:
             # workers=0 installed the context in *this* process; drop it
             # so the model/filter references don't outlive the call.

@@ -41,6 +41,7 @@ _LAZY_EXPORTS = {
     "IndexSection": "repro.pipeline.config",
     "IngestSection": "repro.pipeline.config",
     "ModelSection": "repro.pipeline.config",
+    "ObservabilitySection": "repro.pipeline.config",
     "ParallelSection": "repro.pipeline.config",
     "RunConfig": "repro.pipeline.config",
     "ServingSection": "repro.pipeline.config",

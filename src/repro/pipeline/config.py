@@ -480,6 +480,41 @@ class IngestSection:
 
 
 @dataclass(frozen=True)
+class ObservabilitySection:
+    """Telemetry settings (:mod:`repro.obs`).
+
+    ``enabled`` turns on per-run telemetry in the pipeline runner: a
+    metrics registry and tracer are installed for the run's duration
+    and the span stream lands in ``<run_dir>/telemetry.jsonl`` (never
+    listed in ``manifest.json`` — telemetry must not change what a run
+    hashes to).  Telemetry can equally be enabled *ambiently* with
+    :class:`repro.obs.telemetry_scope`, which leaves the config — and
+    therefore every artifact byte — untouched.  ``slow_query_ms`` is
+    the serving daemon's slow-query threshold (micro-batch groups whose
+    per-request service time exceeds it are logged and ring-buffered);
+    ``ring_size`` bounds the in-memory span ring.
+    """
+
+    enabled: bool = False
+    slow_query_ms: float = 250.0
+    ring_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            raise ConfigError(
+                f"observability.enabled must be a bool, got {self.enabled!r}"
+            )
+        if not self.slow_query_ms > 0:
+            raise ConfigError(
+                f"observability.slow_query_ms must be > 0, got {self.slow_query_ms}"
+            )
+        if self.ring_size < 1:
+            raise ConfigError(
+                f"observability.ring_size must be >= 1, got {self.ring_size}"
+            )
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """A complete, serializable description of one training/eval run."""
 
@@ -492,6 +527,7 @@ class RunConfig:
     serving: ServingSection = field(default_factory=ServingSection)
     storage: StorageSection = field(default_factory=StorageSection)
     ingest: IngestSection = field(default_factory=IngestSection)
+    observability: ObservabilitySection = field(default_factory=ObservabilitySection)
     seed: int = 0
     label: str | None = None
 
@@ -506,6 +542,7 @@ class RunConfig:
             ("serving", ServingSection),
             ("storage", StorageSection),
             ("ingest", IngestSection),
+            ("observability", ObservabilitySection),
         ):
             if not isinstance(getattr(self, name), cls):
                 raise ConfigError(f"RunConfig.{name} must be a {cls.__name__}")
@@ -551,6 +588,9 @@ class RunConfig:
                 StorageSection, data.get("storage", {}), "storage"
             ),
             ingest=_section_from_dict(IngestSection, data.get("ingest", {}), "ingest"),
+            observability=_section_from_dict(
+                ObservabilitySection, data.get("observability", {}), "observability"
+            ),
             seed=seed,
             label=data.get("label"),
         )

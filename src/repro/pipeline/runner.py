@@ -35,6 +35,10 @@ from repro.eval.evaluator import LinkPredictionEvaluator
 from repro.eval.metrics import RankingMetrics
 from repro.kg.graph import KGDataset
 from repro.nn.losses import make_loss
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer, telemetry_scope, trace_scope
 from repro.pipeline.components import MODELS, OMEGA_PRESETS
 from repro.pipeline.config import RunConfig, _split_model_name
 from repro.reliability.atomic import atomic_write_text
@@ -52,6 +56,11 @@ _CHECKPOINT_DIR = "checkpoint"
 _HISTORY_FILE = "history.json"
 _METRICS_FILE = "metrics.json"
 _INDEX_DIR = "index"
+#: Telemetry stream written next to the artifacts.  Deliberately NOT
+#: hashed into manifest.json: telemetry must never change what a run's
+#: artifacts verify to, so enabled-vs-disabled runs stay bit-identical
+#: modulo this one file.
+_TELEMETRY_FILE = "telemetry.jsonl"
 
 
 @dataclass
@@ -159,16 +168,70 @@ def _evaluate(
             shard_axis=config.parallel.shard_axis,
             **kwargs,
         )
-    metrics = {section.split: evaluator.evaluate(model, split=section.split).overall}
+    with trace_scope("pipeline.evaluate", split=section.split):
+        metrics = {
+            section.split: evaluator.evaluate(model, split=section.split).overall
+        }
     if section.evaluate_train:
-        train_result = evaluator.evaluate_triples(
-            model,
-            dataset.train,
-            split_name="train",
-            max_triples=section.train_eval_triples,
-        )
+        with trace_scope("pipeline.evaluate", split="train"):
+            train_result = evaluator.evaluate_triples(
+                model,
+                dataset.train,
+                split_name="train",
+                max_triples=section.train_eval_triples,
+            )
         metrics["train"] = train_result.overall
     return metrics
+
+
+def _write_telemetry(run_dir: Path, tracer: Tracer, registry: MetricsRegistry) -> None:
+    """Emit the run's span stream + final metrics snapshot as JSONL."""
+    lines = [json.dumps(record, sort_keys=True) for record in tracer.records()]
+    lines.append(
+        json.dumps(
+            {"type": "metrics", "metrics": registry.snapshot().to_dict()},
+            sort_keys=True,
+        )
+    )
+    atomic_write_text(Path(run_dir) / _TELEMETRY_FILE, "\n".join(lines) + "\n")
+
+
+def _train_and_evaluate_inner(
+    config: RunConfig,
+    dataset: KGDataset,
+    model: KGEModel,
+    run_dir: str | Path | None,
+) -> RunResult:
+    trainer = Trainer(dataset, config.training.training_config(seed=config.seed))
+    with trace_scope("pipeline.train"):
+        training = trainer.train(model)
+    metrics = _evaluate(config, dataset, model)
+    result = RunResult(
+        config=config,
+        dataset=dataset,
+        model=model,
+        training=training,
+        metrics=metrics,
+    )
+    if run_dir is not None:
+        with trace_scope("pipeline.persist"):
+            result.run_dir = write_run_dir(result, run_dir)
+        if config.index.enabled:
+            # Persist the retrieval index next to the checkpoint so
+            # serve_run / `predict --index` can reload it without a
+            # rebuild.  Metrics above are unaffected: evaluation always
+            # ranks exactly.
+            from repro.pipeline.components import build_index
+
+            with trace_scope("pipeline.index_build", kind=config.index.kind):
+                index = build_index(
+                    result.model, config.index, workers=config.parallel.eval_workers
+                )
+                index.build(workers=config.parallel.eval_workers)
+                index.save(
+                    result.run_dir / _INDEX_DIR, memmap=config.storage.memmap
+                )
+    return result
 
 
 def train_and_evaluate(
@@ -182,31 +245,38 @@ def train_and_evaluate(
     This is the engine under :func:`run_pipeline`; it also backs the
     legacy :func:`repro.experiments.run_experiment_row` shim, which
     supplies externally-constructed models (e.g. the baselines).
-    """
-    trainer = Trainer(dataset, config.training.training_config(seed=config.seed))
-    training = trainer.train(model)
-    metrics = _evaluate(config, dataset, model)
-    result = RunResult(
-        config=config,
-        dataset=dataset,
-        model=model,
-        training=training,
-        metrics=metrics,
-    )
-    if run_dir is not None:
-        result.run_dir = write_run_dir(result, run_dir)
-        if config.index.enabled:
-            # Persist the retrieval index next to the checkpoint so
-            # serve_run / `predict --index` can reload it without a
-            # rebuild.  Metrics above are unaffected: evaluation always
-            # ranks exactly.
-            from repro.pipeline.components import build_index
 
-            index = build_index(
-                result.model, config.index, workers=config.parallel.eval_workers
-            )
-            index.build(workers=config.parallel.eval_workers)
-            index.save(result.run_dir / _INDEX_DIR, memmap=config.storage.memmap)
+    Telemetry: when ``config.observability.enabled`` is set *or* an
+    ambient registry/tracer is installed (:class:`repro.obs.telemetry_scope`),
+    the run gets its own registry + tracer, pool workers ship their
+    metric snapshots home through :func:`repro.parallel.pool.run_tasks`,
+    and the span stream lands in ``<run_dir>/telemetry.jsonl``.  The
+    run registry is merged into the ambient one afterwards, so sweeps
+    aggregate across children.  Telemetry never touches the numerics:
+    enabled and disabled runs are bit-identical modulo the telemetry
+    file itself.
+    """
+    ambient_registry = obs_registry.active_registry()
+    ambient_tracer = obs_trace.active_tracer()
+    telemetry = (
+        config.observability.enabled
+        or ambient_registry is not None
+        or ambient_tracer is not None
+    )
+    if not telemetry:
+        return _train_and_evaluate_inner(config, dataset, model, run_dir)
+    registry = MetricsRegistry()
+    tracer = Tracer(ring_size=config.observability.ring_size)
+    with telemetry_scope(registry, tracer):
+        with trace_scope(
+            "pipeline.run", label=config.label or "", seed=config.seed
+        ):
+            result = _train_and_evaluate_inner(config, dataset, model, run_dir)
+        registry.inc("pipeline.runs")
+    if ambient_registry is not None:
+        ambient_registry.merge(registry.snapshot())
+    if result.run_dir is not None:
+        _write_telemetry(result.run_dir, tracer, registry)
     return result
 
 

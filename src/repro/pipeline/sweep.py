@@ -210,8 +210,15 @@ def _run_serial_child(
             if attempt and backoff:
                 _time.sleep(backoff * (2 ** (attempt - 1)))
             try:
+                from repro.obs.trace import trace_scope
+
                 built = child_dataset(spec.config, dataset_cache, pinned=dataset)
-                result = run_pipeline(spec.config, dataset=built, run_dir=spec.run_dir)
+                with trace_scope(
+                    "sweep.child", index=spec.index, run_dir=str(spec.run_dir)
+                ):
+                    result = run_pipeline(
+                        spec.config, dataset=built, run_dir=spec.run_dir
+                    )
                 break
             except TransientError:
                 if attempt >= retries:
@@ -369,4 +376,10 @@ def sweep(
                 # The original exception object died with the worker;
                 # SweepError is the dedicated carrier for its traceback.
                 raise SweepError(f"sweep child {run.label!r} failed:\n{run.error}")
-    return [runs[index] for index in sorted(runs)]
+    ordered = [runs[index] for index in sorted(runs)]
+    from repro.obs import registry as obs_registry
+
+    obs_registry.inc("sweep.children", len(ordered))
+    obs_registry.inc("sweep.cached", sum(1 for r in ordered if r.status == "cached"))
+    obs_registry.inc("sweep.failed", sum(1 for r in ordered if r.status == "failed"))
+    return ordered

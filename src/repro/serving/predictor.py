@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.base import KGEModel
 from repro.errors import ServingError
 from repro.kg.graph import FilterIndex, KGDataset
+from repro.obs.trace import trace_scope
 from repro.serving.cache import CacheStats, LRUScoreCache
 from repro.serving.scorer import BatchedScorer
 
@@ -364,7 +365,8 @@ class LinkPredictor:
         full-sweep path and therefore bit-identical to it.
         """
         stats = self._index_stats
-        batch = self.index.candidate_lists(anchors, relations, side)
+        with trace_scope("index.probe", queries=len(anchors), side=side):
+            batch = self.index.candidate_lists(anchors, relations, side)
         first_query = stats.queries
         stats.queries += len(anchors)
         stats.entities_scored += batch.num_scored
@@ -378,40 +380,44 @@ class LinkPredictor:
         out_ids = np.full((len(anchors), k_out), -1, dtype=np.int64)
         out_scores = np.full((len(anchors), k_out), -np.inf, dtype=np.float64)
         chunk = self.scorer.effective_chunk_size()
-        for start in range(0, len(anchors), chunk):
-            stop = min(start + chunk, len(anchors))
-            rows = batch.rows[start:stop]
-            lengths = np.array([len(row) for row in rows], dtype=np.int64)
-            width = int(lengths.max()) if len(lengths) else 0
-            if width == 0:
-                # Every shortlist in this chunk is empty (degenerate
-                # partitions): the output rows stay all-pad (-1/-inf).
-                continue
-            cands = np.empty((len(rows), width), dtype=np.int64)
-            for i, row in enumerate(rows):
-                cands[i, : len(row)] = row
-                if len(row) < width:
-                    # Pad with a valid id so scoring never indexes out of
-                    # range; an empty row has no last id, so fall back to
-                    # id 0.  Pad columns are masked to -inf below either way.
-                    cands[i, len(row):] = row[-1] if len(row) else 0
-            scores = np.asarray(
-                self.scorer.score_candidates(
-                    anchors[start:stop], relations[start:stop], cands, side
-                ),
-                dtype=np.float64,
-            )
-            pad_mask = np.arange(width)[None, :] >= lengths[:, None]
-            scores[pad_mask] = -np.inf
-            if filtered:
-                self._mask_known(
-                    scores, anchors[start:stop], relations[start:stop], side, cands
+        with trace_scope(
+            "index.rerank", queries=len(anchors), candidates=int(batch.num_scored)
+        ):
+            for start in range(0, len(anchors), chunk):
+                stop = min(start + chunk, len(anchors))
+                rows = batch.rows[start:stop]
+                lengths = np.array([len(row) for row in rows], dtype=np.int64)
+                width = int(lengths.max()) if len(lengths) else 0
+                if width == 0:
+                    # Every shortlist in this chunk is empty (degenerate
+                    # partitions): the output rows stay all-pad (-1/-inf).
+                    continue
+                cands = np.empty((len(rows), width), dtype=np.int64)
+                for i, row in enumerate(rows):
+                    cands[i, : len(row)] = row
+                    if len(row) < width:
+                        # Pad with a valid id so scoring never indexes out
+                        # of range; an empty row has no last id, so fall
+                        # back to id 0.  Pad columns are masked to -inf
+                        # below either way.
+                        cands[i, len(row):] = row[-1] if len(row) else 0
+                scores = np.asarray(
+                    self.scorer.score_candidates(
+                        anchors[start:stop], relations[start:stop], cands, side
+                    ),
+                    dtype=np.float64,
                 )
-            picked = self._select_top_k(scores, min(k_out, width))
-            ids = np.take_along_axis(cands, picked.ids, axis=1)
-            ids[np.take_along_axis(pad_mask, picked.ids, axis=1)] = -1
-            out_ids[start:stop, : ids.shape[1]] = ids
-            out_scores[start:stop, : ids.shape[1]] = picked.scores
+                pad_mask = np.arange(width)[None, :] >= lengths[:, None]
+                scores[pad_mask] = -np.inf
+                if filtered:
+                    self._mask_known(
+                        scores, anchors[start:stop], relations[start:stop], side, cands
+                    )
+                picked = self._select_top_k(scores, min(k_out, width))
+                ids = np.take_along_axis(cands, picked.ids, axis=1)
+                ids[np.take_along_axis(pad_mask, picked.ids, axis=1)] = -1
+                out_ids[start:stop, : ids.shape[1]] = ids
+                out_scores[start:stop, : ids.shape[1]] = picked.scores
         result = TopKResult(ids=out_ids, scores=out_scores)
         if self.recall_sample_every:
             self._sample_recall(

@@ -63,11 +63,25 @@ that gap with a stdlib-only asyncio service:
     A newline-delimited-JSON TCP front-end and the blocking entry point
     behind the ``repro-kge serve`` CLI command.  Protocol: one JSON
     object per line with an ``op`` of ``top_k``, ``stats``, ``health``,
-    ``ping``, ``swap``, ``apply_delta`` or ``shutdown``; responses echo
-    the request ``id`` and
+    ``ping``, ``metrics``, ``swap``, ``apply_delta`` or ``shutdown``;
+    responses echo the request ``id`` and
     carry either the payload (``ok: true``) or a structured error with
     a machine-readable ``code`` (``ok: false``).  Filtered-out
     candidates' ``-inf`` scores are transported as ``null``.
+
+*Telemetry*: every server owns a :class:`~repro.obs.MetricsRegistry`.
+:class:`ServerStats` is now a thin *view* over it — the counter names
+(``server.submitted`` …) live in the registry, the attribute/dict
+surface is unchanged — and the hot path additionally feeds three
+latency histograms (``server.service_seconds`` per request,
+``server.dispatch_seconds`` per micro-batch group,
+``server.wait_seconds`` queueing delay).  The ``metrics`` wire op
+dumps the registry (plus the predictor's cache/index tallies via
+:func:`repro.obs.publish_predictor_metrics`) and the slow-query ring;
+:meth:`PredictionServer.metrics_text` renders the same snapshot in
+Prometheus text format.  Tracing is opt-in: span scopes throughout the
+dispatch path are no-ops until a tracer is installed
+(:func:`repro.obs.install_tracer` — the daemon entry point arms one).
 
 Everything here is plain CPython stdlib (asyncio + json + numpy already
 required by the library); there is no third-party server framework.
@@ -78,6 +92,7 @@ from __future__ import annotations
 import asyncio
 import collections
 import json
+import logging
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -93,8 +108,14 @@ from repro.errors import (
     ServingError,
     StaleIndexError,
 )
+from repro.obs.collect import publish_predictor_metrics
+from repro.obs.expo import prometheus_text
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import current_span_id, trace_scope
 from repro.reliability import faults
 from repro.serving.predictor import LinkPredictor
+
+_LOG = logging.getLogger("repro.serving")
 
 #: Fault-injection site fired once per micro-batch group dispatch.
 DISPATCH_SITE = "server.dispatch"
@@ -108,6 +129,14 @@ SERVICE_EMA_CEILING_S = 5.0
 #: Clamp bounds for the overload hint itself (milliseconds).
 RETRY_AFTER_FLOOR_MS = 1.0
 RETRY_AFTER_CEILING_MS = 10_000.0
+
+#: Default wall-clock threshold (ms) above which a micro-batch group's
+#: scoring call lands in the slow-query ring; overridable per server and
+#: via a run's ``observability.slow_query_ms`` config knob.
+DEFAULT_SLOW_QUERY_MS = 250.0
+
+#: How many slow-query records the in-memory ring keeps.
+SLOW_QUERY_RING = 64
 
 
 def k_bucket(k: int) -> int:
@@ -190,24 +219,57 @@ class ServedTopK:
     graph_version: int = 0
 
 
-@dataclass
-class ServerStats:
-    """Monotonic counters exposed by :meth:`PredictionServer.stats`."""
+class _CounterField:
+    """A :class:`ServerStats` attribute backed by a registry counter.
 
-    submitted: int = 0
-    served: int = 0
-    rejected: int = 0
-    failed: int = 0
-    cancelled: int = 0
-    batches: int = 0
-    dispatch_calls: int = 0
-    coalesced_total: int = 0
-    coalesced_max: int = 0
-    swaps: int = 0
-    peak_depth: int = 0
-    degraded: int = 0
-    deadline_expired: int = 0
-    deltas_applied: int = 0
+    Reads and writes go straight to ``stats.registry`` under the name
+    ``server.<attr>`` — so ``stats.submitted += 1`` keeps working while
+    the value itself lives in the shared metrics registry (and therefore
+    shows up in the ``metrics`` wire op / Prometheus dump for free).
+    """
+
+    __slots__ = ("name",)
+
+    def __set_name__(self, owner, attr: str) -> None:
+        self.name = "server." + attr
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj.registry.counter_value(self.name)
+
+    def __set__(self, obj, value: int) -> None:
+        obj.registry.set_counter(self.name, int(value))
+
+
+class ServerStats:
+    """Monotonic counters exposed by :meth:`PredictionServer.stats`.
+
+    Historically a plain dataclass of ints; now a thin view over a
+    :class:`~repro.obs.MetricsRegistry` (one counter per field, named
+    ``server.<field>``) so the same numbers feed ``stats_dict`` and the
+    telemetry exposition paths without double bookkeeping.  The
+    attribute surface — including augmented assignment — is unchanged.
+    """
+
+    submitted = _CounterField()
+    served = _CounterField()
+    rejected = _CounterField()
+    failed = _CounterField()
+    cancelled = _CounterField()
+    batches = _CounterField()
+    dispatch_calls = _CounterField()
+    coalesced_total = _CounterField()
+    coalesced_max = _CounterField()
+    swaps = _CounterField()
+    peak_depth = _CounterField()
+    degraded = _CounterField()
+    deadline_expired = _CounterField()
+    deltas_applied = _CounterField()
+    slow_queries = _CounterField()
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     @property
     def mean_coalesced(self) -> float:
@@ -257,6 +319,11 @@ class PredictionServer:
         Deadline budget applied to requests that do not carry their own
         ``deadline_ms``; ``None`` (the default) means requests wait
         indefinitely for dispatch.
+    slow_query_ms:
+        Wall-clock threshold above which a micro-batch group's scoring
+        call is recorded in the slow-query ring (and logged at WARNING).
+        ``None`` adopts :data:`DEFAULT_SLOW_QUERY_MS` — or, under
+        :meth:`load_run`, the run's ``observability.slow_query_ms``.
     """
 
     def __init__(
@@ -268,6 +335,7 @@ class PredictionServer:
         queue_depth: int = 1024,
         label: str | None = None,
         default_deadline_ms: float | None = None,
+        slow_query_ms: float | None = None,
     ) -> None:
         if max_batch < 1:
             raise ServingError("max_batch must be >= 1")
@@ -277,13 +345,26 @@ class PredictionServer:
             raise ServingError("queue_depth must be >= 1")
         if default_deadline_ms is not None and default_deadline_ms <= 0:
             raise ServingError("default_deadline_ms must be > 0 (or None)")
+        if slow_query_ms is not None and slow_query_ms <= 0:
+            raise ServingError("slow_query_ms must be > 0 (or None)")
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
         self.queue_depth = int(queue_depth)
         self.default_deadline_ms = (
             float(default_deadline_ms) if default_deadline_ms is not None else None
         )
-        self.stats = ServerStats()
+        #: None means "not explicitly configured" — load_run may adopt
+        #: the run's observability.slow_query_ms before falling back to
+        #: the module default.
+        self._slow_query_ms_explicit = slow_query_ms is not None
+        self.slow_query_ms = (
+            float(slow_query_ms) if slow_query_ms is not None else DEFAULT_SLOW_QUERY_MS
+        )
+        self.metrics = MetricsRegistry()
+        self.stats = ServerStats(self.metrics)
+        self._slow_queries: collections.deque[dict] = collections.deque(
+            maxlen=SLOW_QUERY_RING
+        )
         self._pending: collections.deque[_Pending] = collections.deque()
         self._wake = asyncio.Event()
         self._swap_lock = asyncio.Lock()
@@ -385,6 +466,35 @@ class PredictionServer:
             "index": active.predictor.index_stats_dict() if active else None,
         }
 
+    def metrics_dict(self) -> dict:
+        """Full registry snapshot for the wire ``metrics`` op.
+
+        Queue/generation gauges and the predictor's cache/index tallies
+        (:func:`repro.obs.publish_predictor_metrics`) are published at
+        exposition time, not on the hot path — reading this is the only
+        moment they need to be current.
+        """
+        registry = self.metrics
+        registry.gauge_set("server.queue_len", len(self._pending))
+        registry.gauge_set("server.queue_depth", self.queue_depth)
+        registry.gauge_set("server.generation", self._generation)
+        registry.gauge_set("server.slow_query_ms", self.slow_query_ms)
+        active = self._active
+        if active is not None:
+            publish_predictor_metrics(registry, active.predictor)
+        return {
+            "generation": self._generation,
+            "graph_version": active.graph_version if active else None,
+            "slow_query_ms": self.slow_query_ms,
+            "metrics": registry.snapshot().to_dict(),
+            "slow_queries": list(self._slow_queries),
+        }
+
+    def metrics_text(self) -> str:
+        """The same snapshot as :meth:`metrics_dict`, Prometheus-style."""
+        self.metrics_dict()  # refresh gauges + predictor tallies
+        return prometheus_text(self.metrics.snapshot())
+
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> "PredictionServer":
         """Spawn the batcher task on the running loop; idempotent."""
@@ -452,6 +562,16 @@ class PredictionServer:
             )
             self.stats.swaps += 1
             self._degraded = bool(degraded)
+            # A new deployment has a new latency profile.  Carrying the
+            # old model's service times across the swap mis-prices the
+            # retry-after hint for every overloaded client until the EMA
+            # drifts back — e.g. swapping an exact-sweep deployment for
+            # an indexed one kept quoting sweep-sized backoffs.  Reset
+            # both the EMA and the service-time histogram so the hint is
+            # rebuilt from post-swap measurements only.
+            self._service_ema = None
+            self.metrics.reset("server.service_seconds")
+            self.metrics.gauge_set("server.generation", self._generation)
             return self._active
 
     async def load_run(
@@ -495,6 +615,18 @@ class PredictionServer:
                 )
 
         predictor, degraded = await asyncio.to_thread(_build)
+        if not self._slow_query_ms_explicit:
+            # Adopt the run's observability threshold unless the caller
+            # pinned one on the server itself.
+            try:
+                config = json.loads(
+                    (Path(run_dir) / "config.json").read_text(encoding="utf-8")
+                )
+                threshold = config.get("observability", {}).get("slow_query_ms")
+                if isinstance(threshold, (int, float)) and threshold > 0:
+                    self.slow_query_ms = float(threshold)
+            except (OSError, json.JSONDecodeError):
+                pass
         return await self.swap_predictor(
             predictor, run_dir=str(run_dir), label=label, degraded=degraded
         )
@@ -634,6 +766,7 @@ class PredictionServer:
         a sub-microsecond fluke must not collapse it to nothing.
         """
         sample = min(max(per_request, SERVICE_EMA_FLOOR_S), SERVICE_EMA_CEILING_S)
+        self.metrics.observe("server.service_seconds", sample)
         self._service_ema = (
             sample
             if self._service_ema is None
@@ -641,7 +774,14 @@ class PredictionServer:
         )
 
     def _retry_after_ms(self) -> float:
-        service = self._service_ema if self._service_ema is not None else 0.05
+        # Prefer the p90 of the (generation-scoped) service-time
+        # histogram: unlike the EMA it is robust to a recent burst of
+        # fast or slow outliers and prices the hint off what a typical
+        # slow request actually costs.  Falls back to the EMA, then to a
+        # 50ms guess, while no measurements exist yet.
+        service = self.metrics.quantile("server.service_seconds", 0.9)
+        if service is None:
+            service = self._service_ema if self._service_ema is not None else 0.05
         backlog = len(self._pending) * service / max(1, self.max_batch)
         hint = 1000.0 * backlog + self.max_wait_ms
         return min(max(hint, RETRY_AFTER_FLOOR_MS), RETRY_AFTER_CEILING_MS)
@@ -737,10 +877,11 @@ class PredictionServer:
         # from one deployment snapshot.
         async with self._swap_lock:
             deployment = self._active
-            for (side, filtered, bucket), requests in groups.items():
-                await self._dispatch_group(
-                    deployment, side, filtered, bucket, requests, loop
-                )
+            with trace_scope("server.batch", size=len(batch), groups=len(groups)):
+                for (side, filtered, bucket), requests in groups.items():
+                    await self._dispatch_group(
+                        deployment, side, filtered, bucket, requests, loop
+                    )
 
     async def _dispatch_group(
         self,
@@ -754,16 +895,29 @@ class PredictionServer:
         predictor = deployment.predictor
         first = np.array([r.first for r in requests], dtype=np.int64)
         second = np.array([r.second for r in requests], dtype=np.int64)
+        # _score runs on a worker thread, where the tracer's thread-local
+        # parent stack is empty — pass the dispatch span id explicitly so
+        # predictor/index spans still nest under this group.
+        group_span = current_span_id()
 
         def _score(exact: bool = False):
-            faults.fire(DISPATCH_SITE, context=f"side:{side};bucket:{bucket}")
-            # One entry point for every side: the predictor's unified
-            # top_k.  Relation groups are admitted with filtered=False
-            # (the filter index is entity-keyed), so the shared knobs
-            # pass through unchanged.
-            return predictor.top_k(
-                first, second, side=side, k=bucket, filtered=filtered, exact=exact
-            )
+            with trace_scope(
+                "server.dispatch",
+                parent=group_span,
+                side=side,
+                bucket=bucket,
+                coalesced=len(requests),
+                generation=deployment.generation,
+                exact=exact,
+            ):
+                faults.fire(DISPATCH_SITE, context=f"side:{side};bucket:{bucket}")
+                # One entry point for every side: the predictor's unified
+                # top_k.  Relation groups are admitted with filtered=False
+                # (the filter index is entity-keyed), so the shared knobs
+                # pass through unchanged.
+                return predictor.top_k(
+                    first, second, side=side, k=bucket, filtered=filtered, exact=exact
+                )
 
         started = loop.time()
         degraded = False
@@ -794,9 +948,14 @@ class PredictionServer:
             return
         elapsed = loop.time() - started
         self._observe_service_time(elapsed / len(requests))
+        self.metrics.observe("server.dispatch_seconds", elapsed)
         self.stats.dispatch_calls += 1
         self.stats.coalesced_total += len(requests)
         self.stats.coalesced_max = max(self.stats.coalesced_max, len(requests))
+        if elapsed * 1000.0 >= self.slow_query_ms:
+            self._record_slow_query(
+                deployment, side, bucket, len(requests), elapsed, degraded
+            )
         degraded = degraded or deployment.degraded
         now = loop.time()
         for row, request in enumerate(requests):
@@ -804,6 +963,9 @@ class PredictionServer:
                 self.stats.cancelled += 1
                 continue
             width = min(request.k, result.ids.shape[1])
+            self.metrics.observe(
+                "server.wait_seconds", max(0.0, now - request.enqueued_at)
+            )
             request.future.set_result(
                 ServedTopK(
                     ids=result.ids[row, :width].copy(),
@@ -819,6 +981,40 @@ class PredictionServer:
             self.stats.served += 1
             if degraded:
                 self.stats.degraded += 1
+
+    def _record_slow_query(
+        self,
+        deployment: Deployment,
+        side: str,
+        bucket: int,
+        coalesced: int,
+        elapsed: float,
+        degraded: bool,
+    ) -> None:
+        """Ring-buffer (and log) one over-threshold micro-batch group."""
+        entry = {
+            "side": side,
+            "bucket": bucket,
+            "coalesced": coalesced,
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+            "per_request_ms": round(elapsed * 1000.0 / max(1, coalesced), 3),
+            "generation": deployment.generation,
+            "graph_version": deployment.graph_version,
+            "degraded": bool(degraded or deployment.degraded),
+        }
+        self._slow_queries.append(entry)
+        self.stats.slow_queries += 1
+        _LOG.warning(
+            "slow query: side=%s bucket=%d coalesced=%d took %.1fms "
+            "(threshold %.1fms, generation %d%s)",
+            side,
+            bucket,
+            coalesced,
+            entry["elapsed_ms"],
+            self.slow_query_ms,
+            deployment.generation,
+            ", degraded" if entry["degraded"] else "",
+        )
 
 
 # ------------------------------------------------------------------ TCP layer
@@ -908,6 +1104,8 @@ async def _handle_message(
         return {"stats": server.stats_dict()}
     if op == "health":
         return {"health": server.health_dict()}
+    if op == "metrics":
+        return {"metrics": server.metrics_dict()}
     if op == "ping":
         return {"pong": True, "generation": server.generation}
     if op == "swap":
@@ -942,7 +1140,7 @@ async def _handle_message(
         shutdown.set()
         return {"closing": True}
     raise ServingError(
-        f"unknown op {op!r}; known: top_k, stats, health, ping, swap, "
+        f"unknown op {op!r}; known: top_k, stats, health, ping, metrics, swap, "
         "apply_delta, shutdown"
     )
 
@@ -1049,11 +1247,21 @@ async def _serve_forever_async(
     max_wait_ms: float,
     queue_depth: int,
     index: str | None,
+    slow_query_ms: float | None,
 ) -> None:
     import signal
 
+    from repro.obs.trace import Tracer, install_tracer
+
+    # Arm a bounded in-memory tracer for the daemon's lifetime so the
+    # dispatch/predictor span scopes actually record; the ring is only
+    # read in-process (it never leaves unless a future op exposes it).
+    install_tracer(Tracer())
     server = PredictionServer(
-        max_batch=max_batch, max_wait_ms=max_wait_ms, queue_depth=queue_depth
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        queue_depth=queue_depth,
+        slow_query_ms=slow_query_ms,
     )
     await server.load_run(run_dir, index=index)
     shutdown = asyncio.Event()
@@ -1087,6 +1295,7 @@ def serve_forever(
     max_wait_ms: float = 2.0,
     queue_depth: int = 1024,
     index: str | None = "auto",
+    slow_query_ms: float | None = None,
 ) -> None:
     """Blocking daemon entry point (the ``repro-kge serve`` command).
 
@@ -1102,5 +1311,6 @@ def serve_forever(
             max_wait_ms=max_wait_ms,
             queue_depth=queue_depth,
             index=index,
+            slow_query_ms=slow_query_ms,
         )
     )

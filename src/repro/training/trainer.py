@@ -9,12 +9,15 @@ in §5.3.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.base import KGEModel
 from repro.errors import ConfigError, TrainingError
+from repro.obs import registry as obs_registry
+from repro.obs.trace import trace_scope
 from repro.eval.evaluator import LinkPredictionEvaluator
 from repro.kg.graph import KGDataset
 from repro.nn.optimizers import OPTIMIZERS, Optimizer, make_optimizer
@@ -127,8 +130,16 @@ class Trainer:
         stopped_early = False
         epochs_run = 0
 
+        telemetry = obs_registry.active_registry() is not None
         for epoch in range(1, config.epochs + 1):
-            epoch_loss = self._run_epoch(model, optimizer, rng)
+            with trace_scope("train.epoch", epoch=epoch):
+                started = time.perf_counter() if telemetry else 0.0
+                epoch_loss = self._run_epoch(model, optimizer, rng)
+                if telemetry:
+                    obs_registry.observe(
+                        "train.epoch_seconds", time.perf_counter() - started
+                    )
+                    obs_registry.inc("train.epochs")
             if not np.isfinite(epoch_loss):
                 raise TrainingError(
                     f"training diverged at epoch {epoch} (loss={epoch_loss}); "
@@ -136,7 +147,10 @@ class Trainer:
                 )
             record = EpochRecord(epoch=epoch, loss=epoch_loss)
             if len(self.dataset.valid) > 0 and stopper.should_validate(epoch):
-                result = self.evaluator.evaluate(model, split="valid")
+                with trace_scope("train.validate", epoch=epoch):
+                    result = self.evaluator.evaluate(model, split="valid")
+                if telemetry:
+                    obs_registry.inc("train.validations")
                 record.validation_mrr = result.overall.mrr
                 if stopper.update(epoch, result.overall.mrr):
                     history.append(record)

@@ -37,6 +37,24 @@ def _isolated_registries():
         registry._entries.update(snapshot)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    """Restore the ambient metrics registry / tracer around each test.
+
+    Telemetry tests install module-global hooks (mirroring the fault
+    injector); a leaked installation would silently flip every later
+    test onto the telemetry-enabled code path.
+    """
+    from repro.obs import registry as obs_registry
+    from repro.obs import trace as obs_trace
+
+    saved_registry = obs_registry.active_registry()
+    saved_tracer = obs_trace.active_tracer()
+    yield
+    obs_registry.install_metrics_registry(saved_registry)
+    obs_trace.install_tracer(saved_tracer)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""

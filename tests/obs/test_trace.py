@@ -1,0 +1,123 @@
+"""Tracing: span ids, nesting, the bounded ring, JSONL records."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import active_registry
+from repro.obs.trace import (
+    Tracer,
+    active_tracer,
+    current_span_id,
+    install_tracer,
+    telemetry_scope,
+    trace_scope,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestTracer:
+    def test_span_ids_are_sequential_from_one(self):
+        tracer = Tracer()
+        a = tracer.begin("a")
+        b = tracer.begin("b")
+        assert (a.span_id, b.span_id) == (1, 2)
+
+    def test_end_records_duration_and_status(self):
+        tracer = Tracer()
+        span = tracer.begin("op")
+        tracer.end(span, status="error")
+        assert span.duration_s is not None and span.duration_s >= 0
+        assert tracer.spans()[0].status == "error"
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        tracer = Tracer(ring_size=2)
+        for name in ("a", "b", "c"):
+            tracer.end(tracer.begin(name))
+        assert [s.name for s in tracer.spans()] == ["b", "c"]
+        assert tracer.dropped == 1
+
+    def test_to_jsonl_round_trips(self):
+        tracer = Tracer()
+        span = tracer.begin("op", tags={"side": "tail"})
+        tracer.end(span)
+        lines = tracer.to_jsonl().strip().splitlines()
+        record = json.loads(lines[0])
+        assert record["type"] == "span"
+        assert record["name"] == "op"
+        assert record["tags"] == {"side": "tail"}
+        assert record["parent"] is None
+
+
+class TestTraceScope:
+    def test_noop_without_tracer(self):
+        assert active_tracer() is None
+        with trace_scope("op") as span:
+            assert span is None
+
+    def test_nested_scopes_link_parent_child(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        with trace_scope("outer") as outer:
+            with trace_scope("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert current_span_id() == inner.span_id
+            assert current_span_id() == outer.span_id
+        assert current_span_id() is None
+        names = [s.name for s in tracer.spans()]
+        assert names == ["inner", "outer"]  # children finish first
+
+    def test_explicit_parent_overrides_thread_stack(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        with trace_scope("outer"):
+            with trace_scope("cross_thread", parent=42) as span:
+                assert span.parent_id == 42
+
+    def test_exception_marks_span_error_and_propagates(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        with pytest.raises(ValueError):
+            with trace_scope("boom"):
+                raise ValueError("x")
+        assert tracer.spans()[0].status == "error"
+        assert current_span_id() is None
+
+    def test_spans_on_other_threads_need_explicit_parent(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        seen: list[int | None] = []
+
+        def worker(parent):
+            with trace_scope("child", parent=parent) as span:
+                seen.append(span.parent_id)
+
+        with trace_scope("parent") as parent_span:
+            thread = threading.Thread(target=worker, args=(parent_span.span_id,))
+            thread.start()
+            thread.join()
+        assert seen == [parent_span.span_id]
+
+
+class TestTelemetryScope:
+    def test_installs_both_and_restores(self):
+        registry, tracer = MetricsRegistry(), Tracer()
+        with telemetry_scope(registry, tracer) as (reg, trc):
+            assert reg is registry and trc is tracer
+            assert active_registry() is registry
+            assert active_tracer() is tracer
+        assert active_registry() is None
+        assert active_tracer() is None
+
+    def test_restores_previous_installation(self):
+        outer_registry, outer_tracer = MetricsRegistry(), Tracer()
+        with telemetry_scope(outer_registry, outer_tracer):
+            with telemetry_scope(MetricsRegistry(), Tracer()):
+                assert active_registry() is not outer_registry
+            assert active_registry() is outer_registry
+            assert active_tracer() is outer_tracer

@@ -1,0 +1,101 @@
+"""Tier-1 smoke run of the observability overhead benchmark.
+
+Runs ``benchmarks/bench_obs_overhead.py`` at toy scale: the JSON payload
+must have the documented schema and the hook micro-benchmarks must have
+actually executed.  The < 3% enabled / < 0.5% disabled overhead targets
+belong to the slow full-scale run only — a toy pipeline is too short to
+average out timer noise.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.obs
+
+BENCH_PATH = Path(__file__).parent.parent / "benchmarks" / "bench_obs_overhead.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_obs_overhead", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def smoke_results(bench_module, tmp_path_factory):
+    json_path = tmp_path_factory.mktemp("bench") / "BENCH_obs.json"
+    results = bench_module.run_benchmark(fast=True, json_path=json_path)
+    return results, json_path
+
+
+def test_json_written_with_schema(smoke_results):
+    _, json_path = smoke_results
+    on_disk = json.loads(json_path.read_text(encoding="utf-8"))
+    assert on_disk["config"]["fast"] is True
+    assert on_disk["config"]["enabled_target_pct"] == 3.0
+    assert on_disk["config"]["disabled_target_pct"] == 0.5
+    for key in (
+        "loops",
+        "noop_inc_ns",
+        "noop_observe_ns",
+        "noop_trace_scope_ns",
+        "live_inc_ns",
+        "live_observe_ns",
+    ):
+        assert key in on_disk["noop_hooks"]
+    pipeline = on_disk["pipeline"]
+    for key in (
+        "repeats",
+        "disabled_seconds",
+        "enabled_seconds",
+        "enabled_overhead_pct",
+        "disabled_overhead_pct",
+        "hook_calls",
+    ):
+        assert key in pipeline
+    for key in ("requests", "plain_seconds", "traced_seconds",
+                "traced_overhead_pct"):
+        assert key in on_disk["serving"]
+
+
+def test_noop_hooks_are_cheap_and_measured(smoke_results):
+    results, _ = smoke_results
+    hooks = results["noop_hooks"]
+    assert hooks["noop_inc_ns"] > 0
+    # A disabled hook is one None-check; even a slow interpreter stays
+    # far under 100 microseconds per call.
+    assert hooks["noop_inc_ns"] < 100_000
+    assert hooks["noop_trace_scope_ns"] < 100_000
+
+
+def test_enabled_run_actually_recorded_telemetry(smoke_results):
+    results, _ = smoke_results
+    pipeline = results["pipeline"]
+    assert pipeline["hook_calls"] > 0
+    assert pipeline["disabled_seconds"] > 0
+    assert pipeline["enabled_seconds"] > 0
+    assert pipeline["enabled_overhead_pct"] >= 0
+    assert pipeline["disabled_overhead_pct"] >= 0
+
+
+def test_serving_paths_both_timed(smoke_results):
+    results, _ = smoke_results
+    serving = results["serving"]
+    assert serving["plain_seconds"] > 0
+    assert serving["traced_seconds"] > 0
+    assert serving["requests"] > 0
+
+
+def test_format_results_renders_table(smoke_results, bench_module):
+    results, _ = smoke_results
+    table = bench_module.format_results(results)
+    assert "no-op hooks" in table
+    assert "enabled overhead" in table
+    assert "disabled-path tax" in table

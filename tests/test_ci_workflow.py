@@ -65,6 +65,7 @@ def test_ci_script_supports_quick_mode():
     assert "test_bench_serving_smoke" in text
     assert "test_bench_reliability_smoke" in text
     assert "test_bench_ingest_smoke" in text
+    assert "test_bench_obs_smoke" in text
 
 
 def test_ci_script_runs_the_serving_daemon_smoke():
